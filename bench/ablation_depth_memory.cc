@@ -1,0 +1,81 @@
+// Ablation E5 — §V space bounds: transducer stacks are bounded by the
+// stream depth d (S_CH = S_CL = O(d * sigma)), while the stream *size* does
+// not matter.  Two sweeps:
+//   (a) fixed size, growing depth  -> stack peaks grow linearly with d
+//   (b) fixed depth, growing size  -> stack peaks stay flat
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "rpeq/parser.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+RunStats Run(const std::string& query, const std::vector<StreamEvent>& ev) {
+  ExprPtr q = MustParseRpeq(query);
+  return bench::RunSpex(*q, ev).stats;
+}
+
+void DepthSweep(const std::string& query) {
+  std::printf("\nquery %s, document = chain of depth d\n", query.c_str());
+  std::printf("%8s %14s %14s %16s\n", "depth d", "depth_stack", "cond_stack",
+              "formula_nodes");
+  bench::PrintRule(56);
+  for (int d = 16; d <= 1024; d *= 2) {
+    std::vector<StreamEvent> ev = GenerateToVector(
+        [&](EventSink* s) { GenerateDeepChain(d, {"a", "b"}, s); });
+    RunStats stats = Run(query, ev);
+    std::printf("%8d %14lld %14lld %16lld\n", d,
+                static_cast<long long>(stats.max_depth_stack),
+                static_cast<long long>(stats.max_condition_stack),
+                static_cast<long long>(stats.max_formula_nodes));
+  }
+}
+
+void SizeSweep(const std::string& query) {
+  std::printf("\nquery %s, flat document of n records (depth fixed at 3)\n",
+              query.c_str());
+  std::printf("%10s %14s %14s %16s\n", "records", "depth_stack", "cond_stack",
+              "buffered_pk");
+  bench::PrintRule(58);
+  for (int64_t n = 1000; n <= 64000; n *= 4) {
+    std::vector<StreamEvent> ev = GenerateToVector([&](EventSink* s) {
+      s->OnEvent(StreamEvent::StartDocument());
+      s->OnEvent(StreamEvent::StartElement("r"));
+      for (int64_t i = 0; i < n; ++i) {
+        s->OnEvent(StreamEvent::StartElement("item"));
+        if (i % 3 == 0) {
+          s->OnEvent(StreamEvent::StartElement("flag"));
+          s->OnEvent(StreamEvent::EndElement("flag"));
+        }
+        s->OnEvent(StreamEvent::StartElement("v"));
+        s->OnEvent(StreamEvent::EndElement("v"));
+        s->OnEvent(StreamEvent::EndElement("item"));
+      }
+      s->OnEvent(StreamEvent::EndElement("r"));
+      s->OnEvent(StreamEvent::EndDocument());
+    });
+    RunStats stats = Run(query, ev);
+    std::printf("%10lld %14lld %14lld %16lld\n", static_cast<long long>(n),
+                static_cast<long long>(stats.max_depth_stack),
+                static_cast<long long>(stats.max_condition_stack),
+                static_cast<long long>(stats.output.buffered_events_peak));
+  }
+}
+
+}  // namespace
+}  // namespace spex
+
+int main() {
+  using namespace spex;
+  std::printf("== Ablation E5: memory vs stream depth (Thm. V.1) ==\n");
+  std::printf("Expected shape: stack peaks ~ d in the depth sweep, flat in "
+              "the size sweep.\n");
+  DepthSweep("_*.a");
+  DepthSweep("_*.a[b]");
+  SizeSweep("r.item[flag].v");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation E6 — §V time bound: evaluation time is linear in the stream size
+// s for a fixed query (T = O(sigma * s)).  Sweeps the document size for the
+// four §VI query classes and reports time per million events, which should
+// stay flat.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "rpeq/parser.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+void Sweep(const std::string& query) {
+  std::printf("\nquery %s\n", query.c_str());
+  std::printf("%12s %12s %10s %16s\n", "elements", "events", "time[s]",
+              "s/1M events");
+  bench::PrintRule(54);
+  ExprPtr q = MustParseRpeq(query);
+  for (double scale = 0.02; scale <= 0.32; scale *= 2) {
+    bench::Timer timer;
+    CountingResultSink sink;
+    SpexEngine engine(*q, &sink);
+    GeneratorStats gen = GenerateDmozLike(7, scale, /*content=*/false,
+                                          &engine);
+    double s = timer.Seconds();
+    std::printf("%12lld %12lld %10.3f %16.3f\n",
+                static_cast<long long>(gen.elements),
+                static_cast<long long>(gen.events), s,
+                s * 1e6 / static_cast<double>(gen.events));
+  }
+}
+
+}  // namespace
+}  // namespace spex
+
+int main() {
+  using namespace spex;
+  std::printf("== Ablation E6: time vs stream size (Thm. V.1) ==\n");
+  std::printf("Expected shape: the s/1M-events column is flat for each "
+              "query.\n");
+  Sweep("_*.Topic.Title");                 // class 1
+  Sweep("_*.Topic[editor].Title");         // class 2
+  Sweep("_*._");                           // class 3
+  Sweep("_*.Topic[editor].newsGroup");     // class 4
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation E4 — Lemma V.1: the translation of an rpeq of length n into a
+// SPEX network takes time linear in n, and the network degree is linear in
+// n.  Sweeps query length for three query shapes and reports compile time
+// and degree; the time/step and degree/step columns should be flat.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "rpeq/parser.h"
+#include "spex/compiler.h"
+
+namespace spex {
+namespace {
+
+std::string ChainQuery(int steps) {
+  std::string q = "a0";
+  for (int i = 1; i < steps; ++i) q += ".a" + std::to_string(i % 7);
+  return q;
+}
+
+std::string QualifierQuery(int steps) {
+  std::string q = "_*";
+  for (int i = 0; i < steps; ++i) q += ".s" + std::to_string(i % 5) + "[t]";
+  return q;
+}
+
+std::string UnionQuery(int steps) {
+  std::string q = "a0";
+  for (int i = 1; i < steps; ++i) q += "|a" + std::to_string(i % 7);
+  return q;
+}
+
+void Sweep(const char* name, std::string (*make)(int)) {
+  std::printf("\n%s\n", name);
+  std::printf("%8s %10s %12s %14s %14s\n", "steps", "degree", "degree/step",
+              "compile[us]", "us/step");
+  bench::PrintRule(64);
+  for (int steps = 8; steps <= 512; steps *= 2) {
+    std::string text = make(steps);
+    ExprPtr query = MustParseRpeq(text);
+    // Compile repeatedly for a stable measurement.
+    const int reps = 50;
+    bench::Timer timer;
+    int degree = 0;
+    for (int r = 0; r < reps; ++r) {
+      RunContext context;
+      CountingResultSink sink;
+      CompiledNetwork net = CompileToNetwork(*query, &sink, &context);
+      degree = net.network.node_count();
+    }
+    double us = timer.Seconds() * 1e6 / reps;
+    std::printf("%8d %10d %12.2f %14.1f %14.3f\n", steps, degree,
+                static_cast<double>(degree) / steps, us, us / steps);
+  }
+}
+
+}  // namespace
+}  // namespace spex
+
+int main() {
+  using namespace spex;
+  std::printf("== Ablation E4: translation linearity (Lemma V.1) ==\n");
+  std::printf("Expected shape: degree/step and us/step flat as steps grow.\n");
+  Sweep("child-step chain a0.a1...", ChainQuery);
+  Sweep("qualifier chain _*.s0[t].s1[t]...", QualifierQuery);
+  Sweep("union a0|a1|...", UnionQuery);
+  return 0;
+}

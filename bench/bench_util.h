@@ -1,0 +1,104 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+
+#ifndef SPEX_BENCH_BENCH_UTIL_H_
+#define SPEX_BENCH_BENCH_UTIL_H_
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "spex/engine.h"
+#include "xml/stream_event.h"
+
+namespace spex::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Peak resident set size of the process so far, in MiB.
+inline double PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+}
+
+// Estimated serialized size of an event stream in MB (what the paper's
+// document sizes refer to).
+inline double SerializedMb(const std::vector<StreamEvent>& events) {
+  int64_t bytes = 0;
+  for (const StreamEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        bytes += static_cast<int64_t>(e.name.size()) + 2;
+        break;
+      case EventKind::kEndElement:
+        bytes += static_cast<int64_t>(e.name.size()) + 3;
+        break;
+      case EventKind::kText:
+        bytes += static_cast<int64_t>(e.text.size());
+        break;
+      default:
+        break;
+    }
+  }
+  return static_cast<double>(bytes) / 1e6;
+}
+
+// Runs SPEX over a pre-materialized event stream; returns (seconds, result
+// count).  Includes query compilation, as the paper's Fig. 14 timings do.
+struct SpexRun {
+  double seconds = 0;
+  int64_t results = 0;
+  RunStats stats;
+};
+
+inline SpexRun RunSpex(const Expr& query,
+                       const std::vector<StreamEvent>& events) {
+  Timer timer;
+  CountingResultSink sink;
+  SpexEngine engine(query, &sink);
+  for (const StreamEvent& e : events) engine.OnEvent(e);
+  SpexRun run;
+  run.seconds = timer.Seconds();
+  run.results = sink.results();
+  run.stats = engine.ComputeStats();
+  return run;
+}
+
+// Simple fixed-width table printing.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+// Parses "--scale=<double>" and "--seed=<int>" style flags.
+inline double FlagValue(int argc, char** argv, const std::string& name,
+                        double fallback) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::stod(arg.substr(prefix.size()));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace spex::bench
+
+#endif  // SPEX_BENCH_BENCH_UTIL_H_

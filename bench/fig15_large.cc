@@ -1,0 +1,127 @@
+// Reproduces Fig. 15: "Query processing for large and very large-size
+// documents using SPEX networks".
+//
+// The paper runs the four query classes on the DMOZ structure dump (300 MB,
+// 3,940,716 elements, depth 3) and content dump (1 GB, 13,233,278 elements,
+// depth 3).  Saxon and Fxgrep cannot process these (out of memory on the
+// 512 MB machine); SPEX does, with constant memory (8.5–11 MB including the
+// JVM).  We stream generated DMOZ-like documents directly into the engine —
+// nothing is ever materialized — and report throughput plus the engine's
+// peak buffering, demonstrating the same constant-memory behaviour.
+//
+// Default --scale=0.1 keeps the whole suite fast (~400k / ~1.3M elements);
+// use --scale=1.0 for paper-sized runs.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "rpeq/parser.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+struct StreamedRun {
+  double seconds = 0;
+  int64_t results = 0;
+  GeneratorStats gen;
+  RunStats stats;
+};
+
+// Streams the generator straight into the engine: memory stays flat no
+// matter how large the document is.  Uses the determination-order output
+// policy, which is what gives the paper its constant memory on class 3
+// (nested results): under strict document-start order the outermost result
+// of `_*._` — the root — would force buffering the entire stream.
+StreamedRun RunStreamed(const Expr& query, uint64_t seed, double scale,
+                        bool content, OutputOrder order) {
+  bench::Timer timer;
+  CountingResultSink sink;
+  EngineOptions options;
+  options.output_order = order;
+  SpexEngine engine(query, &sink, options);
+  StreamedRun run;
+  run.gen = GenerateDmozLike(seed, scale, content, &engine);
+  run.seconds = timer.Seconds();
+  run.results = sink.results();
+  run.stats = engine.ComputeStats();
+  return run;
+}
+
+void RunVariant(const char* name, bool content, uint64_t seed, double scale) {
+  const std::vector<std::pair<int, std::string>> queries = {
+      {1, "_*.Topic.Title"},
+      {2, "_*.Topic[editor].Title"},
+      {3, "_*._"},
+      {4, "_*.Topic[editor].newsGroup"},
+  };
+  std::printf("\nDMOZ-like %s (scale %.2f)\n", name, scale);
+  std::printf("%-4s %-32s %10s %14s %10s %12s %9s\n", "cls", "query",
+              "time[s]", "events/s", "results", "buffered_pk", "rss[MB]");
+  bench::PrintRule(98);
+  for (const auto& [cls, q] : queries) {
+    ExprPtr query = MustParseRpeq(q);
+    StreamedRun run = RunStreamed(*query, seed, scale, content,
+                                  OutputOrder::kDetermination);
+    std::printf("%-4d %-32s %10.3f %14.0f %10lld %12lld %9.1f\n", cls,
+                q.c_str(), run.seconds,
+                static_cast<double>(run.gen.events) / run.seconds,
+                static_cast<long long>(run.results),
+                static_cast<long long>(run.stats.output.buffered_events_peak),
+                bench::PeakRssMb());
+  }
+  // Document shape summary from the last run's generator (deterministic).
+  RecordingEventSink probe;  // tiny probe for the shape line
+  GeneratorStats small = GenerateDmozLike(seed, 0.001, content, &probe);
+  std::printf("(at scale 1.0: ~%lld elements, depth %d; paper: %s)\n",
+              static_cast<long long>(small.elements * 1000),
+              small.max_depth,
+              content ? "13,233,278 elements / 1 GB"
+                      : "3,940,716 elements / 300 MB");
+}
+
+}  // namespace
+}  // namespace spex
+
+int main(int argc, char** argv) {
+  using namespace spex;
+  double scale = bench::FlagValue(argc, argv, "scale", 0.1);
+  uint64_t seed =
+      static_cast<uint64_t>(bench::FlagValue(argc, argv, "seed", 42));
+
+  std::printf("== Fig. 15 reproduction: large documents, SPEX only ==\n");
+  std::printf("Documents are streamed straight from the generator into the "
+              "network;\nthe in-memory baselines are excluded by "
+              "construction (the paper's Saxon/Fxgrep\nran out of memory "
+              "here).  Watch the flat 'buffered_pk' and 'rss' columns —\n"
+              "the paper reports a constant 8.5-11 MB for SPEX.\n");
+
+  RunVariant("structure", /*content=*/false, seed, scale);
+  RunVariant("content", /*content=*/true, seed, scale);
+
+  // Contrast: the strict document-start output policy on nested results
+  // must buffer everything behind the root fragment (worst case of §V).
+  {
+    ExprPtr q = MustParseRpeq("_*._");
+    StreamedRun det = RunStreamed(*q, seed, scale * 0.2, false,
+                                  OutputOrder::kDetermination);
+    StreamedRun strict = RunStreamed(*q, seed, scale * 0.2, false,
+                                     OutputOrder::kDocumentStart);
+    std::printf("\noutput-policy contrast on _*._ (structure, scale %.2f):\n"
+                "  determination order : buffered_peak = %lld events\n"
+                "  document-start order: buffered_peak = %lld events "
+                "(~ whole stream)\n",
+                scale * 0.2,
+                static_cast<long long>(
+                    det.stats.output.buffered_events_peak),
+                static_cast<long long>(
+                    strict.stats.output.buffered_events_peak));
+  }
+
+  std::printf("\nPaper reference (Fig. 15): structure 300MB: 131-260s; "
+              "content 1GB: 476-725s\n(on a 1 GHz Pentium III under a JVM); "
+              "class 3 is the most expensive in both.\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Engineering micro-benchmarks (google-benchmark): XML parsing throughput,
+// per-construct engine throughput, formula operations, DOM construction and
+// the query compiler.  Not a paper figure — these guard the constants behind
+// the §V asymptotics.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/dom_evaluator.h"
+#include "baseline/nfa_evaluator.h"
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "xml/dom.h"
+#include "xml/generators.h"
+#include "xml/xml_parser.h"
+#include "xml/content_model.h"
+#include "xml/xml_writer.h"
+
+namespace spex {
+namespace {
+
+const std::vector<StreamEvent>& MondialEvents() {
+  static const std::vector<StreamEvent>* events = [] {
+    auto* v = new std::vector<StreamEvent>(GenerateToVector(
+        [](EventSink* s) { GenerateMondialLike(42, 0.2, s); }));
+    return v;
+  }();
+  return *events;
+}
+
+const std::string& MondialXml() {
+  static const std::string* xml =
+      new std::string(EventsToXml(MondialEvents()));
+  return *xml;
+}
+
+void BM_XmlParse(benchmark::State& state) {
+  const std::string& xml = MondialXml();
+  for (auto _ : state) {
+    RecordingEventSink sink;
+    XmlParser parser(&sink);
+    bool ok = parser.Parse(xml);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(MondialXml().size()));
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_DomBuild(benchmark::State& state) {
+  const std::vector<StreamEvent>& events = MondialEvents();
+  for (auto _ : state) {
+    DomBuilder builder;
+    for (const StreamEvent& e : events) builder.OnEvent(e);
+    Document doc = builder.TakeDocument();
+    benchmark::DoNotOptimize(doc.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_DomBuild);
+
+void BM_QueryParse(benchmark::State& state) {
+  for (auto _ : state) {
+    ParseResult r = ParseRpeq("_*.country[province[city]].name|_*.x.y?");
+    benchmark::DoNotOptimize(r.expr.get());
+  }
+}
+BENCHMARK(BM_QueryParse);
+
+void BM_Compile(benchmark::State& state) {
+  ExprPtr query = MustParseRpeq("_*.country[province[city]].name");
+  for (auto _ : state) {
+    RunContext context;
+    CountingResultSink sink;
+    CompiledNetwork net = CompileToNetwork(*query, &sink, &context);
+    benchmark::DoNotOptimize(net.network.node_count());
+  }
+}
+BENCHMARK(BM_Compile);
+
+void RunEngineBenchmark(benchmark::State& state, const char* query_text) {
+  ExprPtr query = MustParseRpeq(query_text);
+  const std::vector<StreamEvent>& events = MondialEvents();
+  for (auto _ : state) {
+    CountingResultSink sink;
+    SpexEngine engine(*query, &sink);
+    for (const StreamEvent& e : events) engine.OnEvent(e);
+    benchmark::DoNotOptimize(sink.results());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+
+void BM_EngineChildChain(benchmark::State& state) {
+  RunEngineBenchmark(state, "mondial.country.name");
+}
+BENCHMARK(BM_EngineChildChain);
+
+void BM_EngineDescendant(benchmark::State& state) {
+  RunEngineBenchmark(state, "_*.city");
+}
+BENCHMARK(BM_EngineDescendant);
+
+void BM_EngineQualifier(benchmark::State& state) {
+  RunEngineBenchmark(state, "_*.country[province].name");
+}
+BENCHMARK(BM_EngineQualifier);
+
+void BM_EngineNestedResults(benchmark::State& state) {
+  RunEngineBenchmark(state, "_*._");
+}
+BENCHMARK(BM_EngineNestedResults);
+
+void BM_NfaBaseline(benchmark::State& state) {
+  ExprPtr query = MustParseRpeq("_*.city");
+  const std::vector<StreamEvent>& events = MondialEvents();
+  PathNfa nfa;
+  std::string error;
+  nfa.Build(*query, &error);
+  for (auto _ : state) {
+    NfaStreamEvaluator eval(&nfa);
+    for (const StreamEvent& e : events) eval.OnEvent(e);
+    benchmark::DoNotOptimize(eval.match_count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_NfaBaseline);
+
+void BM_StreamingValidator(benchmark::State& state) {
+  Schema schema;
+  std::string error;
+  bool ok = ParseSchema(
+      "root=mondial\nmondial=country*\n"
+      "country=name,population,province*,religions*\n"
+      "province=name,city*\ncity=name\nname=TEXT\npopulation=TEXT\n"
+      "religions=TEXT\n",
+      &schema, &error);
+  if (!ok) state.SkipWithError(error.c_str());
+  const std::vector<StreamEvent>& events = MondialEvents();
+  for (auto _ : state) {
+    StreamingValidator validator(&schema);
+    for (const StreamEvent& e : events) validator.OnEvent(e);
+    benchmark::DoNotOptimize(validator.valid());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_StreamingValidator);
+
+void BM_FormulaOrChain(benchmark::State& state) {
+  for (auto _ : state) {
+    Formula f = Formula::Var(0);
+    for (VarId v = 1; v < 64; ++v) f = Formula::Or(f, Formula::Var(v));
+    benchmark::DoNotOptimize(f.NodeCount());
+  }
+}
+BENCHMARK(BM_FormulaOrChain);
+
+void BM_FormulaEvaluate(benchmark::State& state) {
+  Formula f = Formula::Var(0);
+  Assignment a;
+  for (VarId v = 1; v < 64; ++v) {
+    f = Formula::Or(Formula::And(f, Formula::Var(v)), Formula::Var(v + 100));
+    if (v % 2 == 0) a.Set(v, v % 4 == 0);
+  }
+  for (auto _ : state) {
+    Truth t = f.Evaluate(a);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_FormulaEvaluate);
+
+void BM_FormulaSimplify(benchmark::State& state) {
+  Formula f = Formula::Var(0);
+  Assignment a;
+  for (VarId v = 1; v < 64; ++v) {
+    f = Formula::Or(Formula::And(f, Formula::Var(v)), Formula::Var(v + 100));
+    if (v % 2 == 0) a.Set(v, false);
+  }
+  for (auto _ : state) {
+    Formula g = f.PruneFalse(a);
+    benchmark::DoNotOptimize(g.NodeCount());
+  }
+}
+BENCHMARK(BM_FormulaSimplify);
+
+}  // namespace
+}  // namespace spex
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// In-memory (DOM) evaluator of rpeq — the baseline representing processors
+// that "construct in-memory representations of the streams" (paper §VI,
+// where Saxon and Fxgrep play this role; see DESIGN.md §2 for the
+// substitution).  Also the reference oracle for the differential tests: its
+// recursive set semantics follows the rpeq definition of §II.2 directly.
+
+#ifndef SPEX_BASELINE_DOM_EVALUATOR_H_
+#define SPEX_BASELINE_DOM_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpeq/ast.h"
+#include "xml/dom.h"
+
+namespace spex {
+
+// Evaluates `query` over `doc`.  Returns the selected element node ids in
+// document order, without duplicates.  The evaluation starts at the virtual
+// document root (the parent of the root element), so `a` selects root
+// elements labeled a and `_*.a` selects all a elements.
+std::vector<int32_t> EvaluateOnDocument(const Expr& query,
+                                        const Document& doc);
+
+// Convenience: parse an XML string into a DOM, evaluate, and serialize each
+// selected node's subtree (directly comparable with SPEX result fragments).
+std::vector<std::string> DomEvaluateToStrings(const Expr& query,
+                                              const std::string& xml);
+
+// As above, starting from a pre-built document.
+std::vector<std::string> DomEvaluateToStrings(const Expr& query,
+                                              const Document& doc);
+
+// End-to-end baseline run that mirrors what Saxon-style processors do with a
+// stream: buffer all events, build the tree, then evaluate.  Returns the
+// number of selected nodes.  Used by the Fig. 14 benchmark.
+int64_t DomEvaluateEventStream(const Expr& query,
+                               const std::vector<StreamEvent>& events);
+
+}  // namespace spex
+
+#endif  // SPEX_BASELINE_DOM_EVALUATOR_H_

@@ -1,0 +1,193 @@
+#include "baseline/nfa_evaluator.h"
+
+#include <algorithm>
+
+namespace spex {
+
+int PathNfa::NewState() {
+  states_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+void PathNfa::AddEpsilon(int from, int to) {
+  Edge e;
+  e.epsilon = true;
+  e.to = to;
+  states_[from].edges.push_back(std::move(e));
+}
+
+void PathNfa::AddLabel(int from, int to, const std::string& label,
+                       bool wildcard) {
+  Edge e;
+  e.epsilon = false;
+  e.wildcard = wildcard;
+  e.label = label;
+  e.to = to;
+  states_[from].edges.push_back(std::move(e));
+}
+
+bool PathNfa::Build(const Expr& query, std::string* error) {
+  states_.clear();
+  start_ = NewState();
+  accept_ = NewState();
+  return BuildRec(query, start_, accept_, error);
+}
+
+bool PathNfa::BuildRec(const Expr& e, int from, int to, std::string* error) {
+  switch (e.kind) {
+    case ExprKind::kEmpty:
+      AddEpsilon(from, to);
+      return true;
+    case ExprKind::kLabel:
+      AddLabel(from, to, e.label, e.is_wildcard);
+      return true;
+    case ExprKind::kClosure: {
+      // label+ : from -label-> mid, mid -label-> mid, mid -eps-> to
+      int mid = NewState();
+      AddLabel(from, mid, e.label, e.is_wildcard);
+      AddLabel(mid, mid, e.label, e.is_wildcard);
+      AddEpsilon(mid, to);
+      if (!e.is_positive) AddEpsilon(from, to);  // label* adds eps
+      return true;
+    }
+    case ExprKind::kUnion:
+      return BuildRec(*e.left, from, to, error) &&
+             BuildRec(*e.right, from, to, error);
+    case ExprKind::kConcat: {
+      int mid = NewState();
+      return BuildRec(*e.left, from, mid, error) &&
+             BuildRec(*e.right, mid, to, error);
+    }
+    case ExprKind::kOptional:
+      AddEpsilon(from, to);
+      return BuildRec(*e.left, from, to, error);
+    case ExprKind::kQualified:
+      if (error != nullptr) {
+        *error = "NFA baseline does not support qualifiers (as X-Scan [2])";
+      }
+      return false;
+    case ExprKind::kFollowing:
+    case ExprKind::kPreceding:
+      if (error != nullptr) {
+        *error = "NFA baseline does not support order axes";
+      }
+      return false;
+    case ExprKind::kIntersect:
+      if (error != nullptr) {
+        *error = "NFA baseline does not support node-identity joins";
+      }
+      return false;
+  }
+  return false;
+}
+
+void PathNfa::Closure(std::vector<int>* states) const {
+  std::vector<bool> in_set(states_.size(), false);
+  for (int s : *states) in_set[s] = true;
+  std::vector<int> work = *states;
+  while (!work.empty()) {
+    int s = work.back();
+    work.pop_back();
+    for (const Edge& e : states_[s].edges) {
+      if (e.epsilon && !in_set[e.to]) {
+        in_set[e.to] = true;
+        states->push_back(e.to);
+        work.push_back(e.to);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+std::vector<int> PathNfa::InitialStates() const {
+  std::vector<int> states = {start_};
+  Closure(&states);
+  return states;
+}
+
+std::vector<int> PathNfa::Step(const std::vector<int>& states,
+                               const std::string& label) const {
+  std::vector<int> next;
+  for (int s : states) {
+    for (const Edge& e : states_[s].edges) {
+      if (!e.epsilon && (e.wildcard || e.label == label)) {
+        next.push_back(e.to);
+      }
+    }
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  Closure(&next);
+  return next;
+}
+
+bool PathNfa::Accepts(const std::vector<int>& states) const {
+  return std::binary_search(states.begin(), states.end(), accept_);
+}
+
+NfaStreamEvaluator::NfaStreamEvaluator(const PathNfa* nfa) : nfa_(nfa) {}
+
+void NfaStreamEvaluator::OnEvent(const StreamEvent& event) {
+  switch (event.kind) {
+    case EventKind::kStartDocument:
+      stack_.clear();
+      stack_.push_back(nfa_->InitialStates());
+      break;
+    case EventKind::kEndDocument:
+      stack_.clear();
+      break;
+    case EventKind::kStartElement: {
+      std::vector<int> next = nfa_->Step(stack_.back(), event.name);
+      if (nfa_->Accepts(next)) ++match_count_;
+      stack_.push_back(std::move(next));
+      break;
+    }
+    case EventKind::kEndElement:
+      stack_.pop_back();
+      break;
+    case EventKind::kText:
+      break;
+  }
+}
+
+NfaResult NfaEvaluate(const Expr& query,
+                      const std::vector<StreamEvent>& events) {
+  NfaResult result;
+  PathNfa nfa;
+  if (!nfa.Build(query, &result.error)) return result;
+  result.ok = true;
+  std::vector<std::vector<int>> stack;
+  int64_t ordinal = 0;
+  for (const StreamEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kStartDocument:
+        stack.push_back(nfa.InitialStates());
+        break;
+      case EventKind::kEndDocument:
+        stack.clear();
+        break;
+      case EventKind::kStartElement: {
+        std::vector<int> next = nfa.Step(stack.back(), e.name);
+        if (nfa.Accepts(next)) result.matches.push_back(ordinal);
+        stack.push_back(std::move(next));
+        ++ordinal;
+        break;
+      }
+      case EventKind::kEndElement:
+        stack.pop_back();
+        break;
+      case EventKind::kText:
+        break;
+    }
+  }
+  return result;
+}
+
+int64_t NfaCountMatches(const Expr& query,
+                        const std::vector<StreamEvent>& events) {
+  NfaResult r = NfaEvaluate(query, events);
+  if (!r.ok) return -1;
+  return static_cast<int64_t>(r.matches.size());
+}
+
+}  // namespace spex

@@ -1,0 +1,96 @@
+// Streaming NFA evaluator — the X-Scan-style baseline (paper §VIII, [2]):
+// compiles a regular path expression *without qualifiers* into an
+// epsilon-NFA over node labels and runs it over the stream, keeping a stack
+// of active state sets (one per open element).  A node is selected when the
+// state set reached through it contains the accepting state.
+//
+// Qualifiers are not supported (X-Scan delegates them to a host
+// application); EvaluateNfa returns -1 for queries containing them.
+
+#ifndef SPEX_BASELINE_NFA_EVALUATOR_H_
+#define SPEX_BASELINE_NFA_EVALUATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpeq/ast.h"
+#include "xml/stream_event.h"
+
+namespace spex {
+
+// A Thompson-constructed epsilon-NFA whose transitions consume node labels.
+class PathNfa {
+ public:
+  // Builds the NFA for `query`.  Returns false (and sets *error) if the
+  // query contains qualifiers.
+  bool Build(const Expr& query, std::string* error);
+
+  int state_count() const { return static_cast<int>(states_.size()); }
+  int start_state() const { return start_; }
+  int accept_state() const { return accept_; }
+
+  // The epsilon-closure of {start}.
+  std::vector<int> InitialStates() const;
+  // epsilon-closure of all states reachable from `states` by an edge whose
+  // label matches `label`.
+  std::vector<int> Step(const std::vector<int>& states,
+                        const std::string& label) const;
+  bool Accepts(const std::vector<int>& states) const;
+
+ private:
+  struct Edge {
+    bool epsilon = true;
+    bool wildcard = false;
+    std::string label;
+    int to = -1;
+  };
+  struct State {
+    std::vector<Edge> edges;
+  };
+
+  int NewState();
+  void AddEpsilon(int from, int to);
+  void AddLabel(int from, int to, const std::string& label, bool wildcard);
+  // Thompson construction: wires `e` between `from` and `to`.
+  bool BuildRec(const Expr& e, int from, int to, std::string* error);
+  void Closure(std::vector<int>* states) const;
+
+  std::vector<State> states_;
+  int start_ = -1;
+  int accept_ = -1;
+};
+
+// Streaming run over a complete event vector; returns the number of selected
+// elements, or -1 if the query has qualifiers.
+int64_t NfaCountMatches(const Expr& query,
+                        const std::vector<StreamEvent>& events);
+
+// Streaming run reporting the document-order indices (start-element ordinal,
+// 0-based) of the selected elements; empty + ok=false if unsupported.
+struct NfaResult {
+  bool ok = false;
+  std::string error;
+  std::vector<int64_t> matches;  // ordinal of each selected start-element
+};
+NfaResult NfaEvaluate(const Expr& query, const std::vector<StreamEvent>& events);
+
+// Incremental runner usable as an EventSink (constant memory per depth).
+class NfaStreamEvaluator : public EventSink {
+ public:
+  // `nfa` must outlive the evaluator.
+  explicit NfaStreamEvaluator(const PathNfa* nfa);
+
+  void OnEvent(const StreamEvent& event) override;
+
+  int64_t match_count() const { return match_count_; }
+
+ private:
+  const PathNfa* nfa_;
+  std::vector<std::vector<int>> stack_;
+  int64_t match_count_ = 0;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_BASELINE_NFA_EVALUATOR_H_

@@ -1,0 +1,221 @@
+#include "rpeq/ast.h"
+
+namespace spex {
+
+namespace {
+
+// Operator precedence for printing with minimal parentheses.
+// union < concat < postfix (closure/optional/qualifier) < atom.
+int Precedence(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kUnion:
+      return 1;
+    case ExprKind::kIntersect:
+      return 2;
+    case ExprKind::kConcat:
+      return 3;
+    case ExprKind::kOptional:
+    case ExprKind::kQualified:
+      return 4;
+    case ExprKind::kEmpty:
+    case ExprKind::kLabel:
+    case ExprKind::kClosure:
+    case ExprKind::kFollowing:
+    case ExprKind::kPreceding:
+      return 5;
+  }
+  return 5;
+}
+
+void Print(const Expr& e, int parent_prec, std::string* out) {
+  const int prec = Precedence(e);
+  const bool parens = prec < parent_prec;
+  if (parens) *out += '(';
+  switch (e.kind) {
+    case ExprKind::kEmpty:
+      *out += "()";
+      break;
+    case ExprKind::kLabel:
+      *out += e.is_wildcard ? "_" : e.label;
+      break;
+    case ExprKind::kClosure:
+      *out += e.is_wildcard ? "_" : e.label;
+      *out += e.is_positive ? '+' : '*';
+      break;
+    case ExprKind::kUnion:
+      Print(*e.left, prec, out);
+      *out += '|';
+      Print(*e.right, prec, out);
+      break;
+    case ExprKind::kIntersect:
+      Print(*e.left, prec, out);
+      *out += '&';
+      Print(*e.right, prec, out);
+      break;
+    case ExprKind::kConcat:
+      Print(*e.left, prec, out);
+      *out += '.';
+      Print(*e.right, prec + 1, out);  // concat is left-associative
+      break;
+    case ExprKind::kOptional:
+      Print(*e.left, prec + 1, out);
+      *out += '?';
+      break;
+    case ExprKind::kQualified:
+      Print(*e.left, prec, out);
+      *out += '[';
+      Print(*e.right, 0, out);
+      *out += ']';
+      break;
+    case ExprKind::kFollowing:
+      *out += ">>";
+      *out += e.is_wildcard ? "_" : e.label;
+      break;
+    case ExprKind::kPreceding:
+      *out += "<<";
+      *out += e.is_wildcard ? "_" : e.label;
+      break;
+  }
+  if (parens) *out += ')';
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  std::string out;
+  Print(*this, 0, &out);
+  return out;
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind != other.kind || label != other.label ||
+      is_wildcard != other.is_wildcard || is_positive != other.is_positive) {
+    return false;
+  }
+  if ((left == nullptr) != (other.left == nullptr)) return false;
+  if ((right == nullptr) != (other.right == nullptr)) return false;
+  if (left != nullptr && !left->Equals(*other.left)) return false;
+  if (right != nullptr && !right->Equals(*other.right)) return false;
+  return true;
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->label = label;
+  out->is_wildcard = is_wildcard;
+  out->is_positive = is_positive;
+  if (left != nullptr) out->left = left->Clone();
+  if (right != nullptr) out->right = right->Clone();
+  return out;
+}
+
+int Expr::Size() const {
+  int n = 1;
+  if (left != nullptr) n += left->Size();
+  if (right != nullptr) n += right->Size();
+  return n;
+}
+
+int Expr::QualifierCount() const {
+  int n = kind == ExprKind::kQualified ? 1 : 0;
+  if (left != nullptr) n += left->QualifierCount();
+  if (right != nullptr) n += right->QualifierCount();
+  return n;
+}
+
+int Expr::WildcardClosureCount() const {
+  int n = (kind == ExprKind::kClosure && is_wildcard) ? 1 : 0;
+  if (left != nullptr) n += left->WildcardClosureCount();
+  if (right != nullptr) n += right->WildcardClosureCount();
+  return n;
+}
+
+bool Expr::ContainsKind(ExprKind k) const {
+  if (kind == k) return true;
+  if (left != nullptr && left->ContainsKind(k)) return true;
+  if (right != nullptr && right->ContainsKind(k)) return true;
+  return false;
+}
+
+ExprPtr MakeEmpty() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kEmpty;
+  return e;
+}
+
+ExprPtr MakeLabel(std::string label) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLabel;
+  e->is_wildcard = label == "_";
+  e->label = std::move(label);
+  return e;
+}
+
+ExprPtr MakeWildcard() { return MakeLabel("_"); }
+
+ExprPtr MakeClosure(std::string label, bool positive) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kClosure;
+  e->is_wildcard = label == "_";
+  e->label = std::move(label);
+  e->is_positive = positive;
+  return e;
+}
+
+ExprPtr MakeFollowing(std::string label) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFollowing;
+  e->is_wildcard = label == "_";
+  e->label = std::move(label);
+  return e;
+}
+
+ExprPtr MakePreceding(std::string label) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kPreceding;
+  e->is_wildcard = label == "_";
+  e->label = std::move(label);
+  return e;
+}
+
+ExprPtr MakeIntersect(ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntersect;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr MakeUnion(ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnion;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr MakeConcat(ExprPtr left, ExprPtr right) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kConcat;
+  e->left = std::move(left);
+  e->right = std::move(right);
+  return e;
+}
+
+ExprPtr MakeOptional(ExprPtr child) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kOptional;
+  e->left = std::move(child);
+  return e;
+}
+
+ExprPtr MakeQualified(ExprPtr base, ExprPtr qualifier) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kQualified;
+  e->left = std::move(base);
+  e->right = std::move(qualifier);
+  return e;
+}
+
+}  // namespace spex

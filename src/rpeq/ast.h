@@ -1,0 +1,95 @@
+// Abstract syntax for regular path expressions with qualifiers (rpeq),
+// paper §II.2:
+//
+//   rpeq ::= eps | label | label* | label+ | (rpeq|rpeq) | (rpeq . rpeq)
+//          | rpeq? | rpeq [ rpeq ]
+//
+// `label` is a node label or the wildcard `_` that matches every label.
+// `label*` is sugar for (label+ | eps) and `rpeq?` for (rpeq | eps); both are
+// kept as distinct AST nodes so the compiler can emit the exact networks of
+// Fig. 11.
+
+#ifndef SPEX_RPEQ_AST_H_
+#define SPEX_RPEQ_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace spex {
+
+enum class ExprKind : uint8_t {
+  kEmpty,      // eps
+  kLabel,      // label or wildcard `_`
+  kClosure,    // label+ (positive) or label* (kleene)
+  kUnion,      // (rpeq | rpeq)
+  kConcat,     // (rpeq . rpeq)
+  kOptional,   // rpeq?
+  kQualified,  // rpeq [ rpeq ]
+  kFollowing,  // >>label : elements starting after the context closes
+  kPreceding,  // <<label : elements closed before the context starts
+  kIntersect,  // (rpeq & rpeq) : node-identity join of two paths
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// One AST node.  Fields are populated depending on `kind`:
+//   kLabel:     label, is_wildcard
+//   kClosure:   label, is_wildcard, is_positive
+//   kUnion/kConcat: left, right
+//   kOptional:  left
+//   kQualified: left (base expression), right (qualifier body)
+struct Expr {
+  ExprKind kind = ExprKind::kEmpty;
+  std::string label;
+  bool is_wildcard = false;
+  bool is_positive = false;  // closure only: `+` (true) vs `*` (false)
+  ExprPtr left;
+  ExprPtr right;
+
+  // Renders the expression in the paper's concrete syntax, e.g. "_*.a[b].c".
+  std::string ToString() const;
+
+  // Deep structural equality.
+  bool Equals(const Expr& other) const;
+
+  // Deep copy.
+  ExprPtr Clone() const;
+
+  // The number of grammar constructs in the expression (the paper's n, used
+  // by the Lemma V.1 linearity experiment).
+  int Size() const;
+
+  // Number of qualifiers ([...]) in the expression.
+  int QualifierCount() const;
+
+  // Number of closure steps over the wildcard (`_+` / `_*`); drives the
+  // worst-case formula-size bound of §V.
+  int WildcardClosureCount() const;
+
+  // True if any node of the given kind occurs in the expression.
+  bool ContainsKind(ExprKind k) const;
+};
+
+// Factory helpers.
+ExprPtr MakeEmpty();
+ExprPtr MakeLabel(std::string label);
+ExprPtr MakeWildcard();
+// Positive (`+`) or Kleene (`*`) closure of a label; wildcard if label == "_".
+ExprPtr MakeClosure(std::string label, bool positive);
+// XPath following:: / preceding:: axis steps (paper §I: the prototype also
+// supports these navigational capabilities).  Written `>>label` / `<<label`.
+ExprPtr MakeFollowing(std::string label);
+ExprPtr MakePreceding(std::string label);
+ExprPtr MakeUnion(ExprPtr left, ExprPtr right);
+// Node-identity join `(p1 & p2)` (paper §I: "node-identity joins"): the
+// nodes reachable via BOTH paths from the same context.
+ExprPtr MakeIntersect(ExprPtr left, ExprPtr right);
+ExprPtr MakeConcat(ExprPtr left, ExprPtr right);
+ExprPtr MakeOptional(ExprPtr child);
+ExprPtr MakeQualified(ExprPtr base, ExprPtr qualifier);
+
+}  // namespace spex
+
+#endif  // SPEX_RPEQ_AST_H_

@@ -1,0 +1,326 @@
+#include "rpeq/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spex {
+
+namespace {
+
+enum class TokenKind : uint8_t {
+  kName,       // label
+  kWildcard,   // _
+  kStar,       // *
+  kPlus,       // +
+  kQuestion,   // ?
+  kPipe,       // |
+  kDot,        // .
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kFollowing,  // >>
+  kPreceding,  // <<
+  kAmp,        // &
+  kEnd,
+  kError,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t position;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { Advance(); }
+
+  const Token& current() const { return current_; }
+
+  void Advance() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    size_t start = pos_;
+    if (pos_ >= input_.size()) {
+      current_ = {TokenKind::kEnd, "", start};
+      return;
+    }
+    char c = input_[pos_];
+    switch (c) {
+      case '*':
+        current_ = {TokenKind::kStar, "*", start};
+        ++pos_;
+        return;
+      case '+':
+        current_ = {TokenKind::kPlus, "+", start};
+        ++pos_;
+        return;
+      case '?':
+        current_ = {TokenKind::kQuestion, "?", start};
+        ++pos_;
+        return;
+      case '|':
+        current_ = {TokenKind::kPipe, "|", start};
+        ++pos_;
+        return;
+      case '&':
+        current_ = {TokenKind::kAmp, "&", start};
+        ++pos_;
+        return;
+      case '.':
+        current_ = {TokenKind::kDot, ".", start};
+        ++pos_;
+        return;
+      case '(':
+        current_ = {TokenKind::kLParen, "(", start};
+        ++pos_;
+        return;
+      case ')':
+        current_ = {TokenKind::kRParen, ")", start};
+        ++pos_;
+        return;
+      case '[':
+        current_ = {TokenKind::kLBracket, "[", start};
+        ++pos_;
+        return;
+      case ']':
+        current_ = {TokenKind::kRBracket, "]", start};
+        ++pos_;
+        return;
+      case '>':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+          current_ = {TokenKind::kFollowing, ">>", start};
+          pos_ += 2;
+          return;
+        }
+        break;
+      case '<':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '<') {
+          current_ = {TokenKind::kPreceding, "<<", start};
+          pos_ += 2;
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    if (IsNameStart(c)) {
+      size_t end = pos_;
+      while (end < input_.size() && IsNameChar(input_[end])) ++end;
+      std::string text(input_.substr(pos_, end - pos_));
+      pos_ = end;
+      // A bare underscore is the wildcard; an identifier may contain but not
+      // be only underscores-as-wildcard.
+      if (text == "_") {
+        current_ = {TokenKind::kWildcard, std::move(text), start};
+      } else {
+        current_ = {TokenKind::kName, std::move(text), start};
+      }
+      return;
+    }
+    current_ = {TokenKind::kError, std::string(1, c), start};
+  }
+
+ private:
+  static bool IsNameStart(char c) {
+    // '@' starts an attribute step (@id), matching the parser's
+    // attribute-as-virtual-child-element exposure.
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '@' || static_cast<unsigned char>(c) >= 0x80;
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  Token current_{TokenKind::kEnd, "", 0};
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lexer_(input) {}
+
+  ParseResult Run() {
+    ExprPtr e = ParseUnion();
+    if (e == nullptr) return Fail();
+    if (lexer_.current().kind != TokenKind::kEnd) {
+      return Error("unexpected '" + lexer_.current().text + "'");
+    }
+    ParseResult r;
+    r.expr = std::move(e);
+    return r;
+  }
+
+ private:
+  ParseResult Fail() {
+    ParseResult r;
+    r.error = error_;
+    r.error_position = error_position_;
+    return r;
+  }
+
+  ParseResult Error(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+      error_position_ = lexer_.current().position;
+    }
+    return Fail();
+  }
+
+  ExprPtr SetError(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+      error_position_ = lexer_.current().position;
+    }
+    return nullptr;
+  }
+
+  ExprPtr ParseUnion() {
+    ExprPtr left = ParseIntersect();
+    if (left == nullptr) return nullptr;
+    while (lexer_.current().kind == TokenKind::kPipe) {
+      lexer_.Advance();
+      ExprPtr right = ParseIntersect();
+      if (right == nullptr) return nullptr;
+      left = MakeUnion(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseIntersect() {
+    ExprPtr left = ParseConcat();
+    if (left == nullptr) return nullptr;
+    while (lexer_.current().kind == TokenKind::kAmp) {
+      lexer_.Advance();
+      ExprPtr right = ParseConcat();
+      if (right == nullptr) return nullptr;
+      left = MakeIntersect(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParseConcat() {
+    ExprPtr left = ParsePostfix();
+    if (left == nullptr) return nullptr;
+    while (lexer_.current().kind == TokenKind::kDot) {
+      lexer_.Advance();
+      ExprPtr right = ParsePostfix();
+      if (right == nullptr) return nullptr;
+      left = MakeConcat(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  ExprPtr ParsePostfix() {
+    ExprPtr e = ParseAtom();
+    if (e == nullptr) return nullptr;
+    for (;;) {
+      TokenKind k = lexer_.current().kind;
+      if (k == TokenKind::kQuestion) {
+        lexer_.Advance();
+        e = MakeOptional(std::move(e));
+      } else if (k == TokenKind::kLBracket) {
+        lexer_.Advance();
+        ExprPtr q = ParseUnion();
+        if (q == nullptr) return nullptr;
+        if (lexer_.current().kind != TokenKind::kRBracket) {
+          return SetError("expected ']' to close qualifier");
+        }
+        lexer_.Advance();
+        e = MakeQualified(std::move(e), std::move(q));
+      } else if (k == TokenKind::kStar || k == TokenKind::kPlus) {
+        // Closure binds to labels only (the paper's grammar).  A label atom
+        // was already consumed as kLabel; anything else is an error.
+        if (e->kind != ExprKind::kLabel) {
+          return SetError(
+              "closure '*'/'+' applies to labels only (paper grammar); "
+              "rewrite e.g. (a.b)* as a nested query");
+        }
+        bool positive = k == TokenKind::kPlus;
+        std::string label = e->label;
+        lexer_.Advance();
+        e = MakeClosure(std::move(label), positive);
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  ExprPtr ParseAtom() {
+    const Token& t = lexer_.current();
+    switch (t.kind) {
+      case TokenKind::kName:
+      case TokenKind::kWildcard: {
+        std::string label = t.text;
+        lexer_.Advance();
+        return MakeLabel(std::move(label));
+      }
+      case TokenKind::kFollowing:
+      case TokenKind::kPreceding: {
+        const bool following = t.kind == TokenKind::kFollowing;
+        lexer_.Advance();
+        const Token& label = lexer_.current();
+        if (label.kind != TokenKind::kName &&
+            label.kind != TokenKind::kWildcard) {
+          return SetError(std::string("expected a label after '") +
+                          (following ? ">>'" : "<<'"));
+        }
+        std::string text = label.text;
+        lexer_.Advance();
+        return following ? MakeFollowing(std::move(text))
+                         : MakePreceding(std::move(text));
+      }
+      case TokenKind::kLParen: {
+        lexer_.Advance();
+        if (lexer_.current().kind == TokenKind::kRParen) {
+          lexer_.Advance();
+          return MakeEmpty();
+        }
+        ExprPtr e = ParseUnion();
+        if (e == nullptr) return nullptr;
+        if (lexer_.current().kind != TokenKind::kRParen) {
+          return SetError("expected ')'");
+        }
+        lexer_.Advance();
+        return e;
+      }
+      case TokenKind::kEnd:
+        return SetError("unexpected end of expression");
+      case TokenKind::kError:
+        return SetError("invalid character '" + t.text + "'");
+      default:
+        return SetError("unexpected '" + t.text + "'");
+    }
+  }
+
+  Lexer lexer_;
+  std::string error_;
+  size_t error_position_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParseRpeq(std::string_view input) {
+  Parser parser(input);
+  return parser.Run();
+}
+
+ExprPtr MustParseRpeq(std::string_view input) {
+  ParseResult r = ParseRpeq(input);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseRpeq(\"%.*s\"): %s at %zu\n",
+                 static_cast<int>(input.size()), input.data(),
+                 r.error.c_str(), r.error_position);
+    std::abort();
+  }
+  return std::move(r.expr);
+}
+
+}  // namespace spex

@@ -1,0 +1,45 @@
+// Recursive-descent parser for the rpeq concrete syntax (paper §II.2).
+//
+// Grammar (operator precedence low → high):
+//   union   := concat ('|' concat)*
+//   concat  := postfix ('.' postfix)*
+//   postfix := atom ('?' | '[' union ']')*
+//   atom    := NAME | '_' | NAME ('*'|'+') | '_' ('*'|'+')
+//            | '(' union ')' | '(' ')'
+//
+// '(' ')' denotes the empty expression eps.  Closure (* and +) is only
+// defined on labels, exactly as in the paper's grammar; applying it to a
+// composite expression is a parse error with a helpful message.
+//
+// Examples from the paper:  "_*.a[b]._*.c",  "a+.c+",  "_*.country[province].name"
+
+#ifndef SPEX_RPEQ_PARSER_H_
+#define SPEX_RPEQ_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "rpeq/ast.h"
+
+namespace spex {
+
+// Result of a parse attempt: either an expression or an error message with
+// the offending position.
+struct ParseResult {
+  ExprPtr expr;           // null on failure
+  std::string error;      // empty on success
+  size_t error_position = 0;
+
+  bool ok() const { return expr != nullptr; }
+};
+
+// Parses an rpeq expression.
+ParseResult ParseRpeq(std::string_view input);
+
+// Convenience: parses or aborts (for tests/examples where the query is a
+// literal known to be valid).
+ExprPtr MustParseRpeq(std::string_view input);
+
+}  // namespace spex
+
+#endif  // SPEX_RPEQ_PARSER_H_

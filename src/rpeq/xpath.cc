@@ -1,0 +1,376 @@
+#include "rpeq/xpath.h"
+
+#include <cctype>
+#include <vector>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spex {
+
+namespace {
+
+// A tiny recursive-descent translator over the XPath surface syntax.
+class XPathParser {
+  enum class StepAxis { kNormal, kParent, kAncestor };
+
+ public:
+  explicit XPathParser(std::string_view input) : input_(input) {}
+
+  ParseResult Run() {
+    ExprPtr e = ParseUnionExpr();
+    SkipSpace();
+    if (e != nullptr && pos_ != input_.size()) {
+      SetError("unexpected trailing input");
+      e = nullptr;
+    }
+    ParseResult r;
+    if (e == nullptr) {
+      r.error = error_.empty() ? "parse error" : error_;
+      r.error_position = error_position_;
+    } else {
+      r.expr = std::move(e);
+    }
+    return r;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < input_.size() && input_[pos_] == c;
+  }
+
+  void SetError(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message;
+      error_position_ = pos_;
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    // ':' is handled separately so that axis specifiers (child::) can be
+    // distinguished from namespace-qualified names (ns:a).
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == '.';
+  }
+
+  std::string ReadName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  // True iff the next two characters are "::" (axis separator).
+  bool PeekAxisSeparator() {
+    SkipSpace();
+    return pos_ + 1 < input_.size() && input_[pos_] == ':' &&
+           input_[pos_ + 1] == ':';
+  }
+
+  // union := path ('|' path)*
+  ExprPtr ParseUnionExpr() {
+    ExprPtr left = ParsePath();
+    if (left == nullptr) return nullptr;
+    while (Eat('|')) {
+      ExprPtr right = ParsePath();
+      if (right == nullptr) return nullptr;
+      left = MakeUnion(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  // path := ('//' | '/')? step (('//' | '/') step)*
+  // A leading '//' prefixes the query with _*; '.' steps (self) are no-ops.
+  // parent:: / ancestor:: steps rewrite the collected tail (see header).
+  ExprPtr ParsePath() {
+    std::vector<ExprPtr> steps;
+    bool descendant_pending = false;
+    SkipSpace();
+    if (Eat('/')) {
+      if (Eat('/')) descendant_pending = true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (AtStepEnd()) break;  // e.g. trailing "//": keep the _* pending
+      StepAxis axis = StepAxis::kNormal;
+      ExprPtr step = ParseStep(&descendant_pending, &axis);
+      if (step == nullptr) return nullptr;
+      if (axis != StepAxis::kNormal) {
+        if (descendant_pending) {
+          SetError("'//' directly before parent::/ancestor:: is not "
+                   "supported (see xpath.h)");
+          return nullptr;
+        }
+        if (!RewriteBackwardAxis(axis, std::move(step), &steps)) {
+          return nullptr;
+        }
+      } else if (step->kind != ExprKind::kEmpty) {  // self step: no-op
+        if (descendant_pending) {
+          steps.push_back(MakeClosure("_", false));
+          descendant_pending = false;
+        }
+        steps.push_back(std::move(step));
+      }
+      SkipSpace();
+      if (Eat('/')) {
+        if (Eat('/')) descendant_pending = true;
+        continue;
+      }
+      break;
+    }
+    if (descendant_pending) {
+      steps.push_back(MakeClosure("_", false));
+    }
+    if (steps.empty()) {
+      SetError("empty path");
+      return nullptr;
+    }
+    ExprPtr acc;
+    for (ExprPtr& step : steps) {
+      acc = acc == nullptr ? std::move(step)
+                           : MakeConcat(std::move(acc), std::move(step));
+    }
+    return acc;
+  }
+
+  // Rewrites a trailing parent::/ancestor:: step into the forward fragment
+  // (the approach of [10]).  `test` is the axis' node test (label step,
+  // possibly already carrying predicates).  Supported shapes:
+  //   [..., _*, L] + parent::t    ->  [..., _*, t[L]]   (first-step _* only
+  //                                   for a specific t; any position for *)
+  //   [..., _*, L] + parent::*    ->  [..., _*[L]]
+  //   [..., _*, L] + ancestor::t  ->  [..., _*, t[_*.L]]  (first-step only)
+  //   [..., _*, L] + ancestor::*  ->  [..., _*[_*.L]]     (first-step only)
+  //   [..., P, L]  + parent::t    ->  [..., P[L]] if t statically matches
+  //                                   P's base label
+  bool RewriteBackwardAxis(StepAxis axis, ExprPtr test,
+                           std::vector<ExprPtr>* steps) {
+    const char* axis_name =
+        axis == StepAxis::kParent ? "parent" : "ancestor";
+    if (steps->size() < 2) {
+      SetError(std::string(axis_name) +
+               ":: needs a preceding step to rewrite (see xpath.h)");
+      return false;
+    }
+    ExprPtr last = std::move(steps->back());
+    steps->pop_back();
+    ExprPtr& prev = steps->back();
+    const bool prev_is_descendant = prev->kind == ExprKind::kClosure &&
+                                    prev->is_wildcard && !prev->is_positive;
+    const bool prev_is_first = steps->size() == 1;
+    // The node test carries its own predicates: peel to find the base label.
+    const Expr* base = test.get();
+    while (base->kind == ExprKind::kQualified) base = base->left.get();
+    const bool test_is_wildcard = base->is_wildcard;
+
+    if (axis == StepAxis::kAncestor) {
+      // ancestor's witness is a descendant chain below the selected node.
+      last = MakeConcat(MakeClosure("_", false), std::move(last));
+    }
+    if (prev_is_descendant) {
+      if (test_is_wildcard) {
+        if (axis == StepAxis::kAncestor && !prev_is_first) {
+          SetError(
+              "ancestor:: after a non-initial '//' would also select nodes "
+              "above the path's context; rewrite the query (see xpath.h)");
+          return false;
+        }
+        // P._*[L] — the _* step itself absorbs the qualifier.
+        prev = ApplyQualifier(std::move(prev), std::move(last));
+        return true;
+      }
+      if (!prev_is_first) {
+        SetError(std::string(axis_name) +
+                 "::" + base->label +
+                 " with a specific label is only supported right after a "
+                 "leading '//' (see xpath.h)");
+        return false;
+      }
+      // _*.t[L] (parent) or _*.t[_*.L] (ancestor).
+      steps->push_back(ApplyQualifier(std::move(test), std::move(last)));
+      return true;
+    }
+    if (axis == StepAxis::kAncestor) {
+      SetError(
+          "ancestor:: is only supported after a '//' step (see xpath.h)");
+      return false;
+    }
+    // parent:: after a concrete step: static label check.
+    const Expr* prev_base = prev.get();
+    while (prev_base->kind == ExprKind::kQualified) {
+      prev_base = prev_base->left.get();
+    }
+    if (prev_base->kind != ExprKind::kLabel &&
+        prev_base->kind != ExprKind::kClosure) {
+      SetError("parent:: cannot rewrite the preceding step (see xpath.h)");
+      return false;
+    }
+    if (!test_is_wildcard && !prev_base->is_wildcard &&
+        base->label != prev_base->label) {
+      SetError("parent::" + base->label + " after a step labeled " +
+               prev_base->label + " selects nothing");
+      return false;
+    }
+    prev = ApplyQualifier(std::move(prev), std::move(last));
+    // Predicates attached to the axis' node test apply to the parent too.
+    if (test->kind == ExprKind::kQualified) {
+      ExprPtr quals = std::move(test);
+      std::vector<ExprPtr> preds;
+      while (quals->kind == ExprKind::kQualified) {
+        preds.push_back(std::move(quals->right));
+        quals = std::move(quals->left);
+      }
+      for (auto it = preds.rbegin(); it != preds.rend(); ++it) {
+        prev = MakeQualified(std::move(prev), std::move(*it));
+      }
+    }
+    return true;
+  }
+
+  static ExprPtr ApplyQualifier(ExprPtr base, ExprPtr qualifier) {
+    return MakeQualified(std::move(base), std::move(qualifier));
+  }
+
+  // True at a position where no further step can start ('|', ']', ')', end).
+  bool AtStepEnd() {
+    SkipSpace();
+    if (pos_ >= input_.size()) return true;
+    char c = input_[pos_];
+    return c == '|' || c == ']' || c == ')';
+  }
+
+  // step := axis? node-test predicate*
+  // axis := 'child::' | 'descendant::' | 'descendant-or-self::'
+  //       | 'following::' | 'preceding::' | 'parent::' | 'ancestor::'
+  // node-test := NAME | '*' | 'node()' | '.'
+  ExprPtr ParseStep(bool* descendant_pending, StepAxis* axis_out) {
+    *axis_out = StepAxis::kNormal;
+    SkipSpace();
+    if (Eat('.')) {
+      // self::node() — contributes nothing; predicates on '.' become
+      // qualifiers on the empty step which we do not support standalone.
+      return MakeEmpty();
+    }
+    ExprPtr step;
+    if (Eat('@')) {
+      std::string attr = ReadName();
+      if (attr.empty()) {
+        SetError("expected attribute name after '@'");
+        return nullptr;
+      }
+      step = MakeLabel("@" + attr);
+    } else if (Eat('*')) {
+      step = MakeWildcard();
+    } else {
+      std::string name = ReadName();
+      if (name.empty()) {
+        SetError("expected step name");
+        return nullptr;
+      }
+      // Axis prefixes (name::...) vs namespace-qualified names (ns:a).
+      if (PeekAxisSeparator()) {
+        pos_ += 2;  // consume "::"
+        if (name == "child") {
+          // fall through to the node test below
+        } else if (name == "descendant" || name == "descendant-or-self") {
+          // `descendant-or-self::node()/x` is what `//x` expands to; we
+          // approximate node() as matching any element (`_*`).
+          *descendant_pending = true;
+        } else if (name == "parent") {
+          *axis_out = StepAxis::kParent;
+        } else if (name == "ancestor") {
+          *axis_out = StepAxis::kAncestor;
+        } else if (name != "following" && name != "preceding") {
+          SetError("unsupported axis '" + name + "'");
+          return nullptr;
+        }
+        SkipSpace();
+        std::string test;
+        if (Eat('*')) {
+          test = "_";
+        } else {
+          test = ReadName();
+          if (test == "node" && Eat('(') && Eat(')')) {
+            if (name == "descendant" || name == "descendant-or-self") {
+              return MakeEmpty();  // folded into the pending _*
+            }
+            test = "_";
+          } else if (test.empty()) {
+            SetError("expected node test after axis");
+            return nullptr;
+          }
+        }
+        if (name == "following") {
+          step = MakeFollowing(std::move(test));
+        } else if (name == "preceding") {
+          step = MakePreceding(std::move(test));
+        } else {
+          step = test == "_" ? MakeWildcard() : MakeLabel(std::move(test));
+        }
+      } else if (Peek(':')) {
+        // Namespace-qualified name: ns:label.
+        ++pos_;
+        std::string local = ReadName();
+        if (local.empty()) {
+          SetError("expected local name after ':'");
+          return nullptr;
+        }
+        step = MakeLabel(name + ":" + local);
+      } else {
+        step = MakeLabel(std::move(name));
+      }
+    }
+    // Predicates.
+    while (Eat('[')) {
+      ExprPtr pred = ParseUnionExpr();
+      if (pred == nullptr) return nullptr;
+      if (!Eat(']')) {
+        SetError("expected ']'");
+        return nullptr;
+      }
+      step = MakeQualified(std::move(step), std::move(pred));
+    }
+    return step;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  std::string error_;
+  size_t error_position_ = 0;
+};
+
+}  // namespace
+
+ParseResult ParseXPath(std::string_view input) {
+  XPathParser parser(input);
+  return parser.Run();
+}
+
+ExprPtr MustParseXPath(std::string_view input) {
+  ParseResult r = ParseXPath(input);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseXPath(\"%.*s\"): %s at %zu\n",
+                 static_cast<int>(input.size()), input.data(),
+                 r.error.c_str(), r.error_position);
+    std::abort();
+  }
+  return std::move(r.expr);
+}
+
+}  // namespace spex

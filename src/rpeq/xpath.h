@@ -1,0 +1,46 @@
+// XPath front-end (paper §II.2).
+//
+// The rpeq language covers the XPath fragment with only the forward axes
+// `child` and `descendant` and structural qualifiers.  This translator maps
+// that fragment onto rpeq ASTs:
+//
+//   /a/b        ->  a.b
+//   //a         ->  _*.a
+//   /a//b       ->  a._*.b
+//   /a/*/b      ->  a._.b
+//   /a[b]/c     ->  a[b].c
+//   //a[.//b]   ->  _*.a[_*.b]
+//   /a | /b     ->  a|b
+//   child::a, descendant::a, descendant-or-self::node() are accepted
+//   //x/following::a  ->  _*.x.>>a      (and preceding:: -> <<a)
+//
+// Backward axes are rewritten into the forward fragment, following the
+// approach of [10] ("XPath: Looking Forward", cited by the paper §II.2):
+//
+//   //b/parent::t    ->  _*.t[b]     (t nodes with a b child)
+//   //b/ancestor::t  ->  _*.t[_*.b]  (t nodes with a b descendant)
+//
+// The rewrite applies when the step before parent::/ancestor:: is a plain
+// descendant step (//label or //*); other prefixes would need the self
+// axis of [10] and are rejected with a clear error.
+
+#ifndef SPEX_RPEQ_XPATH_H_
+#define SPEX_RPEQ_XPATH_H_
+
+#include <string>
+#include <string_view>
+
+#include "rpeq/ast.h"
+#include "rpeq/parser.h"
+
+namespace spex {
+
+// Translates an XPath expression (fragment above) to an rpeq AST.
+ParseResult ParseXPath(std::string_view input);
+
+// Parses or aborts.
+ExprPtr MustParseXPath(std::string_view input);
+
+}  // namespace spex
+
+#endif  // SPEX_RPEQ_XPATH_H_

@@ -1,0 +1,159 @@
+#include "spex/child_transducer.h"
+
+#include <cassert>
+
+namespace spex {
+
+ChildTransducer::ChildTransducer(std::string label, bool wildcard,
+                                 RunContext* context)
+    : Transducer("CH(" + (wildcard ? std::string("_") : label) + ")"),
+      label_(std::move(label)),
+      wildcard_(wildcard),
+      context_(context) {}
+
+bool ChildTransducer::Matches(const Message& m) const {
+  // <$> is never matched by a label: the document root is not an element.
+  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+    return false;
+  }
+  return wildcard_ || m.event.name == label_;
+}
+
+void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation:
+      switch (state_) {
+        case State::kWaiting:  // (1)
+          Fire(1);
+          cond_.push_back(message.formula);
+          state_ = State::kActivated1;
+          break;
+        case State::kMatching:  // (6)
+          Fire(6);
+          cond_.push_back(message.formula);
+          state_ = State::kActivated2;
+          break;
+        case State::kActivated1:
+        case State::kActivated2:
+          // Two activations for the same document message (possible after a
+          // join merges a branch's activation with an upstream one): the
+          // element matches if either condition holds, so merge with OR.
+          // This transition is not in Fig. 2 — see DESIGN.md fidelity notes.
+          Fire(101);
+          cond_.back() = Formula::Or(cond_.back(), message.formula);
+          break;
+      }
+      NoteConditionStack(cond_.size());
+      NoteFormula(cond_.empty() ? Formula::True() : cond_.back());
+      FinishMessage();
+      return;
+
+    case MessageKind::kDetermination:  // (13)
+      Fire(13);
+      if (context_->options.eager_formula_update) {
+        for (Formula& f : cond_) f = f.PruneFalse(context_->assignment);
+      }
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+
+    case MessageKind::kDocument:
+      break;
+  }
+
+  if (message.is_text()) {  // text carries no structure: forward untouched
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  if (message.is_open()) {
+    switch (state_) {
+      case State::kWaiting:  // (2)
+        Fire(2);
+        depth_.push_back(DepthSymbol::kLevel);
+        EmitTo(out, 0, std::move(message));
+        break;
+      case State::kActivated1:  // (5)
+        Fire(5);
+        depth_.push_back(DepthSymbol::kLevel);
+        state_ = State::kMatching;
+        EmitTo(out, 0, std::move(message));
+        break;
+      case State::kMatching:
+        if (Matches(message)) {  // (7)
+          Fire(7);
+          EmitTo(out, 0, Message::Activation(cond_.back()));
+          EmitTo(out, 0, std::move(message));
+        } else {  // (8)
+          Fire(8);
+          EmitTo(out, 0, std::move(message));
+        }
+        depth_.push_back(DepthSymbol::kMatch);
+        state_ = State::kWaiting;
+        break;
+      case State::kActivated2:
+        // The condition stack holds f1 (just received) above f2 (the
+        // enclosing scope's formula).
+        assert(cond_.size() >= 2);
+        if (Matches(message)) {  // (11): matches the enclosing scope via f2
+          Fire(11);
+          EmitTo(out, 0, Message::Activation(cond_[cond_.size() - 2]));
+          EmitTo(out, 0, std::move(message));
+        } else {  // (12)
+          Fire(12);
+          EmitTo(out, 0, std::move(message));
+        }
+        depth_.push_back(DepthSymbol::kMatch);
+        state_ = State::kMatching;
+        break;
+    }
+    NoteDepthStack(depth_.size());
+    FinishMessage();
+    return;
+  }
+
+  // Closing document message.
+  assert(!depth_.empty());
+  const DepthSymbol top = depth_.back();
+  switch (state_) {
+    case State::kWaiting:
+      if (top == DepthSymbol::kLevel) {  // (3)
+        Fire(3);
+        depth_.pop_back();
+      } else {  // (4): back at the level below a previous match attempt
+        assert(top == DepthSymbol::kMatch);
+        Fire(4);
+        depth_.pop_back();
+        state_ = State::kMatching;
+      }
+      break;
+    case State::kMatching:
+      if (top == DepthSymbol::kLevel) {  // (9): the activating element closes
+        Fire(9);
+        depth_.pop_back();
+        assert(!cond_.empty());
+        cond_.pop_back();
+        state_ = State::kWaiting;
+      } else {  // (10): a nested activation scope closes
+        assert(top == DepthSymbol::kMatch);
+        Fire(10);
+        depth_.pop_back();
+        assert(!cond_.empty());
+        cond_.pop_back();
+      }
+      break;
+    case State::kActivated1:
+    case State::kActivated2:
+      // An activation is always immediately followed by its (opening)
+      // document message; a close here is a protocol violation.
+      assert(false && "close message while awaiting activating message");
+      break;
+  }
+  EmitTo(out, 0, std::move(message));
+  FinishMessage();
+}
+
+}  // namespace spex

@@ -1,0 +1,165 @@
+#include "spex/closure_transducer.h"
+
+#include <cassert>
+
+namespace spex {
+
+ClosureTransducer::ClosureTransducer(std::string label, bool wildcard,
+                                     RunContext* context)
+    : Transducer("CL(" + (wildcard ? std::string("_") : label) + ")"),
+      label_(std::move(label)),
+      wildcard_(wildcard),
+      context_(context) {}
+
+bool ClosureTransducer::Matches(const Message& m) const {
+  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+    return false;
+  }
+  return wildcard_ || m.event.name == label_;
+}
+
+void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation:
+      switch (state_) {
+        case State::kWaiting:  // (1)
+          Fire(1);
+          cond_.push_back(message.formula);
+          state_ = State::kActivated1;
+          break;
+        case State::kMatching:  // (6)
+          Fire(6);
+          cond_.push_back(message.formula);
+          state_ = State::kActivated2;
+          break;
+        case State::kActivated1:
+        case State::kActivated2:
+          // Double activation for one document message: OR-merge (see
+          // DESIGN.md fidelity notes; not part of Fig. 3).
+          Fire(101);
+          cond_.back() = Formula::Or(cond_.back(), message.formula);
+          break;
+      }
+      NoteConditionStack(cond_.size());
+      NoteFormula(cond_.empty() ? Formula::True() : cond_.back());
+      FinishMessage();
+      return;
+
+    case MessageKind::kDetermination:  // (14)
+      Fire(14);
+      if (context_->options.eager_formula_update) {
+        for (Formula& f : cond_) f = f.PruneFalse(context_->assignment);
+      }
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+
+    case MessageKind::kDocument:
+      break;
+  }
+
+  if (message.is_text()) {
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  if (message.is_open()) {
+    switch (state_) {
+      case State::kWaiting:  // (2)
+        Fire(2);
+        depth_.push_back(DepthSymbol::kLevel);
+        EmitTo(out, 0, std::move(message));
+        break;
+      case State::kActivated1:  // (5)
+        Fire(5);
+        depth_.push_back(DepthSymbol::kScopeStart);
+        state_ = State::kMatching;
+        EmitTo(out, 0, std::move(message));
+        break;
+      case State::kMatching:
+        if (Matches(message)) {  // (7): match, chain continues below
+          Fire(7);
+          depth_.push_back(DepthSymbol::kLevel);
+          EmitTo(out, 0, Message::Activation(cond_.back()));
+          EmitTo(out, 0, std::move(message));
+        } else {  // (8): chain interrupted until this element closes
+          Fire(8);
+          depth_.push_back(DepthSymbol::kScopeEnd);
+          state_ = State::kWaiting;
+          EmitTo(out, 0, std::move(message));
+        }
+        break;
+      case State::kActivated2: {
+        // cond: f1 (just received) above f2 (enclosing scope formula).
+        assert(cond_.size() >= 2);
+        const Formula f1 = cond_.back();
+        const Formula f2 = cond_[cond_.size() - 2];
+        if (Matches(message)) {  // (12): matches enclosing scope; nested
+                                 // scope can match via both f1 and f2
+          Fire(12);
+          cond_.back() = Formula::Or(f1, f2);
+          NoteFormula(cond_.back());
+          depth_.push_back(DepthSymbol::kNestedScope);
+          state_ = State::kMatching;
+          EmitTo(out, 0, Message::Activation(f2));
+          EmitTo(out, 0, std::move(message));
+        } else {  // (13): nested scope only
+          Fire(13);
+          depth_.push_back(DepthSymbol::kNestedScope);
+          state_ = State::kMatching;
+          EmitTo(out, 0, std::move(message));
+        }
+        break;
+      }
+    }
+    NoteDepthStack(depth_.size());
+    FinishMessage();
+    return;
+  }
+
+  // Closing document message.
+  assert(!depth_.empty());
+  const DepthSymbol top = depth_.back();
+  switch (state_) {
+    case State::kWaiting:
+      if (top == DepthSymbol::kLevel) {  // (3)
+        Fire(3);
+        depth_.pop_back();
+      } else {  // (4): the interrupting element closes, scope resumes
+        assert(top == DepthSymbol::kScopeEnd);
+        Fire(4);
+        depth_.pop_back();
+        state_ = State::kMatching;
+      }
+      break;
+    case State::kMatching:
+      if (top == DepthSymbol::kLevel) {  // (9): a matched element closes
+        Fire(9);
+        depth_.pop_back();
+      } else if (top == DepthSymbol::kNestedScope) {  // (10)
+        Fire(10);
+        depth_.pop_back();
+        assert(!cond_.empty());
+        cond_.pop_back();
+      } else {  // (11): the outermost scope closes
+        assert(top == DepthSymbol::kScopeStart);
+        Fire(11);
+        depth_.pop_back();
+        assert(!cond_.empty());
+        cond_.pop_back();
+        state_ = State::kWaiting;
+      }
+      break;
+    case State::kActivated1:
+    case State::kActivated2:
+      assert(false && "close message while awaiting activating message");
+      break;
+  }
+  EmitTo(out, 0, std::move(message));
+  FinishMessage();
+}
+
+}  // namespace spex

@@ -1,0 +1,44 @@
+// Closure transducer CL(l) — paper §III.4, transition table Fig. 3.
+//
+// Implements the positive closure l+ : selects chains of nested <l> document
+// messages starting at children of the activating message.  Kleene closure
+// l* is derived by the compiler as (l+ | eps) through a split/join pair
+// (Fig. 11).  The depth stack uses s (outermost scope), ns (nested scope),
+// e (interrupted scope) and l (plain level) markers; a nested scope pushes
+// the disjunction of the received and the enclosing formulas (rule 12).
+
+#ifndef SPEX_SPEX_CLOSURE_TRANSDUCER_H_
+#define SPEX_SPEX_CLOSURE_TRANSDUCER_H_
+
+#include <string>
+#include <vector>
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+class ClosureTransducer : public Transducer {
+ public:
+  ClosureTransducer(std::string label, bool wildcard, RunContext* context);
+
+  void OnMessage(int port, Message message, Emitter* out) override;
+
+  enum class State : uint8_t { kWaiting, kMatching, kActivated1, kActivated2 };
+  State state() const { return state_; }
+  size_t depth_stack_size() const { return depth_.size(); }
+  size_t condition_stack_size() const { return cond_.size(); }
+
+ private:
+  bool Matches(const Message& m) const;
+
+  std::string label_;
+  bool wildcard_;
+  RunContext* context_;
+  State state_ = State::kWaiting;
+  std::vector<DepthSymbol> depth_;
+  std::vector<Formula> cond_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_CLOSURE_TRANSDUCER_H_

@@ -1,0 +1,243 @@
+#include "spex/compiler.h"
+
+#include "spex/child_transducer.h"
+#include "spex/closure_transducer.h"
+#include "spex/input_transducer.h"
+#include "spex/intersect_transducer.h"
+#include "spex/order_transducers.h"
+#include "spex/qualifier_transducers.h"
+#include "spex/split_join_transducers.h"
+#include "spex/union_transducer.h"
+
+namespace spex {
+
+NetworkBuilder::NetworkBuilder(Network* network, RunContext* context)
+    : network_(network), context_(context) {}
+
+int NetworkBuilder::AddInput() {
+  input_node_ = network_->AddNode(std::make_unique<InputTransducer>());
+  int t0 = network_->NewTape();
+  network_->SetProducer(t0, input_node_, 0);
+  return t0;
+}
+
+int NetworkBuilder::AddUnary(std::unique_ptr<Transducer> t, int in_tape) {
+  int node = network_->AddNode(std::move(t));
+  network_->SetConsumer(in_tape, node, 0);
+  int out = network_->NewTape();
+  network_->SetProducer(out, node, 0);
+  return out;
+}
+
+std::pair<int, int> NetworkBuilder::AddSplit(int in_tape) {
+  int node = network_->AddNode(std::make_unique<SplitTransducer>());
+  network_->SetConsumer(in_tape, node, 0);
+  int t1 = network_->NewTape();
+  int t2 = network_->NewTape();
+  network_->SetProducer(t1, node, 0);
+  network_->SetProducer(t2, node, 1);
+  return {t1, t2};
+}
+
+int NetworkBuilder::AddJoin(int left, int right) {
+  int node = network_->AddNode(std::make_unique<JoinTransducer>());
+  network_->SetConsumer(left, node, 0);
+  network_->SetConsumer(right, node, 1);
+  int out = network_->NewTape();
+  network_->SetProducer(out, node, 0);
+  return out;
+}
+
+OutputTransducer* NetworkBuilder::AddOutput(int in_tape, ResultSink* sink) {
+  auto ou = std::make_unique<OutputTransducer>(sink, context_);
+  OutputTransducer* raw = ou.get();
+  int node = network_->AddNode(std::move(ou));
+  network_->SetConsumer(in_tape, node, 0);
+  return raw;
+}
+
+int NetworkBuilder::CompileExpr(const Expr& e, int in_tape) {
+  switch (e.kind) {
+    case ExprKind::kEmpty:
+      // eps: the identity — the construct's input tape is its output.
+      return in_tape;
+
+    case ExprKind::kLabel:
+      // C[label] = CH(label)
+      return AddUnary(
+          std::make_unique<ChildTransducer>(e.label, e.is_wildcard, context_),
+          in_tape);
+
+    case ExprKind::kClosure: {
+      if (e.is_positive) {
+        // C[label+] = CL(label)
+        return AddUnary(std::make_unique<ClosureTransducer>(
+                            e.label, e.is_wildcard, context_),
+                        in_tape);
+      }
+      // C[label*] = SP ; C[label+] ; JO   (label* == (label+ | eps))
+      auto [t1, t2] = AddSplit(in_tape);
+      int body = AddUnary(std::make_unique<ClosureTransducer>(
+                              e.label, e.is_wildcard, context_),
+                          t1);
+      return AddJoin(t2, body);
+    }
+
+    case ExprKind::kOptional: {
+      // C[rpeq?] = SP ; C[rpeq] ; JO
+      auto [t1, t2] = AddSplit(in_tape);
+      int body = CompileExpr(*e.left, t1);
+      return AddJoin(t2, body);
+    }
+
+    case ExprKind::kUnion: {
+      // C[(r1|r2)] = SP ; C[r1] ; C[r2] ; JO ; UN
+      auto [t1, t2] = AddSplit(in_tape);
+      int left = CompileExpr(*e.left, t1);
+      int right = CompileExpr(*e.right, t2);
+      int joined = AddJoin(left, right);
+      return AddUnary(std::make_unique<UnionTransducer>(), joined);
+    }
+
+    case ExprKind::kIntersect: {
+      // C[(r1&r2)] = SP ; C[r1] ; C[r2] ; IS — node-identity join (§I).
+      auto [t1, t2] = AddSplit(in_tape);
+      int left = CompileExpr(*e.left, t1);
+      int right = CompileExpr(*e.right, t2);
+      int node = network_->AddNode(std::make_unique<IntersectTransducer>());
+      network_->SetConsumer(left, node, 0);
+      network_->SetConsumer(right, node, 1);
+      int out = network_->NewTape();
+      network_->SetProducer(out, node, 0);
+      return out;
+    }
+
+    case ExprKind::kConcat:
+      // C[(r1.r2)] = C[r2] o C[r1]
+      return CompileExpr(*e.right, CompileExpr(*e.left, in_tape));
+
+    case ExprKind::kQualified: {
+      // C[r1[r2]] = C[[r2]] o C[r1]
+      int base = CompileExpr(*e.left, in_tape);
+      return CompileQualifier(*e.right, base);
+    }
+
+    case ExprKind::kFollowing:
+      // >>label : FO(label) — streamed directly (paper §I extension).
+      context_->allow_variable_gc = false;
+      return AddUnary(std::make_unique<FollowingTransducer>(
+                          e.label, e.is_wildcard, context_),
+                      in_tape);
+
+    case ExprKind::kPreceding:
+      // <<label : PR(label) — speculative matching with future-condition
+      // variables (own qualifier-id namespace); evidence mode inside
+      // qualifier bodies (see ValidateQuery).
+      context_->allow_variable_gc = false;
+      return AddUnary(std::make_unique<PrecedingTransducer>(
+                          e.label, e.is_wildcard, next_qualifier_id_++,
+                          context_,
+                          /*evidence_mode=*/qualifier_body_depth_ > 0),
+                      in_tape);
+  }
+  return in_tape;  // unreachable
+}
+
+int NetworkBuilder::CompileQualifier(const Expr& q, int in_tape) {
+  // C[[q]] = VC(q) ; SP ; C[q] ; VF(q+) ; VD ; JO  (Fig. 11, last rule)
+  const uint32_t qid = next_qualifier_id_++;
+  // A body containing a following axis can be satisfied after the
+  // instance's scope closed: defer the scope-exit invalidation to </$>.
+  const bool defer = q.ContainsKind(ExprKind::kFollowing);
+  int after_vc = AddUnary(
+      std::make_unique<VariableCreatorTransducer>(qid, context_, defer),
+      in_tape);
+  auto [t1, t2] = AddSplit(after_vc);
+  ++qualifier_body_depth_;
+  int body = CompileExpr(q, t2);
+  --qualifier_body_depth_;
+  int filtered =
+      AddUnary(std::make_unique<VariableFilterTransducer>(qid,
+                                                          /*positive=*/true,
+                                                          context_),
+               body);
+  int determined = AddUnary(
+      std::make_unique<VariableDeterminantTransducer>(qid, context_),
+      filtered);
+  return AddJoin(t1, determined);
+}
+
+namespace {
+
+bool ValidateRec(const Expr& e, bool in_body, bool is_tail,
+                 std::string* error) {
+  switch (e.kind) {
+    case ExprKind::kPreceding:
+      if (in_body && !is_tail) {
+        if (error != nullptr) {
+          *error =
+              "a preceding step (<<" + std::string(e.is_wildcard ? "_"
+                                                                 : e.label) +
+              ") inside a qualifier body must be the body's last step";
+        }
+        return false;
+      }
+      return true;
+    case ExprKind::kConcat:
+      return ValidateRec(*e.left, in_body, false, error) &&
+             ValidateRec(*e.right, in_body, is_tail, error);
+    case ExprKind::kUnion:
+      return ValidateRec(*e.left, in_body, is_tail, error) &&
+             ValidateRec(*e.right, in_body, is_tail, error);
+    case ExprKind::kIntersect:
+      // Inside a qualifier body, preceding steps run in evidence mode,
+      // which certifies EXISTENCE of a preceding match but not WHICH node
+      // matched — combining that with a node-identity join would wrongly
+      // pair the evidence with the other branch's node.
+      if (in_body && (e.left->ContainsKind(ExprKind::kPreceding) ||
+                      e.right->ContainsKind(ExprKind::kPreceding))) {
+        if (error != nullptr) {
+          *error =
+              "a preceding step cannot appear under '&' inside a qualifier "
+              "body (the body match's node identity would be lost)";
+        }
+        return false;
+      }
+      return ValidateRec(*e.left, in_body, is_tail, error) &&
+             ValidateRec(*e.right, in_body, is_tail, error);
+    case ExprKind::kOptional:
+      return ValidateRec(*e.left, in_body, is_tail, error);
+    case ExprKind::kQualified:
+      if (in_body && e.left->ContainsKind(ExprKind::kPreceding)) {
+        if (error != nullptr) {
+          *error =
+              "a preceding step inside a qualifier body cannot itself carry "
+              "qualifiers";
+        }
+        return false;
+      }
+      return ValidateRec(*e.left, in_body, is_tail, error) &&
+             ValidateRec(*e.right, /*in_body=*/true, /*is_tail=*/true, error);
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+bool ValidateQuery(const Expr& expr, std::string* error) {
+  return ValidateRec(expr, /*in_body=*/false, /*is_tail=*/true, error);
+}
+
+CompiledNetwork CompileToNetwork(const Expr& expr, ResultSink* sink,
+                                 RunContext* context) {
+  CompiledNetwork out;
+  NetworkBuilder builder(&out.network, context);
+  int t0 = builder.AddInput();
+  out.input_node = builder.input_node();
+  int body_out = builder.CompileExpr(expr, t0);
+  out.output = builder.AddOutput(body_out, sink);
+  return out;
+}
+
+}  // namespace spex

@@ -1,0 +1,77 @@
+// Translation of rpeq expressions into SPEX networks (paper §III.9,
+// denotational semantics C of Fig. 11).  The translation is compositional
+// and runs in time linear in the size of the expression (Lemma V.1); the
+// resulting network degree is likewise linear.
+
+#ifndef SPEX_SPEX_COMPILER_H_
+#define SPEX_SPEX_COMPILER_H_
+
+#include <memory>
+#include <utility>
+
+#include "rpeq/ast.h"
+#include "spex/network.h"
+#include "spex/output_transducer.h"
+
+namespace spex {
+
+// Incremental network construction: implements the function C of Fig. 11
+// plus the plumbing (IN source, OU sinks, splits) needed by the plain-rpeq
+// front end and the conjunctive-query translation T of Fig. 16.
+class NetworkBuilder {
+ public:
+  // Both pointers must outlive the builder and the built network.
+  NetworkBuilder(Network* network, RunContext* context);
+
+  // Adds the input transducer; returns its output tape.
+  int AddInput();
+  int input_node() const { return input_node_; }
+
+  // C[expr]: extends the network reading from `in_tape`; returns the tape
+  // carrying the construct's output.
+  int CompileExpr(const Expr& expr, int in_tape);
+
+  // C[[q]]: wraps `q` as a qualifier (VC ; SP ; C[q] ; VF+ ; VD ; JO).
+  int CompileQualifier(const Expr& q, int in_tape);
+
+  // Adds a split reading `in_tape`; returns its two output tapes.
+  std::pair<int, int> AddSplit(int in_tape);
+
+  // Attaches an output transducer (sink) to `in_tape`.
+  OutputTransducer* AddOutput(int in_tape, ResultSink* sink);
+
+ private:
+  int AddUnary(std::unique_ptr<Transducer> t, int in_tape);
+  int AddJoin(int left, int right);
+
+  Network* network_;
+  RunContext* context_;
+  int input_node_ = -1;
+  uint32_t next_qualifier_id_ = 0;
+  int qualifier_body_depth_ = 0;
+};
+
+// A compiled query: the network plus handles to its source and sink.
+struct CompiledNetwork {
+  Network network;
+  int input_node = -1;                 // the IN transducer (inject here)
+  OutputTransducer* output = nullptr;  // owned by `network`
+};
+
+// Builds the SPEX network IN -> C[expr] -> OU.  `context` provides the
+// variable allocator, options and the global assignment; it must outlive the
+// returned network.  Results are delivered to `sink`.
+CompiledNetwork CompileToNetwork(const Expr& expr, ResultSink* sink,
+                                 RunContext* context);
+
+// Checks the compile-time restrictions of the extended language: inside a
+// qualifier body, a preceding step (`<<label`) may only appear in tail
+// position and may not itself carry qualifiers (the body match must be the
+// structural fact "some matching element closed before the context", which
+// is what the evidence-mode preceding transducer provides).  Returns true
+// if `expr` compiles; otherwise fills *error.
+bool ValidateQuery(const Expr& expr, std::string* error);
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_COMPILER_H_

@@ -1,0 +1,133 @@
+#include "spex/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "rpeq/parser.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+
+std::string RunStats::ToString() const {
+  std::string out;
+  out += "network_degree=" + std::to_string(network_degree);
+  out += " events=" + std::to_string(events_processed);
+  out += " max_depth_stack=" + std::to_string(max_depth_stack);
+  out += " max_cond_stack=" + std::to_string(max_condition_stack);
+  out += " max_formula_nodes=" + std::to_string(max_formula_nodes);
+  out += " messages=" + std::to_string(total_messages);
+  out += " candidates=" + std::to_string(output.candidates_created);
+  out += " emitted=" + std::to_string(output.candidates_emitted);
+  out += " dropped=" + std::to_string(output.candidates_dropped);
+  out += " buffered_peak=" + std::to_string(output.buffered_events_peak);
+  return out;
+}
+
+SpexEngine::SpexEngine(const Expr& query, ResultSink* sink,
+                       EngineOptions options)
+    : context_(std::make_unique<RunContext>()) {
+  context_->options = options;
+  compiled_ = CompileToNetwork(query, sink, context_.get());
+  if (options.record_traces) {
+    traces_.reserve(compiled_.network.node_count());
+    for (int i = 0; i < compiled_.network.node_count(); ++i) {
+      traces_.push_back(std::make_unique<TransducerTrace>());
+      compiled_.network.node(i)->set_trace(traces_.back().get());
+    }
+  }
+}
+
+SpexEngine::~SpexEngine() = default;
+
+void SpexEngine::OnEvent(const StreamEvent& event) {
+  ++events_processed_;
+  compiled_.network.Deliver(compiled_.input_node, 0,
+                            Message::Document(event));
+  if (event.kind == EventKind::kEndDocument) {
+    compiled_.output->Flush();
+  }
+  // End-of-round garbage collection: with eager updates, formulas referring
+  // to a retired variable were rewritten while its determination propagated
+  // this round, so the binding can go.  (Lazy mode keeps every binding.)
+  if (context_->options.eager_formula_update && context_->allow_variable_gc &&
+      !context_->retired_variables.empty()) {
+    for (VarId v : context_->retired_variables) {
+      context_->assignment.Erase(v);
+    }
+    context_->retired_variables.clear();
+  }
+}
+
+RunStats SpexEngine::ComputeStats() const {
+  RunStats stats;
+  stats.network_degree = compiled_.network.node_count();
+  stats.events_processed = events_processed_;
+  for (int i = 0; i < compiled_.network.node_count(); ++i) {
+    const TransducerStats& t = compiled_.network.node(i)->stats();
+    stats.max_depth_stack = std::max(stats.max_depth_stack, t.depth_stack_peak);
+    stats.max_condition_stack =
+        std::max(stats.max_condition_stack, t.condition_stack_peak);
+    stats.max_formula_nodes =
+        std::max(stats.max_formula_nodes, t.formula_nodes_peak);
+    stats.total_messages += t.messages_in;
+  }
+  stats.output = compiled_.output->output_stats();
+  return stats;
+}
+
+const TransducerTrace* SpexEngine::trace(int node_id) const {
+  if (node_id < 0 || node_id >= static_cast<int>(traces_.size())) {
+    return nullptr;
+  }
+  return traces_[node_id].get();
+}
+
+const TransducerTrace* SpexEngine::trace(const std::string& name) const {
+  for (int i = 0; i < compiled_.network.node_count(); ++i) {
+    if (compiled_.network.node(i)->name() == name) return trace(i);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> EvaluateToStrings(
+    const Expr& query, const std::vector<StreamEvent>& events,
+    EngineOptions options) {
+  SerializingResultSink sink;
+  SpexEngine engine(query, &sink, options);
+  for (const StreamEvent& e : events) engine.OnEvent(e);
+  return sink.results();
+}
+
+std::vector<std::vector<StreamEvent>> EvaluateToFragments(
+    const Expr& query, const std::vector<StreamEvent>& events,
+    EngineOptions options) {
+  CollectingResultSink sink;
+  SpexEngine engine(query, &sink, options);
+  for (const StreamEvent& e : events) engine.OnEvent(e);
+  return sink.results();
+}
+
+int64_t CountMatches(const Expr& query, const std::vector<StreamEvent>& events,
+                     EngineOptions options) {
+  CountingResultSink sink;
+  SpexEngine engine(query, &sink, options);
+  for (const StreamEvent& e : events) engine.OnEvent(e);
+  return sink.results();
+}
+
+std::vector<std::string> EvaluateXml(const std::string& query_text,
+                                     const std::string& xml) {
+  ExprPtr query = MustParseRpeq(query_text);
+  SerializingResultSink sink;
+  SpexEngine engine(*query, &sink);
+  XmlParser parser(&engine);
+  if (!parser.Parse(xml)) {
+    std::fprintf(stderr, "EvaluateXml: XML error: %s\n",
+                 parser.error().c_str());
+    std::abort();
+  }
+  return sink.results();
+}
+
+}  // namespace spex

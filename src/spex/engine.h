@@ -1,0 +1,104 @@
+// SPEX evaluation engine: the public entry point of the library.
+//
+// Usage:
+//   spex::ExprPtr query = spex::MustParseRpeq("_*.a[b].c");
+//   spex::CollectingResultSink results;
+//   spex::SpexEngine engine(*query, &results);
+//   ... feed document messages (e.g. from spex::XmlParser) ...
+//   engine is an EventSink, so:  XmlParser parser(&engine); parser.Parse(xml);
+//
+// The engine compiles the query once (linear time, Lemma V.1) and then
+// processes each document message in a single pass through the transducer
+// network, emitting result fragments progressively.
+
+#ifndef SPEX_SPEX_ENGINE_H_
+#define SPEX_SPEX_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpeq/ast.h"
+#include "spex/compiler.h"
+#include "spex/network.h"
+#include "spex/output_transducer.h"
+#include "xml/stream_event.h"
+
+namespace spex {
+
+// Aggregate resource accounting over a run (validates the §V bounds).
+struct RunStats {
+  int network_degree = 0;  // number of transducers (Def. 3 degree + IN + OU)
+  int64_t events_processed = 0;
+  int64_t max_depth_stack = 0;      // max over transducers
+  int64_t max_condition_stack = 0;  // max over transducers
+  int64_t max_formula_nodes = 0;    // largest formula handled anywhere
+  int64_t total_messages = 0;       // sum of per-transducer messages_in
+  OutputStats output;
+
+  std::string ToString() const;
+};
+
+class SpexEngine : public EventSink {
+ public:
+  // Compiles `query` into a network delivering results to `sink`.  Both the
+  // query and the sink must outlive the engine.
+  SpexEngine(const Expr& query, ResultSink* sink, EngineOptions options = {});
+  ~SpexEngine() override;
+
+  SpexEngine(const SpexEngine&) = delete;
+  SpexEngine& operator=(const SpexEngine&) = delete;
+
+  // Feeds one document message through the network.  On kEndDocument the
+  // output transducer is flushed and all remaining candidates decided.
+  void OnEvent(const StreamEvent& event) override;
+
+  // Number of results emitted so far.
+  int64_t result_count() const { return compiled_.output->result_count(); }
+
+  // Resource accounting.
+  RunStats ComputeStats() const;
+
+  Network& network() { return compiled_.network; }
+  RunContext& context() { return *context_; }
+
+  // Test hook: the rule trace of node `node_id` (only populated when
+  // options.record_traces was set).
+  const TransducerTrace* trace(int node_id) const;
+  // Trace of the first transducer named `name` (e.g. "CH(a)"), or nullptr.
+  const TransducerTrace* trace(const std::string& name) const;
+
+ private:
+  std::unique_ptr<RunContext> context_;
+  CompiledNetwork compiled_;
+  std::vector<std::unique_ptr<TransducerTrace>> traces_;
+  int64_t events_processed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// One-shot conveniences.
+
+// Evaluates `query` against a complete event stream; returns the serialized
+// XML of every result fragment, in document order.
+std::vector<std::string> EvaluateToStrings(const Expr& query,
+                                           const std::vector<StreamEvent>& events,
+                                           EngineOptions options = {});
+
+// As above but returns raw event fragments.
+std::vector<std::vector<StreamEvent>> EvaluateToFragments(
+    const Expr& query, const std::vector<StreamEvent>& events,
+    EngineOptions options = {});
+
+// Evaluates and returns only the number of results (constant memory).
+int64_t CountMatches(const Expr& query, const std::vector<StreamEvent>& events,
+                     EngineOptions options = {});
+
+// Parses `xml`, evaluates `query_text` (rpeq syntax) and returns serialized
+// result fragments.  Aborts on parse errors — for examples and tests where
+// inputs are known-good literals.
+std::vector<std::string> EvaluateXml(const std::string& query_text,
+                                     const std::string& xml);
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_ENGINE_H_

@@ -1,0 +1,308 @@
+#include "spex/formula.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace spex {
+
+namespace internal {
+
+struct FormulaNode {
+  enum class Op : uint8_t { kVar, kAnd, kOr };
+
+  Op op = Op::kVar;
+  VarId var = 0;
+  std::shared_ptr<const FormulaNode> left;
+  std::shared_ptr<const FormulaNode> right;
+};
+
+}  // namespace internal
+
+using internal::FormulaNode;
+
+std::string VarName(VarId id) {
+  return "co" + std::to_string(VarQualifier(id)) + "_" +
+         std::to_string(VarCounter(id));
+}
+
+bool Assignment::Set(VarId var, bool value) {
+  return values_.emplace(var, value).second;
+}
+
+Truth Assignment::Get(VarId var) const {
+  auto it = values_.find(var);
+  if (it == values_.end()) return Truth::kUnknown;
+  return it->second ? Truth::kTrue : Truth::kFalse;
+}
+
+Formula Formula::True() { return Formula(true); }
+Formula Formula::False() { return Formula(false); }
+
+Formula Formula::Var(VarId var) {
+  auto node = std::make_shared<FormulaNode>();
+  node->op = FormulaNode::Op::kVar;
+  node->var = var;
+  return Formula(std::shared_ptr<const FormulaNode>(std::move(node)));
+}
+
+Formula Formula::And(const Formula& a, const Formula& b) {
+  if (a.is_false() || b.is_false()) return False();
+  if (a.is_true()) return b;
+  if (b.is_true()) return a;
+  if (a.node_ == b.node_) return a;
+  auto node = std::make_shared<FormulaNode>();
+  node->op = FormulaNode::Op::kAnd;
+  node->left = a.node_;
+  node->right = b.node_;
+  return Formula(std::shared_ptr<const FormulaNode>(std::move(node)));
+}
+
+Formula Formula::Or(const Formula& a, const Formula& b) {
+  if (a.is_true() || b.is_true()) return True();
+  if (a.is_false()) return b;
+  if (b.is_false()) return a;
+  if (a.node_ == b.node_) return a;
+  auto node = std::make_shared<FormulaNode>();
+  node->op = FormulaNode::Op::kOr;
+  node->left = a.node_;
+  node->right = b.node_;
+  return Formula(std::shared_ptr<const FormulaNode>(std::move(node)));
+}
+
+namespace {
+
+Truth EvaluateRec(const FormulaNode* n, const Assignment& assignment,
+                  std::unordered_map<const FormulaNode*, Truth>* memo) {
+  auto it = memo->find(n);
+  if (it != memo->end()) return it->second;
+  Truth result = Truth::kUnknown;
+  switch (n->op) {
+    case FormulaNode::Op::kVar:
+      result = assignment.Get(n->var);
+      break;
+    case FormulaNode::Op::kAnd: {
+      Truth l = EvaluateRec(n->left.get(), assignment, memo);
+      if (l == Truth::kFalse) {
+        result = Truth::kFalse;
+      } else {
+        Truth r = EvaluateRec(n->right.get(), assignment, memo);
+        if (r == Truth::kFalse) {
+          result = Truth::kFalse;
+        } else if (l == Truth::kTrue && r == Truth::kTrue) {
+          result = Truth::kTrue;
+        } else {
+          result = Truth::kUnknown;
+        }
+      }
+      break;
+    }
+    case FormulaNode::Op::kOr: {
+      Truth l = EvaluateRec(n->left.get(), assignment, memo);
+      if (l == Truth::kTrue) {
+        result = Truth::kTrue;
+      } else {
+        Truth r = EvaluateRec(n->right.get(), assignment, memo);
+        if (r == Truth::kTrue) {
+          result = Truth::kTrue;
+        } else if (l == Truth::kFalse && r == Truth::kFalse) {
+          result = Truth::kFalse;
+        } else {
+          result = Truth::kUnknown;
+        }
+      }
+      break;
+    }
+  }
+  memo->emplace(n, result);
+  return result;
+}
+
+Formula SimplifyRec(const std::shared_ptr<const FormulaNode>& n,
+                    const Assignment& assignment, bool prune_false_only,
+                    std::unordered_map<const FormulaNode*, Formula>* memo) {
+  auto it = memo->find(n.get());
+  if (it != memo->end()) return it->second;
+  Formula result;
+  switch (n->op) {
+    case FormulaNode::Op::kVar:
+      switch (assignment.Get(n->var)) {
+        case Truth::kTrue:
+          result =
+              prune_false_only ? Formula::Var(n->var) : Formula::True();
+          break;
+        case Truth::kFalse:
+          result = Formula::False();
+          break;
+        case Truth::kUnknown:
+          result = Formula::Var(n->var);
+          break;
+      }
+      break;
+    case FormulaNode::Op::kAnd:
+      result = Formula::And(
+          SimplifyRec(n->left, assignment, prune_false_only, memo),
+          SimplifyRec(n->right, assignment, prune_false_only, memo));
+      break;
+    case FormulaNode::Op::kOr:
+      result = Formula::Or(
+          SimplifyRec(n->left, assignment, prune_false_only, memo),
+          SimplifyRec(n->right, assignment, prune_false_only, memo));
+      break;
+  }
+  memo->emplace(n.get(), result);
+  return result;
+}
+
+void CollectVarsRec(const FormulaNode* n,
+                    std::unordered_set<const FormulaNode*>* seen,
+                    std::unordered_set<VarId>* var_seen,
+                    std::vector<VarId>* out) {
+  if (!seen->insert(n).second) return;
+  switch (n->op) {
+    case FormulaNode::Op::kVar:
+      if (var_seen->insert(n->var).second) out->push_back(n->var);
+      break;
+    default:
+      CollectVarsRec(n->left.get(), seen, var_seen, out);
+      CollectVarsRec(n->right.get(), seen, var_seen, out);
+      break;
+  }
+}
+
+void CountNodesRec(const FormulaNode* n,
+                   std::unordered_set<const FormulaNode*>* seen) {
+  if (!seen->insert(n).second) return;
+  if (n->op != FormulaNode::Op::kVar) {
+    CountNodesRec(n->left.get(), seen);
+    CountNodesRec(n->right.get(), seen);
+  }
+}
+
+// Returns the number of literal references of the full DNF expansion, capped.
+// For a variable it is 1.  For OR it is the sum.  For AND of expansions with
+// t1/t2 terms and l1/l2 literals it is t1*l2 + t2*l1 (each pair of terms
+// concatenates).  We track (terms, literals) pairs, saturating at the cap.
+struct DnfSize {
+  int64_t terms = 0;
+  int64_t literals = 0;
+};
+
+DnfSize DnfRec(const FormulaNode* n, int64_t cap,
+               std::unordered_map<const FormulaNode*, DnfSize>* memo) {
+  auto it = memo->find(n);
+  if (it != memo->end()) return it->second;
+  DnfSize out;
+  switch (n->op) {
+    case FormulaNode::Op::kVar:
+      out = {1, 1};
+      break;
+    case FormulaNode::Op::kOr: {
+      DnfSize l = DnfRec(n->left.get(), cap, memo);
+      DnfSize r = DnfRec(n->right.get(), cap, memo);
+      out.terms = std::min<int64_t>(cap + 1, l.terms + r.terms);
+      out.literals = std::min<int64_t>(cap + 1, l.literals + r.literals);
+      break;
+    }
+    case FormulaNode::Op::kAnd: {
+      DnfSize l = DnfRec(n->left.get(), cap, memo);
+      DnfSize r = DnfRec(n->right.get(), cap, memo);
+      // saturating multiply-accumulate
+      auto sat_mul = [cap](int64_t a, int64_t b) {
+        if (a == 0 || b == 0) return int64_t{0};
+        if (a > (cap + 1) / b) return cap + 1;
+        return a * b;
+      };
+      out.terms = std::min<int64_t>(cap + 1, sat_mul(l.terms, r.terms));
+      out.literals = std::min<int64_t>(
+          cap + 1, std::min<int64_t>(cap + 1, sat_mul(l.terms, r.literals)) +
+                       std::min<int64_t>(cap + 1, sat_mul(r.terms, l.literals)));
+      break;
+    }
+  }
+  memo->emplace(n, out);
+  return out;
+}
+
+void ToStringRec(const FormulaNode* n, FormulaNode::Op parent,
+                 std::string* out) {
+  switch (n->op) {
+    case FormulaNode::Op::kVar:
+      *out += VarName(n->var);
+      break;
+    case FormulaNode::Op::kAnd:
+      ToStringRec(n->left.get(), FormulaNode::Op::kAnd, out);
+      *out += "&";
+      ToStringRec(n->right.get(), FormulaNode::Op::kAnd, out);
+      break;
+    case FormulaNode::Op::kOr: {
+      bool parens = parent == FormulaNode::Op::kAnd;
+      if (parens) *out += "(";
+      ToStringRec(n->left.get(), FormulaNode::Op::kOr, out);
+      *out += "|";
+      ToStringRec(n->right.get(), FormulaNode::Op::kOr, out);
+      if (parens) *out += ")";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Truth Formula::Evaluate(const Assignment& assignment) const {
+  if (node_ == nullptr) return const_value_ ? Truth::kTrue : Truth::kFalse;
+  std::unordered_map<const FormulaNode*, Truth> memo;
+  return EvaluateRec(node_.get(), assignment, &memo);
+}
+
+Formula Formula::Simplify(const Assignment& assignment) const {
+  if (node_ == nullptr) return *this;
+  std::unordered_map<const FormulaNode*, Formula> memo;
+  return SimplifyRec(node_, assignment, /*prune_false_only=*/false, &memo);
+}
+
+Formula Formula::PruneFalse(const Assignment& assignment) const {
+  if (node_ == nullptr) return *this;
+  std::unordered_map<const FormulaNode*, Formula> memo;
+  return SimplifyRec(node_, assignment, /*prune_false_only=*/true, &memo);
+}
+
+std::vector<VarId> Formula::Variables() const {
+  std::vector<VarId> out;
+  if (node_ == nullptr) return out;
+  std::unordered_set<const FormulaNode*> seen;
+  std::unordered_set<VarId> var_seen;
+  CollectVarsRec(node_.get(), &seen, &var_seen, &out);
+  return out;
+}
+
+std::vector<VarId> Formula::VariablesOfQualifier(uint32_t qualifier_id) const {
+  std::vector<VarId> all = Variables();
+  std::vector<VarId> out;
+  for (VarId v : all) {
+    if (VarQualifier(v) == qualifier_id) out.push_back(v);
+  }
+  return out;
+}
+
+int64_t Formula::NodeCount() const {
+  if (node_ == nullptr) return 0;
+  std::unordered_set<const FormulaNode*> seen;
+  CountNodesRec(node_.get(), &seen);
+  return static_cast<int64_t>(seen.size());
+}
+
+int64_t Formula::DnfLiteralCount(int64_t cap) const {
+  if (node_ == nullptr) return 0;
+  std::unordered_map<const FormulaNode*, DnfSize> memo;
+  return DnfRec(node_.get(), cap, &memo).literals;
+}
+
+std::string Formula::ToString() const {
+  if (is_true()) return "true";
+  if (is_false()) return "false";
+  std::string out;
+  ToStringRec(node_.get(), FormulaNode::Op::kOr, &out);
+  return out;
+}
+
+}  // namespace spex

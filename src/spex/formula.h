@@ -1,0 +1,149 @@
+// Condition formulas (paper Def. 2 and §V).
+//
+// A condition formula is built from condition variables (one per qualifier
+// *instance*) with conjunction and disjunction.  Activation messages carry
+// formulas; the output transducer decides a candidate once its formula is
+// determined under the (monotone) assignment built from condition
+// determination messages {c,v}.
+//
+// Formulas are immutable DAGs with structure sharing: the closure transducer
+// builds `f1 OR f2` where f1 and f2 share almost all structure (Fig. 3 rule
+// 12), so sharing keeps the per-entry cost O(1) — this is exactly the
+// factored representation of Remark V.1.  A flattened DNF size (the paper's
+// sigma under full expansion) can be computed for the ablation experiment E7.
+
+#ifndef SPEX_SPEX_FORMULA_H_
+#define SPEX_SPEX_FORMULA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spex {
+
+// Identifies a condition variable: the qualifier it instantiates (high bits)
+// and a per-run counter (low bits).
+using VarId = uint64_t;
+
+constexpr int kVarQualifierShift = 40;
+
+constexpr VarId MakeVarId(uint32_t qualifier_id, uint64_t counter) {
+  return (static_cast<VarId>(qualifier_id) << kVarQualifierShift) | counter;
+}
+constexpr uint32_t VarQualifier(VarId id) {
+  return static_cast<uint32_t>(id >> kVarQualifierShift);
+}
+constexpr uint64_t VarCounter(VarId id) {
+  return id & ((VarId{1} << kVarQualifierShift) - 1);
+}
+
+// Human-readable name, e.g. "co2_5" = 5th instance of qualifier 2.
+std::string VarName(VarId id);
+
+// Truth value under a partial assignment.
+enum class Truth : uint8_t { kFalse, kTrue, kUnknown };
+
+// Monotone partial assignment of condition variables: the first
+// determination of a variable binds it; later ones are ignored (this
+// resolves the VD {c,true} vs. VC-scope-exit {c,false} ordering, §III.10).
+class Assignment {
+ public:
+  // Returns true if the variable was newly bound, false if already bound.
+  bool Set(VarId var, bool value);
+  Truth Get(VarId var) const;
+  // Drops a variable's binding.  Used by the engine's end-of-round garbage
+  // collection once an instance's scope has closed and no formula can
+  // reference it any more (unbounded streams would otherwise leak).
+  void Erase(VarId var) { values_.erase(var); }
+  size_t size() const { return values_.size(); }
+  void Clear() { values_.clear(); }
+
+ private:
+  std::unordered_map<VarId, bool> values_;
+};
+
+namespace internal {
+struct FormulaNode;
+}  // namespace internal
+
+// An immutable boolean formula over condition variables.  Cheap to copy
+// (shared_ptr handle).  `true` and `false` are represented without nodes.
+class Formula {
+ public:
+  // Constructs the constant `true` (the formula the input transducer sends).
+  Formula() = default;
+
+  static Formula True();
+  static Formula False();
+  static Formula Var(VarId var);
+  // Connectives, with constant folding and trivial-duplicate elimination
+  // (the normalization of §III.4: `f OR f` collapses to `f`).
+  static Formula And(const Formula& a, const Formula& b);
+  static Formula Or(const Formula& a, const Formula& b);
+
+  bool is_constant() const { return node_ == nullptr; }
+  bool is_true() const { return node_ == nullptr && const_value_; }
+  bool is_false() const { return node_ == nullptr && !const_value_; }
+
+  // Three-valued evaluation under a partial assignment.
+  Truth Evaluate(const Assignment& assignment) const;
+
+  // Rewrites the formula under the assignment, folding determined variables
+  // away (the paper's update(c, v, beta) applied to the whole stack entry).
+  Formula Simplify(const Assignment& assignment) const;
+
+  // Like Simplify, but substitutes only variables determined *false* (prunes
+  // dead disjuncts).  Variables determined true are kept symbolic: network
+  // transducers must preserve them, because the variable filter / variable
+  // determinant pair uses their presence to attribute a qualifier-body match
+  // to the right instances (see qualifier_transducers.h).
+  Formula PruneFalse(const Assignment& assignment) const;
+
+  // All distinct variables, in first-occurrence order.
+  std::vector<VarId> Variables() const;
+  // Distinct variables belonging to qualifier `qualifier_id`.
+  std::vector<VarId> VariablesOfQualifier(uint32_t qualifier_id) const;
+
+  // Number of distinct DAG nodes (the factored size of Remark V.1).
+  int64_t NodeCount() const;
+
+  // Number of literal references after full DNF expansion, the paper's
+  // sigma(phi) under the O(d^n) analysis of §V.  Expansion is capped at
+  // `cap` literals; returns cap+1 if the cap would be exceeded.
+  int64_t DnfLiteralCount(int64_t cap = 1 << 20) const;
+
+  // Structural pointer-equality fast path (used for dedup).
+  bool SameAs(const Formula& other) const {
+    return node_ == other.node_ && const_value_ == other.const_value_;
+  }
+
+  // Renders e.g. "(co0_1|co0_2)&co1_0", "true".
+  std::string ToString() const;
+
+ private:
+  explicit Formula(std::shared_ptr<const internal::FormulaNode> node)
+      : node_(std::move(node)) {}
+  explicit Formula(bool constant) : const_value_(constant) {}
+
+  std::shared_ptr<const internal::FormulaNode> node_;
+  bool const_value_ = true;  // meaningful only when node_ == nullptr
+};
+
+// Allocates fresh condition-variable ids, one counter per qualifier.
+class VariableAllocator {
+ public:
+  VarId Next(uint32_t qualifier_id) {
+    uint64_t& counter = counters_[qualifier_id];
+    return MakeVarId(qualifier_id, counter++);
+  }
+  void Reset() { counters_.clear(); }
+
+ private:
+  std::unordered_map<uint32_t, uint64_t> counters_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_FORMULA_H_

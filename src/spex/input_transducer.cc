@@ -1,0 +1,20 @@
+#include "spex/input_transducer.h"
+
+namespace spex {
+
+InputTransducer::InputTransducer() : Transducer("IN") {}
+
+void InputTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  if (!activated_ && message.is_document() &&
+      message.event.kind == EventKind::kStartDocument) {
+    Fire(1);
+    activated_ = true;
+    EmitTo(out, 0, Message::Activation(Formula::True()));
+  }
+  EmitTo(out, 0, std::move(message));
+  FinishMessage();
+}
+
+}  // namespace spex

@@ -1,0 +1,27 @@
+// Input transducer IN (paper §III.2): the source of a SPEX network.
+//
+// Sends an activation message carrying the formula `true` on the start
+// document message, then forwards every document message unchanged.  The
+// engine feeds one document message at a time, preserving the paper's
+// invariant that a single message travels the network at any time.
+
+#ifndef SPEX_SPEX_INPUT_TRANSDUCER_H_
+#define SPEX_SPEX_INPUT_TRANSDUCER_H_
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+class InputTransducer : public Transducer {
+ public:
+  InputTransducer();
+
+  void OnMessage(int port, Message message, Emitter* out) override;
+
+ private:
+  bool activated_ = false;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_INPUT_TRANSDUCER_H_

@@ -1,0 +1,72 @@
+#include "spex/intersect_transducer.h"
+
+#include <cassert>
+
+namespace spex {
+
+IntersectTransducer::IntersectTransducer() : Transducer("IS") {}
+
+void IntersectTransducer::OnMessage(int port, Message message, Emitter* out) {
+  CountIn(message);
+  assert(port == 0 || port == 1);
+  queues_[port].push_back(std::move(message));
+  Drain(out);
+  FinishMessage();
+}
+
+void IntersectTransducer::Drain(Emitter* out) {
+  // A round completes when the document message is present on both inputs
+  // (splits upstream guarantee it eventually is).
+  for (;;) {
+    bool doc_on[2] = {false, false};
+    for (int side = 0; side < 2; ++side) {
+      for (const Message& m : queues_[side]) {
+        if (m.is_document()) {
+          doc_on[side] = true;
+          break;
+        }
+      }
+    }
+    if (!doc_on[0] || !doc_on[1]) return;
+
+    // Collect the round: per side, at most one (merged) activation plus any
+    // determinations, then the document message.
+    bool has_formula[2] = {false, false};
+    Formula formulas[2];
+    Message document = Message::Document(StreamEvent::StartDocument());
+    for (int side = 0; side < 2; ++side) {
+      for (;;) {
+        Message m = std::move(queues_[side].front());
+        queues_[side].pop_front();
+        if (m.is_document()) {
+          if (side == 0) {
+            document = std::move(m);
+          } else {
+            assert(document.event == m.event);
+          }
+          break;
+        }
+        if (m.is_activation()) {
+          formulas[side] = has_formula[side]
+                               ? Formula::Or(formulas[side], m.formula)
+                               : m.formula;
+          has_formula[side] = true;
+        } else {  // determination: forward once per side (idempotent)
+          Fire(2);
+          EmitTo(out, 0, std::move(m));
+        }
+      }
+    }
+    if (has_formula[0] && has_formula[1]) {  // (1): both paths reached it
+      Fire(1);
+      Formula joined = Formula::And(formulas[0], formulas[1]);
+      NoteFormula(joined);
+      EmitTo(out, 0, Message::Activation(std::move(joined)));
+    } else {
+      Fire(3);
+    }
+    EmitTo(out, 0, std::move(document));
+  }
+}
+
+}  // namespace spex

@@ -1,0 +1,38 @@
+// Intersection transducer IS — the node-identity join of paper §I ("the
+// prototype supports ... node-identity joins"), surfaced in the query
+// language as `(p1 & p2)`.
+//
+// Like the join transducer it synchronizes two branches per document
+// message; unlike JO — whose union-style output forwards every activation —
+// IS emits an activation only when BOTH branches activated the same
+// document message, carrying the conjunction of their formulas (the node
+// must be reachable via both paths, and under both branches' conditions).
+// Determinations pass through like in JO.
+
+#ifndef SPEX_SPEX_INTERSECT_TRANSDUCER_H_
+#define SPEX_SPEX_INTERSECT_TRANSDUCER_H_
+
+#include <deque>
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+class IntersectTransducer : public Transducer {
+ public:
+  IntersectTransducer();
+
+  void OnMessage(int port, Message message, Emitter* out) override;
+
+ private:
+  // Buffers one round's messages per input until the document message
+  // arrived on both sides, then emits [f1 AND f2] (if both activated)
+  // followed by the document message.
+  void Drain(Emitter* out);
+
+  std::deque<Message> queues_[2];
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_INTERSECT_TRANSDUCER_H_

@@ -1,0 +1,17 @@
+#include "spex/message.h"
+
+namespace spex {
+
+std::string Message::ToString() const {
+  switch (kind) {
+    case MessageKind::kDocument:
+      return event.ToString();
+    case MessageKind::kActivation:
+      return "[" + formula.ToString() + "]";
+    case MessageKind::kDetermination:
+      return "{" + VarName(var) + (value ? ",true}" : ",false}");
+  }
+  return "?";
+}
+
+}  // namespace spex

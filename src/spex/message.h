@@ -1,0 +1,79 @@
+// SPEX network messages (paper Def. 2).
+//
+// Three kinds of messages travel on the tapes of a SPEX network:
+//   * document messages  — the XML stream events themselves (<a>, </a>, <$>,
+//     </$>, text),
+//   * activation messages [f] — carry a condition formula; they activate the
+//     receiving transducer and immediately precede the activating document
+//     message,
+//   * condition determination messages {c,v} — announce the value v of a
+//     condition variable c.
+
+#ifndef SPEX_SPEX_MESSAGE_H_
+#define SPEX_SPEX_MESSAGE_H_
+
+#include <string>
+
+#include "spex/formula.h"
+#include "xml/stream_event.h"
+
+namespace spex {
+
+enum class MessageKind : uint8_t {
+  kDocument,
+  kActivation,
+  kDetermination,
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kDocument;
+  StreamEvent event;   // kDocument
+  Formula formula;     // kActivation
+  VarId var = 0;       // kDetermination
+  bool value = false;  // kDetermination
+
+  static Message Document(StreamEvent event) {
+    Message m;
+    m.kind = MessageKind::kDocument;
+    m.event = std::move(event);
+    return m;
+  }
+  static Message Activation(Formula formula) {
+    Message m;
+    m.kind = MessageKind::kActivation;
+    m.formula = std::move(formula);
+    return m;
+  }
+  static Message Determination(VarId var, bool value) {
+    Message m;
+    m.kind = MessageKind::kDetermination;
+    m.var = var;
+    m.value = value;
+    return m;
+  }
+
+  bool is_document() const { return kind == MessageKind::kDocument; }
+  bool is_activation() const { return kind == MessageKind::kActivation; }
+  bool is_determination() const { return kind == MessageKind::kDetermination; }
+
+  // True for <a> and <$> (messages that open a tree level).
+  bool is_open() const {
+    return is_document() && (event.kind == EventKind::kStartElement ||
+                             event.kind == EventKind::kStartDocument);
+  }
+  // True for </a> and </$>.
+  bool is_close() const {
+    return is_document() && (event.kind == EventKind::kEndElement ||
+                             event.kind == EventKind::kEndDocument);
+  }
+  bool is_text() const {
+    return is_document() && event.kind == EventKind::kText;
+  }
+
+  // Paper notation: "[f]", "{co0_1,true}", "<a>".
+  std::string ToString() const;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_MESSAGE_H_

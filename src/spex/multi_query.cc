@@ -1,0 +1,123 @@
+#include "spex/multi_query.h"
+
+#include <cassert>
+
+#include "rpeq/parser.h"
+
+namespace spex {
+
+MultiQueryEngine::MultiQueryEngine(EngineOptions options)
+    : context_(std::make_unique<RunContext>()) {
+  context_->options = options;
+}
+
+MultiQueryEngine::~MultiQueryEngine() = default;
+
+void MultiQueryEngine::FlattenSteps(const Expr& e,
+                                    std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kConcat) {
+    FlattenSteps(*e.left, out);
+    FlattenSteps(*e.right, out);
+  } else {
+    out->push_back(&e);
+  }
+}
+
+int MultiQueryEngine::AddQuery(const Expr& query, ResultSink* sink) {
+  assert(!finalized_ && "AddQuery after Finalize");
+  int id = static_cast<int>(queries_.size());
+  RegisteredQuery rq;
+  rq.query = query.Clone();
+  rq.sink = sink;
+  queries_.push_back(std::move(rq));
+
+  // Insert the query's step chain into the trie.
+  std::vector<const Expr*> steps;
+  FlattenSteps(*queries_.back().query, &steps);
+  TrieNode* node = &root_;
+  for (const Expr* step : steps) {
+    std::string key = step->ToString();
+    auto it = node->children.find(key);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<TrieNode>();
+      child->step = step->Clone();
+      it = node->children.emplace(key, std::move(child)).first;
+    }
+    node = it->second.get();
+  }
+  node->query_ends.push_back(id);
+
+  // Accounting: the degree this query would have as its own network.
+  {
+    RunContext scratch;
+    CountingResultSink scratch_sink;
+    CompiledNetwork net =
+        CompileToNetwork(*queries_.back().query, &scratch_sink, &scratch);
+    naive_degree_ += net.network.node_count();
+  }
+  return id;
+}
+
+int MultiQueryEngine::AddQuery(const std::string& query_text,
+                               ResultSink* sink) {
+  return AddQuery(*MustParseRpeq(query_text), sink);
+}
+
+void MultiQueryEngine::CompileTrie(TrieNode* node, int tape,
+                                   NetworkBuilder* builder) {
+  // Consumers of this node's output tape: one per ending query plus one per
+  // child step.  Fan out with a chain of splits.
+  int consumers = static_cast<int>(node->query_ends.size()) +
+                  static_cast<int>(node->children.size());
+  std::vector<int> tapes;
+  int current = tape;
+  for (int i = 0; i + 1 < consumers; ++i) {
+    auto [t1, t2] = builder->AddSplit(current);
+    tapes.push_back(t1);
+    current = t2;
+  }
+  if (consumers > 0) tapes.push_back(current);
+  size_t next = 0;
+  for (int query_id : node->query_ends) {
+    queries_[query_id].output =
+        builder->AddOutput(tapes[next++], queries_[query_id].sink);
+  }
+  for (auto& [key, child] : node->children) {
+    int out = builder->CompileExpr(*child->step, tapes[next++]);
+    CompileTrie(child.get(), out, builder);
+  }
+}
+
+void MultiQueryEngine::Finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+  NetworkBuilder builder(&network_, context_.get());
+  int t0 = builder.AddInput();
+  input_node_ = builder.input_node();
+  CompileTrie(&root_, t0, &builder);
+}
+
+void MultiQueryEngine::OnEvent(const StreamEvent& event) {
+  assert(finalized_ && "Finalize() before feeding events");
+  network_.Deliver(input_node_, 0, Message::Document(event));
+  if (event.kind == EventKind::kEndDocument) {
+    for (RegisteredQuery& q : queries_) {
+      if (q.output != nullptr) q.output->Flush();
+    }
+  }
+  if (context_->options.eager_formula_update && context_->allow_variable_gc &&
+      !context_->retired_variables.empty()) {
+    for (VarId v : context_->retired_variables) {
+      context_->assignment.Erase(v);
+    }
+    context_->retired_variables.clear();
+  }
+}
+
+int64_t MultiQueryEngine::result_count(int query_id) const {
+  assert(query_id >= 0 && query_id < query_count());
+  const RegisteredQuery& q = queries_[query_id];
+  return q.output == nullptr ? 0 : q.output->result_count();
+}
+
+}  // namespace spex

@@ -1,0 +1,94 @@
+// Multi-query evaluation with common-prefix sharing — the paper's §IX
+// outlook ("A single transducer network can be used for processing several
+// queries having common subparts.  Such a multi-query processor could be a
+// corner stone of efficient XSLT and XQuery implementations") and the
+// YFilter-style prefix sharing discussed in §VIII.
+//
+// Queries are decomposed into their top-level concatenation chains and
+// inserted into a trie keyed by structurally-equal steps; each trie node is
+// compiled exactly once, and a split fans its output tape out to the
+// children (and to this query's own output transducer, if a query ends
+// here).  Every registered query gets its own ResultSink.
+//
+//   MultiQueryEngine mq;
+//   int a = mq.AddQuery("_*.item[urgent].headline", &sink_a);
+//   int b = mq.AddQuery("_*.item[urgent].body", &sink_b);   // shares prefix
+//   mq.Finalize();
+//   ... feed StreamEvents ...
+
+#ifndef SPEX_SPEX_MULTI_QUERY_H_
+#define SPEX_SPEX_MULTI_QUERY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpeq/ast.h"
+#include "spex/compiler.h"
+#include "spex/engine.h"
+
+namespace spex {
+
+class MultiQueryEngine : public EventSink {
+ public:
+  explicit MultiQueryEngine(EngineOptions options = {});
+  ~MultiQueryEngine() override;
+
+  MultiQueryEngine(const MultiQueryEngine&) = delete;
+  MultiQueryEngine& operator=(const MultiQueryEngine&) = delete;
+
+  // Registers a query (cloned); returns its id.  Must be called before
+  // Finalize().
+  int AddQuery(const Expr& query, ResultSink* sink);
+  // Convenience: parses rpeq text; aborts on syntax errors.
+  int AddQuery(const std::string& query_text, ResultSink* sink);
+
+  // Compiles the shared network.  No more queries can be added afterwards.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // Feeds one document message to all queries at once.
+  void OnEvent(const StreamEvent& event) override;
+
+  int query_count() const { return static_cast<int>(queries_.size()); }
+  int64_t result_count(int query_id) const;
+
+  // Degree of the shared network vs. the sum of the degrees the queries
+  // would have as separate networks — the §IX sharing win.
+  int shared_degree() const { return network_.node_count(); }
+  int naive_degree() const { return naive_degree_; }
+
+  Network& network() { return network_; }
+  RunContext& context() { return *context_; }
+
+ private:
+  struct TrieNode {
+    // Child steps keyed by their canonical text (structural equality).
+    std::map<std::string, std::unique_ptr<TrieNode>> children;
+    ExprPtr step;                  // the step this node represents
+    std::vector<int> query_ends;   // queries whose last step is this node
+  };
+
+  struct RegisteredQuery {
+    ExprPtr query;
+    ResultSink* sink = nullptr;
+    OutputTransducer* output = nullptr;  // owned by network_
+  };
+
+  // Flattens a concat chain into its top-level steps (left to right).
+  static void FlattenSteps(const Expr& e, std::vector<const Expr*>* out);
+  void CompileTrie(TrieNode* node, int tape, NetworkBuilder* builder);
+
+  std::unique_ptr<RunContext> context_;
+  Network network_;
+  TrieNode root_;
+  std::vector<RegisteredQuery> queries_;
+  int input_node_ = -1;
+  int naive_degree_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_MULTI_QUERY_H_

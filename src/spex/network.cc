@@ -1,0 +1,103 @@
+#include "spex/network.h"
+
+#include <cassert>
+
+namespace spex {
+
+int Network::AddNode(std::unique_ptr<Transducer> transducer) {
+  int id = static_cast<int>(nodes_.size());
+  Node node;
+  node.transducer = std::move(transducer);
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+int Network::NewTape() {
+  int id = static_cast<int>(tapes_.size());
+  tapes_.emplace_back();
+  return id;
+}
+
+void Network::SetProducer(int tape, int node, int out_port) {
+  assert(tape >= 0 && tape < tape_count());
+  assert(out_port == 0 || out_port == 1);
+  assert(tapes_[tape].producer_node == -1 && "tape already has a producer");
+  tapes_[tape].producer_node = node;
+  tapes_[tape].producer_port = out_port;
+  nodes_[node].out_tapes[out_port] = tape;
+}
+
+void Network::SetConsumer(int tape, int node, int in_port) {
+  assert(tape >= 0 && tape < tape_count());
+  assert(in_port == 0 || in_port == 1);
+  assert(tapes_[tape].consumer_node == -1 && "tape already has a consumer");
+  tapes_[tape].consumer_node = node;
+  tapes_[tape].consumer_port = in_port;
+  nodes_[node].in_tapes[in_port] = tape;
+}
+
+void Network::Deliver(int node, int in_port, Message message) {
+  NodeEmitter emitter(this, node);
+  nodes_[node].transducer->OnMessage(in_port, std::move(message), &emitter);
+}
+
+void Network::NodeEmitter::Emit(int port, Message message) {
+  network_->Route(node_, port, std::move(message));
+}
+
+void Network::Route(int node, int out_port, Message message) {
+  int tape = nodes_[node].out_tapes[out_port];
+  if (tape == -1) return;  // dangling output (the sink): drop
+  const Tape& t = tapes_[tape];
+  if (t.consumer_node == -1) return;
+  Deliver(t.consumer_node, t.consumer_port, std::move(message));
+}
+
+Transducer* Network::FindByName(const std::string& name) {
+  for (Node& n : nodes_) {
+    if (n.transducer->name() == name) return n.transducer.get();
+  }
+  return nullptr;
+}
+
+std::string Network::ToDot() const {
+  std::string out = "digraph spex_network {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" +
+           nodes_[i].transducer->name() + "\"];\n";
+  }
+  for (size_t t = 0; t < tapes_.size(); ++t) {
+    const Tape& tape = tapes_[t];
+    if (tape.producer_node == -1 || tape.consumer_node == -1) continue;
+    out += "  n" + std::to_string(tape.producer_node) + " -> n" +
+           std::to_string(tape.consumer_node) + " [label=\"t" +
+           std::to_string(t) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string Network::Describe() const {
+  std::string out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    out += std::to_string(i) + ": " + n.transducer->name() + "  in:[";
+    for (int p = 0; p < 2; ++p) {
+      if (n.in_tapes[p] != -1) {
+        if (out.back() != '[') out += ',';
+        out += std::to_string(n.in_tapes[p]);
+      }
+    }
+    out += "] out:[";
+    for (int p = 0; p < 2; ++p) {
+      if (n.out_tapes[p] != -1) {
+        if (out.back() != '[') out += ',';
+        out += std::to_string(n.out_tapes[p]);
+      }
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace spex

@@ -1,0 +1,96 @@
+// SPEX network (paper Def. 3): a DAG of interconnected SPEX transducers
+// with one source (the input transducer) and one sink (the output
+// transducer).  Tapes are the edges; a tape is written by exactly one
+// transducer output port and read by exactly one input port.
+//
+// Message delivery is synchronous and depth-first: emitting a message on a
+// tape immediately runs the consumer, so a document message injected at the
+// source fully traverses the network (the paper's "only one message in the
+// network at a time") before the next one is injected.
+
+#ifndef SPEX_SPEX_NETWORK_H_
+#define SPEX_SPEX_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Adds a transducer node; returns its id.  Nodes must be added in
+  // topological order (the compiler does).
+  int AddNode(std::unique_ptr<Transducer> transducer);
+
+  // Allocates a new tape; returns its id.
+  int NewTape();
+
+  // Declares that `node` writes output port `out_port` to `tape`.
+  void SetProducer(int tape, int node, int out_port);
+  // Declares that `node` reads `tape` on input port `in_port`.
+  void SetConsumer(int tape, int node, int in_port);
+
+  // Injects a message at node `node` input port 0 and runs it to quiescence.
+  void Deliver(int node, int in_port, Message message);
+
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  int tape_count() const { return static_cast<int>(tapes_.size()); }
+  Transducer* node(int id) { return nodes_[id].transducer.get(); }
+  const Transducer* node(int id) const { return nodes_[id].transducer.get(); }
+
+  // First node whose name() equals `name`, or nullptr.
+  Transducer* FindByName(const std::string& name);
+
+  // Multi-line description: one "id: NAME  in:[tapes] out:[tapes]" per node.
+  std::string Describe() const;
+
+  // Graphviz DOT rendering of the network DAG (one box per transducer, one
+  // edge per tape) — paste into `dot -Tsvg` to visualize Fig. 12-style
+  // diagrams for arbitrary queries.
+  std::string ToDot() const;
+
+ private:
+  // Stack-allocated per delivery: the network is movable, so no component
+  // may hold a stable back-pointer to it.
+  class NodeEmitter : public Emitter {
+   public:
+    NodeEmitter(Network* network, int node) : network_(network), node_(node) {}
+    void Emit(int port, Message message) override;
+
+   private:
+    Network* network_;
+    int node_;
+  };
+
+  struct Node {
+    std::unique_ptr<Transducer> transducer;
+    // out_tapes[port] = tape id (or -1)
+    int out_tapes[2] = {-1, -1};
+    int in_tapes[2] = {-1, -1};
+  };
+
+  struct Tape {
+    int producer_node = -1;
+    int producer_port = -1;
+    int consumer_node = -1;
+    int consumer_port = -1;
+  };
+
+  void Route(int node, int out_port, Message message);
+
+  std::vector<Node> nodes_;
+  std::vector<Tape> tapes_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_NETWORK_H_

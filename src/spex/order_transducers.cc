@@ -1,0 +1,251 @@
+#include "spex/order_transducers.h"
+
+#include <cassert>
+
+namespace spex {
+
+FollowingTransducer::FollowingTransducer(std::string label, bool wildcard,
+                                         RunContext* context)
+    : Transducer("FO(" + (wildcard ? std::string("_") : label) + ")"),
+      label_(std::move(label)),
+      wildcard_(wildcard),
+      context_(context) {}
+
+bool FollowingTransducer::Matches(const Message& m) const {
+  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+    return false;
+  }
+  return wildcard_ || m.event.name == label_;
+}
+
+void FollowingTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation:
+      Fire(1);
+      if (pending_activation_) {
+        pending_formula_ = Formula::Or(pending_formula_, message.formula);
+      } else {
+        pending_activation_ = true;
+        pending_formula_ = message.formula;
+      }
+      FinishMessage();
+      return;
+    case MessageKind::kDetermination:
+      Fire(5);
+      if (context_->options.eager_formula_update) {
+        armed_ = armed_.PruneFalse(context_->assignment);
+        for (Level& level : depth_) {
+          if (level.has_formula) {
+            level.formula = level.formula.PruneFalse(context_->assignment);
+          }
+        }
+      }
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+    case MessageKind::kDocument:
+      break;
+  }
+
+  if (message.is_text()) {
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  if (message.is_open()) {
+    // A matching element that starts after some armed context's end is
+    // selected under the disjunction of the armed formulas (2); it can
+    // simultaneously open a new pending context level (3).
+    if (Matches(message) && !armed_.is_false()) {
+      Fire(2);
+      EmitTo(out, 0, Message::Activation(armed_));
+    } else {
+      Fire(3);
+    }
+    Level level;
+    level.has_formula = pending_activation_;
+    if (pending_activation_) {
+      level.formula = pending_formula_;
+      pending_activation_ = false;
+      pending_formula_ = Formula::True();
+    }
+    depth_.push_back(std::move(level));
+    NoteDepthStack(depth_.size());
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  // Closing message: a pending context level arms its formula (4).
+  assert(!depth_.empty());
+  Level level = std::move(depth_.back());
+  depth_.pop_back();
+  Fire(4);
+  if (level.has_formula) {
+    armed_ = Formula::Or(armed_, level.formula);
+    NoteFormula(armed_);
+  }
+  if (depth_.empty()) {
+    // End of the document: nothing follows </$>.
+    armed_ = Formula::False();
+  }
+  EmitTo(out, 0, std::move(message));
+  FinishMessage();
+}
+
+PrecedingTransducer::PrecedingTransducer(std::string label, bool wildcard,
+                                         uint32_t qualifier_id,
+                                         RunContext* context,
+                                         bool evidence_mode)
+    : Transducer("PR(" + (wildcard ? std::string("_") : label) + ")"),
+      label_(std::move(label)),
+      wildcard_(wildcard),
+      qualifier_id_(qualifier_id),
+      context_(context),
+      evidence_mode_(evidence_mode) {}
+
+bool PrecedingTransducer::Matches(const Message& m) const {
+  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+    return false;
+  }
+  return wildcard_ || m.event.name == label_;
+}
+
+void PrecedingTransducer::SatisfyClosed(const Formula& formula,
+                                        Emitter* out) {
+  // A context arriving NOW can only satisfy candidates that are already
+  // fully closed.  The candidate's condition becomes the disjunction over
+  // all later contexts' formulas.
+  size_t kept = 0;
+  for (size_t i = 0; i < closed_.size(); ++i) {
+    VarId v = closed_[i];
+    if (context_->assignment.Get(v) != Truth::kUnknown) continue;
+    conditions_[v] = Formula::Or(conditions_[v], formula);
+    switch (conditions_[v].Evaluate(context_->assignment)) {
+      case Truth::kTrue:
+        if (context_->assignment.Set(v, true)) {
+          EmitTo(out, 0, Message::Determination(v, true));
+        }
+        // The candidate element is closed and its OU entry resolves this
+        // round: the binding can be garbage-collected.
+        context_->retired_variables.push_back(v);
+        conditions_.erase(v);
+        break;
+      case Truth::kFalse:
+      case Truth::kUnknown:
+        conditions_[v] = conditions_[v].Simplify(context_->assignment);
+        closed_[kept++] = v;
+        break;
+    }
+  }
+  closed_.resize(kept);
+}
+
+void PrecedingTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation:
+      Fire(1);
+      if (evidence_mode_) {
+        // The qualifier body is satisfied for this context iff some
+        // matching element already closed — re-emit the context's formula
+        // as the body-match evidence for VF/VD.
+        if (closed_matches_ > 0) {
+          EmitTo(out, 0, Message::Activation(message.formula));
+        }
+      } else {
+        SatisfyClosed(message.formula, out);
+      }
+      FinishMessage();
+      return;
+    case MessageKind::kDetermination: {
+      Fire(5);
+      // Re-check pending conditions under the new assignment.
+      size_t kept = 0;
+      for (size_t i = 0; i < closed_.size(); ++i) {
+        VarId v = closed_[i];
+        if (context_->assignment.Get(v) != Truth::kUnknown) continue;
+        switch (conditions_[v].Evaluate(context_->assignment)) {
+          case Truth::kTrue:
+            if (context_->assignment.Set(v, true)) {
+              EmitTo(out, 0, Message::Determination(v, true));
+            }
+            context_->retired_variables.push_back(v);
+            conditions_.erase(v);
+            break;
+          default:
+            conditions_[v] = conditions_[v].Simplify(context_->assignment);
+            closed_[kept++] = v;
+            break;
+        }
+      }
+      closed_.resize(kept);
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+    }
+    case MessageKind::kDocument:
+      break;
+  }
+
+  if (message.is_text()) {
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  if (message.is_open()) {
+    ++depth_;
+    if (Matches(message)) {  // (2): speculate — a later context may follow
+      Fire(2);
+      if (evidence_mode_) {
+        open_matches_.push_back(depth_);
+      } else {
+        VarId v = context_->allocator.Next(qualifier_id_);
+        speculative_.push_back({v, depth_});
+        conditions_[v] = Formula::False();
+        NoteConditionStack(speculative_.size() + closed_.size());
+        EmitTo(out, 0, Message::Activation(Formula::Var(v)));
+      }
+    } else {
+      Fire(3);
+    }
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  // Closing message.
+  Fire(4);
+  --depth_;
+  // Matches opened at depth_+1 are now fully closed (LIFO order).
+  while (!open_matches_.empty() && open_matches_.back() > depth_) {
+    ++closed_matches_;
+    open_matches_.pop_back();
+  }
+  while (!speculative_.empty() && speculative_.back().open_depth > depth_) {
+    closed_.push_back(speculative_.back().var);
+    speculative_.pop_back();
+  }
+  if (depth_ == 0) {
+    // End of the document: nothing can follow, so every still-pending
+    // speculative variable is invalidated.
+    for (VarId v : closed_) {
+      if (context_->assignment.Set(v, false)) {
+        EmitTo(out, 0, Message::Determination(v, false));
+      }
+      context_->retired_variables.push_back(v);
+      conditions_.erase(v);
+    }
+    closed_.clear();
+    closed_matches_ = 0;
+  }
+  EmitTo(out, 0, std::move(message));
+  FinishMessage();
+}
+
+}  // namespace spex

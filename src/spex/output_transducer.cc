@@ -1,0 +1,307 @@
+#include "spex/output_transducer.h"
+
+#include <cassert>
+
+#include "xml/xml_writer.h"
+
+namespace spex {
+
+namespace {
+
+// Removes and returns the fragment index registered for `id` (searched from
+// the back: fragments close mostly LIFO).
+size_t TakeOpenIndex(std::vector<std::pair<int64_t, size_t>>* open,
+                     int64_t id) {
+  for (size_t i = open->size(); i > 0; --i) {
+    if ((*open)[i - 1].first == id) {
+      size_t idx = (*open)[i - 1].second;
+      open->erase(open->begin() + static_cast<ptrdiff_t>(i - 1));
+      return idx;
+    }
+  }
+  assert(false && "unknown result id");
+  return 0;
+}
+
+size_t FindOpenIndex(const std::vector<std::pair<int64_t, size_t>>& open,
+                     int64_t id) {
+  for (size_t i = open.size(); i > 0; --i) {
+    if (open[i - 1].first == id) return open[i - 1].second;
+  }
+  assert(false && "unknown result id");
+  return 0;
+}
+
+}  // namespace
+
+void CollectingResultSink::OnResultBegin(int64_t id) {
+  open_.emplace_back(id, results_.size());
+  results_.emplace_back();
+}
+
+void CollectingResultSink::OnResultEvent(const StreamEvent& event) {
+  for (const auto& [id, idx] : open_) results_[idx].push_back(event);
+}
+
+void CollectingResultSink::OnReplayedResultEvent(int64_t id,
+                                                 const StreamEvent& event) {
+  results_[FindOpenIndex(open_, id)].push_back(event);
+}
+
+void CollectingResultSink::OnResultEnd(int64_t id) {
+  TakeOpenIndex(&open_, id);
+}
+
+void SerializingResultSink::OnResultBegin(int64_t id) {
+  collector_.OnResultBegin(id);
+  open_.emplace_back(id, begun_++);
+  results_.emplace_back();
+}
+
+void SerializingResultSink::OnResultEvent(const StreamEvent& event) {
+  collector_.OnResultEvent(event);
+}
+
+void SerializingResultSink::OnReplayedResultEvent(int64_t id,
+                                                  const StreamEvent& event) {
+  collector_.OnReplayedResultEvent(id, event);
+}
+
+void SerializingResultSink::OnResultEnd(int64_t id) {
+  size_t idx = TakeOpenIndex(&open_, id);
+  results_[idx] = EventsToXml(collector_.results()[idx]);
+  collector_.OnResultEnd(id);
+}
+
+OutputTransducer::OutputTransducer(ResultSink* sink, RunContext* context)
+    : Transducer("OU"), sink_(sink), context_(context) {}
+
+void OutputTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  (void)out;  // OU is the network sink: no output tape
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation:
+      Fire(1);
+      if (has_pending_activation_) {
+        // Two activations for one document message: the node is a result if
+        // either condition holds.
+        pending_activation_ =
+            Formula::Or(pending_activation_, message.formula);
+      } else {
+        pending_activation_ = message.formula;
+        has_pending_activation_ = true;
+      }
+      FinishMessage();
+      return;
+    case MessageKind::kDetermination:
+      Fire(2);
+      // Determinations are applied to the global assignment at their origin
+      // (VD / VC); set defensively in case OU is driven stand-alone.
+      context_->assignment.Set(message.var, message.value);
+      ReevaluateCandidates();
+      if (!interleaved()) AdvanceQueue();
+      FinishMessage();
+      return;
+    case MessageKind::kDocument:
+      Fire(3);
+      HandleDocument(message.event);
+      FinishMessage();
+      return;
+  }
+}
+
+void OutputTransducer::StartCandidate(Formula formula) {
+  Candidate c;
+  c.id = output_stats_.candidates_created;
+  c.formula = formula.Simplify(context_->assignment);
+  c.decided = c.formula.Evaluate(context_->assignment);
+  queue_.push_back(std::move(c));
+  CandidateIt it = std::prev(queue_.end());
+  open_.push_back(it);
+  ++output_stats_.candidates_created;
+  output_stats_.open_candidates_peak =
+      std::max<int64_t>(output_stats_.open_candidates_peak,
+                        static_cast<int64_t>(queue_.size()));
+  if (!interleaved()) {
+    // A candidate created already-true can start streaming if it is the
+    // front of the queue.
+    AdvanceQueue();
+  } else if (it->decided == Truth::kTrue) {
+    BeginStreaming(&*it);
+  } else if (it->decided == Truth::kFalse) {
+    DropCandidate(it);
+  }
+}
+
+void OutputTransducer::ForgetOpen(const Candidate* candidate) {
+  for (size_t i = open_.size(); i > 0; --i) {
+    if (&*open_[i - 1] == candidate) {
+      open_.erase(open_.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+}
+
+void OutputTransducer::BeginStreaming(Candidate* candidate) {
+  assert(!candidate->streaming);
+  sink_->OnResultBegin(candidate->id);
+  for (const StreamEvent& e : candidate->buffer) {
+    sink_->OnReplayedResultEvent(candidate->id, e);
+  }
+  buffered_events_ -= static_cast<int64_t>(candidate->buffer.size());
+  candidate->buffer.clear();
+  candidate->buffer.shrink_to_fit();
+  candidate->streaming = true;
+}
+
+void OutputTransducer::DropCandidate(CandidateIt it) {
+  assert(!it->streaming);
+  buffered_events_ -= static_cast<int64_t>(it->buffer.size());
+  ++output_stats_.candidates_dropped;
+  if (!it->complete) ForgetOpen(&*it);
+  queue_.erase(it);
+}
+
+void OutputTransducer::FinishCandidate(CandidateIt it) {
+  assert(it->streaming && it->complete);
+  sink_->OnResultEnd(it->id);
+  ++output_stats_.candidates_emitted;
+  queue_.erase(it);
+}
+
+void OutputTransducer::HandleDocument(const StreamEvent& event) {
+  const bool opens = event.kind == EventKind::kStartElement ||
+                     event.kind == EventKind::kStartDocument;
+  const bool closes = event.kind == EventKind::kEndElement ||
+                      event.kind == EventKind::kEndDocument;
+
+  if (opens && has_pending_activation_) {
+    // The document root <$> is not an element and therefore never a result
+    // (a query like `_*` selects all elements, not the root): an activation
+    // reaching OU right before <$> is discarded.
+    if (event.kind != EventKind::kStartDocument) {
+      StartCandidate(pending_activation_);
+    }
+    pending_activation_ = Formula::True();
+    has_pending_activation_ = false;
+  }
+
+  // Route the event to the open candidates (a stack of size <= depth).  A
+  // live event is delivered to the sink at most once; it belongs to every
+  // open streaming fragment.
+  bool front_completed = false;
+  bool delivered = false;
+  for (CandidateIt it : open_) {
+    Candidate& c = *it;
+    // Under kDocumentStart only the queue front may be streaming.
+    const bool streams =
+        c.streaming && (interleaved() || &c == &queue_.front());
+    if (streams) {
+      if (!delivered) {
+        sink_->OnResultEvent(event);
+        ++output_stats_.streamed_events;
+        delivered = true;
+      }
+    } else {
+      c.buffer.push_back(event);
+      ++buffered_events_;
+    }
+    if (opens) {
+      ++c.open_depth;
+    } else if (closes) {
+      --c.open_depth;
+      if (c.open_depth == 0) {
+        c.complete = true;
+        if (&c == &queue_.front() && c.streaming) front_completed = true;
+      }
+    }
+  }
+  // Candidate subtrees nest, so at most the innermost open candidate (the
+  // last in open_) can have completed on this close message.
+  if (closes && !open_.empty() && open_.back()->complete) {
+    CandidateIt done = open_.back();
+    open_.pop_back();
+    if (interleaved() && done->streaming) FinishCandidate(done);
+  }
+  NoteBuffered();
+  if (!interleaved() && front_completed) AdvanceQueue();
+}
+
+void OutputTransducer::ReevaluateCandidates() {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Candidate& c = *it;
+    if (c.decided != Truth::kUnknown) {
+      ++it;
+      continue;
+    }
+    c.formula = c.formula.Simplify(context_->assignment);
+    c.decided = c.formula.Evaluate(context_->assignment);
+    if (!interleaved()) {
+      ++it;
+      continue;
+    }
+    if (c.decided == Truth::kTrue) {
+      BeginStreaming(&c);
+      if (c.complete) {
+        FinishCandidate(it++);
+        continue;
+      }
+    } else if (c.decided == Truth::kFalse) {
+      DropCandidate(it++);
+      continue;
+    }
+    ++it;
+  }
+}
+
+void OutputTransducer::AdvanceQueue() {
+  while (!queue_.empty()) {
+    Candidate& front = queue_.front();
+    if (front.decided == Truth::kUnknown) return;
+    if (front.decided == Truth::kFalse) {
+      DropCandidate(queue_.begin());
+      continue;
+    }
+    // Decided true: emit what is buffered; stream the rest.
+    if (!front.streaming) BeginStreaming(&front);
+    if (!front.complete) return;  // later events stream via HandleDocument
+    FinishCandidate(queue_.begin());
+  }
+}
+
+void OutputTransducer::Flush() {
+  // After </$> every qualifier scope has closed, so VC has determined every
+  // remaining variable false and no candidate should still be unknown.
+  // Decide defensively anyway (closed-world: unknown => false).
+  for (Candidate& c : queue_) {
+    if (c.decided == Truth::kUnknown) {
+      Assignment closed = context_->assignment;
+      for (VarId v : c.formula.Variables()) closed.Set(v, false);
+      c.decided = c.formula.Evaluate(closed);
+      assert(c.decided != Truth::kUnknown);
+    }
+  }
+  if (!interleaved()) {
+    AdvanceQueue();
+  } else {
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      auto victim = it++;
+      if (victim->decided == Truth::kTrue) {
+        if (!victim->streaming) BeginStreaming(&*victim);
+        assert(victim->complete);
+        FinishCandidate(victim);
+      } else {
+        DropCandidate(victim);
+      }
+    }
+  }
+  assert(queue_.empty());
+}
+
+void OutputTransducer::NoteBuffered() {
+  output_stats_.buffered_events_peak =
+      std::max(output_stats_.buffered_events_peak, buffered_events_);
+}
+
+}  // namespace spex

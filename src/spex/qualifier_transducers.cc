@@ -1,0 +1,262 @@
+#include "spex/qualifier_transducers.h"
+
+#include <cassert>
+
+namespace spex {
+
+VariableCreatorTransducer::VariableCreatorTransducer(uint32_t qualifier_id,
+                                                     RunContext* context,
+                                                     bool defer_invalidation)
+    : Transducer("VC(q" + std::to_string(qualifier_id) + ")"),
+      qualifier_id_(qualifier_id),
+      context_(context),
+      defer_invalidation_(defer_invalidation) {}
+
+void VariableCreatorTransducer::OnMessage(int port, Message message,
+                                          Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation:
+      if (state_ == State::kWorking) {  // (1): create a fresh instance
+        Fire(1);
+        VarId c = context_->allocator.Next(qualifier_id_);
+        vars_.push_back(c);
+        NoteConditionStack(vars_.size());
+        Formula activated = Formula::And(message.formula, Formula::Var(c));
+        NoteFormula(activated);
+        EmitTo(out, 0, Message::Activation(std::move(activated)));
+        state_ = State::kActivate;
+      } else {  // second activation for the same message: reuse the instance
+        Fire(101);
+        assert(!vars_.empty());
+        EmitTo(out, 0,
+               Message::Activation(Formula::And(message.formula,
+                                                Formula::Var(vars_.back()))));
+      }
+      FinishMessage();
+      return;
+    case MessageKind::kDetermination:  // (6)
+      Fire(6);
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+    case MessageKind::kDocument:
+      break;
+  }
+
+  if (message.is_text()) {
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  if (message.is_open()) {
+    if (state_ == State::kActivate) {  // (5): the instance's scope opens
+      Fire(5);
+      depth_.push_back(DepthSymbol::kScopeStart);
+      state_ = State::kWorking;
+    } else {  // (2)
+      Fire(2);
+      depth_.push_back(DepthSymbol::kLevel);
+    }
+    NoteDepthStack(depth_.size());
+    EmitTo(out, 0, std::move(message));
+    FinishMessage();
+    return;
+  }
+
+  // Closing document message.
+  assert(state_ == State::kWorking);
+  assert(!depth_.empty());
+  if (depth_.back() == DepthSymbol::kScopeStart) {  // (4): invalidate c
+    Fire(4);
+    depth_.pop_back();
+    assert(!vars_.empty());
+    VarId c = vars_.back();
+    vars_.pop_back();
+    if (defer_invalidation_) {
+      // The body contains a following axis: its matches may still arrive
+      // after the scope closed, so the verdict waits for </$>.
+      deferred_.push_back(c);
+    } else {
+      // First determination wins: if VD already satisfied the instance, the
+      // scope-exit invalidation is suppressed (cf. Fig. 13, where no {co1,
+      // false} is sent at the outer </a> after <b> satisfied the qualifier).
+      if (context_->assignment.Set(c, false)) {
+        EmitTo(out, 0, Message::Determination(c, false));
+      }
+      // The scope is the last structural context that can mention c:
+      // schedule its binding for end-of-round garbage collection.
+      context_->retired_variables.push_back(c);
+    }
+  } else {  // (3)
+    Fire(3);
+    depth_.pop_back();
+  }
+  if (depth_.empty() && !deferred_.empty()) {
+    // End of the document: nothing can follow, so deferred instances that
+    // were never satisfied are invalidated now.
+    for (VarId c : deferred_) {
+      if (context_->assignment.Set(c, false)) {
+        EmitTo(out, 0, Message::Determination(c, false));
+      }
+      context_->retired_variables.push_back(c);
+    }
+    deferred_.clear();
+  }
+  EmitTo(out, 0, std::move(message));
+  FinishMessage();
+}
+
+VariableFilterTransducer::VariableFilterTransducer(uint32_t qualifier_id,
+                                                   bool positive,
+                                                   RunContext* context)
+    : Transducer("VF(q" + std::to_string(qualifier_id) +
+                 (positive ? "+)" : "-)")),
+      qualifier_id_(qualifier_id),
+      positive_(positive),
+      context_(context) {}
+
+void VariableFilterTransducer::OnMessage(int port, Message message,
+                                         Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation: {
+      if (positive_) {
+        // (q+): keep q's variables and those of qualifiers nested inside
+        // q's body (ids > qualifier_id_); erase outer variables, which only
+        // condition the *candidate*, not the body match itself.
+        Fire(1);
+        Assignment erase;
+        bool has_own_var = false;
+        for (VarId v : message.formula.Variables()) {
+          if (VarQualifier(v) < qualifier_id_) {
+            erase.Set(v, true);
+          } else if (VarQualifier(v) == qualifier_id_) {
+            has_own_var = true;
+          }
+        }
+        if (has_own_var) {
+          EmitTo(out, 0,
+                 Message::Activation(message.formula.Simplify(erase)));
+        }
+      } else {
+        // (q-): erase q's variables (treat them as satisfied).
+        Fire(2);
+        Assignment erase;
+        for (VarId v : message.formula.VariablesOfQualifier(qualifier_id_)) {
+          erase.Set(v, true);
+        }
+        EmitTo(out, 0, Message::Activation(message.formula.Simplify(erase)));
+      }
+      FinishMessage();
+      return;
+    }
+    case MessageKind::kDetermination:
+      Fire(3);
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+    case MessageKind::kDocument:
+      Fire(4);
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+  }
+}
+
+VariableDeterminantTransducer::VariableDeterminantTransducer(
+    uint32_t qualifier_id, RunContext* context)
+    : Transducer("VD(q" + std::to_string(qualifier_id) + ")"),
+      qualifier_id_(qualifier_id),
+      context_(context) {}
+
+void VariableDeterminantTransducer::Determine(VarId var, Formula condition,
+                                              Emitter* out) {
+  switch (condition.Evaluate(context_->assignment)) {
+    case Truth::kTrue:
+      if (context_->assignment.Set(var, true)) {
+        EmitTo(out, 0, Message::Determination(var, true));
+      }
+      break;
+    case Truth::kFalse:
+      // This body match never materializes; another may, and otherwise the
+      // creator's scope-exit {var,false} settles the instance.
+      break;
+    case Truth::kUnknown:
+      pending_.push_back({var, condition.Simplify(context_->assignment)});
+      NoteConditionStack(pending_.size());
+      break;
+  }
+}
+
+void VariableDeterminantTransducer::RecheckPending(Emitter* out) {
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    PendingInstance& p = pending_[i];
+    if (context_->assignment.Get(p.var) != Truth::kUnknown) {
+      continue;  // already settled elsewhere
+    }
+    switch (p.condition.Evaluate(context_->assignment)) {
+      case Truth::kTrue:
+        if (context_->assignment.Set(p.var, true)) {
+          EmitTo(out, 0, Message::Determination(p.var, true));
+        }
+        break;
+      case Truth::kFalse:
+        break;
+      case Truth::kUnknown:
+        p.condition = p.condition.Simplify(context_->assignment);
+        pending_[kept++] = std::move(p);
+        break;
+    }
+  }
+  pending_.resize(kept);
+}
+
+void VariableDeterminantTransducer::OnMessage(int port, Message message,
+                                              Emitter* out) {
+  (void)port;
+  CountIn(message);
+  switch (message.kind) {
+    case MessageKind::kActivation: {
+      // (1): an instance reaching VD is satisfied as soon as the nested
+      // qualifiers' conditions it carries are.  Isolate each q-instance by
+      // assuming the other instances false (disjunction branches from
+      // closure scopes are independent).
+      Fire(1);
+      std::vector<VarId> own;
+      for (VarId v : message.formula.Variables()) {
+        if (VarQualifier(v) == qualifier_id_) own.push_back(v);
+      }
+      for (VarId v : own) {
+        // Fresh isolation assignment (NOT a copy of the global one — the
+        // other instances may already be globally true and must still be
+        // forced false here to isolate v's disjunct): v's own disjunct is
+        // selected, and the residue is the condition over the nested
+        // qualifiers' variables it carries.
+        Assignment isolate;
+        isolate.Set(v, true);
+        for (VarId other : own) {
+          if (other != v) isolate.Set(other, false);
+        }
+        Determine(v, message.formula.Simplify(isolate), out);
+      }
+      FinishMessage();
+      return;
+    }
+    case MessageKind::kDetermination:  // (2): dropped — the main branch
+      Fire(2);                         // already carries determinations —
+      RecheckPending(out);             // but pending instances may resolve
+      FinishMessage();
+      return;
+    case MessageKind::kDocument:
+      EmitTo(out, 0, std::move(message));
+      FinishMessage();
+      return;
+  }
+}
+
+}  // namespace spex

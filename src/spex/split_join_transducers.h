@@ -1,0 +1,47 @@
+// Split SP and Join JO transducers (paper §III.6, Figs. 8 and 9).
+//
+// SP forwards every message to both of its output tapes.  JO collects the
+// messages of its two input tapes and behaves like an AND-gate on document
+// messages: a document message is emitted exactly once, after it arrived on
+// both inputs; activation and determination messages pass through in arrival
+// order.  This synchronizes parallel network branches and removes the
+// duplicate document messages a split introduced.
+
+#ifndef SPEX_SPEX_SPLIT_JOIN_TRANSDUCERS_H_
+#define SPEX_SPEX_SPLIT_JOIN_TRANSDUCERS_H_
+
+#include <deque>
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+class SplitTransducer : public Transducer {
+ public:
+  SplitTransducer();
+
+  void OnMessage(int port, Message message, Emitter* out) override;
+};
+
+class JoinTransducer : public Transducer {
+ public:
+  JoinTransducer();
+
+  void OnMessage(int port, Message message, Emitter* out) override;
+
+  // Fig. 9 state: which input's document message has already been consumed.
+  enum class State : uint8_t { kNone, kLeft, kRight };
+  State state() const { return state_; }
+  size_t pending(int port) const { return queues_[port].size(); }
+
+ private:
+  // Applies as many Fig. 9 transitions as the buffered messages allow.
+  void Drain(Emitter* out);
+
+  State state_ = State::kNone;
+  std::deque<Message> queues_[2];
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_SPLIT_JOIN_TRANSDUCERS_H_

@@ -1,0 +1,187 @@
+// Base class for SPEX transducers (paper Def. 1).
+//
+// A SPEX transducer is a deterministic pushdown transducer with two stacks:
+// a *depth* stack of marker symbols (counting tree levels and match scopes)
+// and a *condition* stack of formulas.  Except for the output transducer,
+// the two stacks are operated in lockstep, which is why every network
+// transducer stays within the 1-DPDT class (Theorem IV.2).
+//
+// Each concrete transducer implements its transition table from the paper
+// verbatim and reports the fired rule numbers through an optional trace,
+// letting tests replay Figs. 4, 5 and 13 exactly.
+
+#ifndef SPEX_SPEX_TRANSDUCER_H_
+#define SPEX_SPEX_TRANSDUCER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spex/message.h"
+
+namespace spex {
+
+// Receives the messages a transducer emits.  `port` selects the output tape
+// (always 0 except for the split transducer, which also writes port 1).
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(int port, Message message) = 0;
+};
+
+// Per-transducer resource accounting used to validate the §V bounds.
+struct TransducerStats {
+  int64_t messages_in = 0;
+  int64_t messages_out = 0;
+  int64_t depth_stack_peak = 0;      // max entries on the depth stack
+  int64_t condition_stack_peak = 0;  // max entries on the condition stack
+  int64_t formula_nodes_peak = 0;    // largest formula (DAG nodes) handled
+};
+
+// When attached, records the rule numbers fired by a transducer, grouped per
+// document message: the group for a document message contains the rules
+// fired for the activation / determination messages since the previous
+// document message plus the rule fired for the document message itself —
+// exactly the presentation of Figs. 4, 5 and 13.
+struct TransducerTrace {
+  std::vector<std::vector<int>> groups;
+  std::vector<int> pending;
+
+  void Fire(int rule) { pending.push_back(rule); }
+  void EndGroup() {
+    groups.push_back(pending);
+    pending.clear();
+  }
+  // "1,5 7 2 ..." — one comma-joined group per document message.
+  std::string ToString() const;
+};
+
+class Transducer {
+ public:
+  // `name` is the paper's notation, e.g. "CH(a)", "CL(_)", "VC(q0)".
+  explicit Transducer(std::string name) : name_(std::move(name)) {}
+  virtual ~Transducer() = default;
+
+  Transducer(const Transducer&) = delete;
+  Transducer& operator=(const Transducer&) = delete;
+
+  // Processes one message arriving on input tape `port` (0 unless the
+  // transducer is a join).  Emits output messages through `out`.
+  virtual void OnMessage(int port, Message message, Emitter* out) = 0;
+
+  const std::string& name() const { return name_; }
+  const TransducerStats& stats() const { return stats_; }
+
+  void set_trace(TransducerTrace* trace) { trace_ = trace; }
+  TransducerTrace* trace() const { return trace_; }
+
+ protected:
+  // Bookkeeping helpers used by subclasses.
+  void CountIn(const Message& m) {
+    ++stats_.messages_in;
+    if (m.is_activation()) {
+      stats_.formula_nodes_peak =
+          std::max(stats_.formula_nodes_peak, m.formula.NodeCount());
+    }
+    if (trace_ != nullptr && m.is_document()) pending_group_end_ = true;
+  }
+  // Called after a document message is fully handled, closing a trace group.
+  void FinishMessage() {
+    if (trace_ != nullptr && pending_group_end_) {
+      trace_->EndGroup();
+      pending_group_end_ = false;
+    }
+  }
+  void Fire(int rule) {
+    if (trace_ != nullptr) trace_->Fire(rule);
+  }
+  void EmitTo(Emitter* out, int port, Message message) {
+    ++stats_.messages_out;
+    out->Emit(port, std::move(message));
+  }
+  void NoteDepthStack(size_t size) {
+    stats_.depth_stack_peak =
+        std::max<int64_t>(stats_.depth_stack_peak, static_cast<int64_t>(size));
+  }
+  void NoteConditionStack(size_t size) {
+    stats_.condition_stack_peak = std::max<int64_t>(
+        stats_.condition_stack_peak, static_cast<int64_t>(size));
+  }
+  void NoteFormula(const Formula& f) {
+    stats_.formula_nodes_peak =
+        std::max(stats_.formula_nodes_peak, f.NodeCount());
+  }
+
+  TransducerStats stats_;
+
+ private:
+  std::string name_;
+  TransducerTrace* trace_ = nullptr;
+  bool pending_group_end_ = false;
+};
+
+// Emission policy of the output transducer (§III.8).  With nested results
+// (query class 3, e.g. `_*._`) strict document order and constant memory
+// are mutually exclusive: the outermost result closes last, so everything
+// nested inside it must wait.  The paper's OU stores a candidate "until all
+// earlier candidates are determined" and reports constant memory on the
+// DMOZ runs, which corresponds to kDetermination.
+enum class OutputOrder : uint8_t {
+  // Results are emitted strictly in document order of their start tags; a
+  // decided candidate may have to wait for earlier, still-open ones
+  // (worst-case buffering linear in the stream, §V).
+  kDocumentStart,
+  // A candidate starts emitting as soon as its formula is determined true;
+  // nested fragments interleave (ResultBegin/End brackets nest, LIFO) and
+  // decided candidates are never buffered: constant memory on streams of
+  // bounded depth.
+  kDetermination,
+};
+
+// Run-wide configuration shared by all transducers of a network.
+struct EngineOptions {
+  // If true, transducers rewrite the formulas stored on their condition
+  // stacks when a determination message passes (the paper's update(c,v,beta),
+  // e.g. Fig. 2 rule 13); if false they evaluate lazily at the output
+  // transducer only.  Eager updating keeps stack entries small (§V bounds).
+  bool eager_formula_update = true;
+  // Attach a TransducerTrace to every transducer (tests & debugging).
+  bool record_traces = false;
+  // Output transducer emission policy, see OutputOrder.
+  OutputOrder output_order = OutputOrder::kDocumentStart;
+};
+
+// State shared by the transducers of one network instance.
+struct RunContext {
+  EngineOptions options;
+  VariableAllocator allocator;
+  // The global monotone assignment of condition variables seen so far.
+  Assignment assignment;
+  // Variables whose creator scope closed during the current round.  With
+  // eager formula updates, nothing can reference them once the round's
+  // messages have fully propagated, so the engine erases their bindings —
+  // this is what keeps memory constant on unbounded streams.
+  std::vector<VarId> retired_variables;
+  // Cleared by the compiler when the query contains order axes (>> / <<):
+  // their transducers keep formulas alive across scopes (the following
+  // transducer's armed disjunction, the preceding transducer's pending
+  // conditions), so retired bindings may still be referenced and must not
+  // be erased.
+  bool allow_variable_gc = true;
+};
+
+// Shared depth-stack marker symbols (Gamma_depth in the paper).
+enum class DepthSymbol : uint8_t {
+  kLevel,        // l : plain tree level
+  kMatch,        // m : child transducer match-scope marker
+  kScopeStart,   // s : closure/VC outermost scope marker
+  kNestedScope,  // ns: closure nested scope marker
+  kScopeEnd,     // e : closure interrupted-scope marker
+};
+
+const char* DepthSymbolName(DepthSymbol s);
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_TRANSDUCER_H_

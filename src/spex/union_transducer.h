@@ -1,0 +1,33 @@
+// Union transducer UN (paper §III.7, Fig. 10).
+//
+// A connector that merges the activation messages of two branches (already
+// interleaved by a join) into a single activation carrying the disjunction
+// of their formulas.  If only one branch activated a document message, the
+// stored formula is forwarded unchanged.
+
+#ifndef SPEX_SPEX_UNION_TRANSDUCER_H_
+#define SPEX_SPEX_UNION_TRANSDUCER_H_
+
+#include <optional>
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+class UnionTransducer : public Transducer {
+ public:
+  UnionTransducer();
+
+  void OnMessage(int port, Message message, Emitter* out) override;
+
+  enum class State : uint8_t { kWaiting, kActivate };
+  State state() const { return state_; }
+
+ private:
+  State state_ = State::kWaiting;
+  Formula stored_;  // the one condition-stack entry of Fig. 10
+};
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_UNION_TRANSDUCER_H_

@@ -1,0 +1,16 @@
+// Library version.
+
+#ifndef SPEX_SPEX_VERSION_H_
+#define SPEX_SPEX_VERSION_H_
+
+namespace spex {
+
+// Semantic version of the SPEX reproduction library.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace spex
+
+#endif  // SPEX_SPEX_VERSION_H_

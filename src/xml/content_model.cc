@@ -1,0 +1,433 @@
+#include "xml/content_model.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace spex {
+
+int ContentModel::NewState() {
+  states_.emplace_back();
+  return static_cast<int>(states_.size()) - 1;
+}
+
+void ContentModel::AddEpsilon(int from, int to) {
+  Edge e;
+  e.epsilon = true;
+  e.to = to;
+  states_[from].edges.push_back(std::move(e));
+}
+
+void ContentModel::AddLabel(int from, int to, std::string label) {
+  Edge e;
+  e.epsilon = false;
+  e.label = std::move(label);
+  e.to = to;
+  states_[from].edges.push_back(std::move(e));
+}
+
+void ContentModel::Closure(std::vector<int>* states) const {
+  std::vector<bool> in_set(states_.size(), false);
+  for (int s : *states) in_set[s] = true;
+  std::vector<int> work = *states;
+  while (!work.empty()) {
+    int s = work.back();
+    work.pop_back();
+    for (const Edge& e : states_[s].edges) {
+      if (e.epsilon && !in_set[e.to]) {
+        in_set[e.to] = true;
+        states->push_back(e.to);
+        work.push_back(e.to);
+      }
+    }
+  }
+  std::sort(states->begin(), states->end());
+}
+
+std::vector<int> ContentModel::InitialStates() const {
+  std::vector<int> states = {start_};
+  Closure(&states);
+  return states;
+}
+
+std::vector<int> ContentModel::Step(const std::vector<int>& states,
+                                    const std::string& label) const {
+  std::vector<int> next;
+  for (int s : states) {
+    for (const Edge& e : states_[s].edges) {
+      if (!e.epsilon && e.label == label) next.push_back(e.to);
+    }
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  Closure(&next);
+  return next;
+}
+
+bool ContentModel::Accepts(const std::vector<int>& states) const {
+  return std::binary_search(states.begin(), states.end(), accept_);
+}
+
+// ---------------------------------------------------------------------------
+// Schema parsing.
+
+// Parses one content-model expression with a Thompson construction.
+class ContentModelParser {
+ public:
+  ContentModelParser(std::string_view text, ContentModel* model)
+      : text_(text), model_(model) {}
+
+  bool Parse(std::string* error) {
+    model_->start_ = model_->NewState();
+    model_->accept_ = model_->NewState();
+    if (!ParseAlt(model_->start_, model_->accept_)) {
+      if (error != nullptr) {
+        *error = error_.empty() ? "bad content model" : error_;
+      }
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "unexpected '" + std::string(1, text_[pos_]) +
+                 "' in content model";
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '.';
+  }
+
+  std::string ReadName() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  // alt := seq ('|' seq)*
+  bool ParseAlt(int from, int to) {
+    if (!ParseSeq(from, to)) return false;
+    while (Eat('|')) {
+      if (!ParseSeq(from, to)) return false;
+    }
+    return true;
+  }
+
+  // seq := post (',' post)*
+  bool ParseSeq(int from, int to) {
+    int current = from;
+    for (;;) {
+      SkipSpace();
+      bool last = true;
+      // Look ahead: a ',' after the next postfix item means more follow.
+      size_t save = pos_;
+      if (!SkipPostfixItem()) return false;
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ',') last = false;
+      pos_ = save;
+
+      int target = last ? to : model_->NewState();
+      if (!ParsePostfix(current, target)) return false;
+      current = target;
+      if (!last) {
+        Eat(',');
+        continue;
+      }
+      return true;
+    }
+  }
+
+  // Skips over one postfix item without building NFA states (lookahead).
+  bool SkipPostfixItem() {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      int depth = 0;
+      while (pos_ < text_.size()) {
+        if (text_[pos_] == '(') ++depth;
+        if (text_[pos_] == ')') {
+          --depth;
+          if (depth == 0) {
+            ++pos_;
+            break;
+          }
+        }
+        ++pos_;
+      }
+      if (depth != 0) {
+        error_ = "unbalanced '(' in content model";
+        return false;
+      }
+    } else {
+      std::string name = ReadName();
+      if (name.empty()) {
+        error_ = "expected a name or '(' in content model";
+        return false;
+      }
+    }
+    while (pos_ < text_.size() &&
+           (text_[pos_] == '*' || text_[pos_] == '+' || text_[pos_] == '?')) {
+      ++pos_;
+    }
+    return true;
+  }
+
+  // post := atom ('*' | '+' | '?')*
+  bool ParsePostfix(int from, int to) {
+    // Build the atom between fresh endpoints so the closure operators can
+    // wire loops around it.
+    int a = model_->NewState();
+    int b = model_->NewState();
+    if (!ParseAtom(a, b)) return false;
+    bool star = false, plus = false, opt = false;
+    for (;;) {
+      if (Eat('*')) {
+        star = true;
+      } else if (Eat('+')) {
+        plus = true;
+      } else if (Eat('?')) {
+        opt = true;
+      } else {
+        break;
+      }
+    }
+    model_->AddEpsilon(from, a);
+    model_->AddEpsilon(b, to);
+    if (star || plus) model_->AddEpsilon(b, a);  // repeat
+    if (star || opt) model_->AddEpsilon(from, to);  // skip
+    return true;
+  }
+
+  // atom := NAME | '(' alt ')' | EMPTY | ANY | TEXT
+  bool ParseAtom(int from, int to) {
+    if (Eat('(')) {
+      if (!ParseAlt(from, to)) return false;
+      if (!Eat(')')) {
+        error_ = "expected ')' in content model";
+        return false;
+      }
+      return true;
+    }
+    std::string name = ReadName();
+    if (name.empty()) {
+      error_ = "expected a name or '(' in content model";
+      return false;
+    }
+    if (name == "EMPTY") {
+      model_->AddEpsilon(from, to);
+      return true;
+    }
+    if (name == "ANY") {
+      model_->is_any_ = true;
+      model_->allows_text_ = true;
+      model_->AddEpsilon(from, to);
+      return true;
+    }
+    if (name == "TEXT") {
+      model_->allows_text_ = true;
+      model_->AddEpsilon(from, to);
+      return true;
+    }
+    model_->AddLabel(from, to, std::move(name));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  ContentModel* model_;
+  std::string error_;
+};
+
+bool ParseSchema(std::string_view text, Schema* out, std::string* error) {
+  Schema schema;
+  int line_number = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_number;
+    // Strip comments and whitespace.
+    size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string_view::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": expected '='";
+      }
+      return false;
+    }
+    std::string name(line.substr(0, eq));
+    while (!name.empty() && (name.back() == ' ' || name.back() == '\t')) {
+      name.pop_back();
+    }
+    std::string_view model_text = line.substr(eq + 1);
+    if (name.empty()) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": missing name";
+      }
+      return false;
+    }
+    if (name == "root") {
+      std::string root(model_text);
+      size_t b = root.find_first_not_of(" \t");
+      size_t e = root.find_last_not_of(" \t");
+      if (b == std::string::npos) {
+        if (error != nullptr) {
+          *error = "line " + std::to_string(line_number) + ": empty root";
+        }
+        return false;
+      }
+      schema.root = root.substr(b, e - b + 1);
+      continue;
+    }
+    if (schema.elements.count(name) > 0) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + ": element " + name +
+                 " declared twice";
+      }
+      return false;
+    }
+    auto model = std::make_shared<ContentModel>();
+    ContentModelParser parser(model_text, model.get());
+    std::string model_error;
+    if (!parser.Parse(&model_error)) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(line_number) + " (" + name +
+                 "): " + model_error;
+      }
+      return false;
+    }
+    schema.elements[name] = std::move(model);
+  }
+  *out = std::move(schema);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming validation.
+
+StreamingValidator::StreamingValidator(const Schema* schema,
+                                       ValidatorOptions options)
+    : schema_(schema), options_(options) {}
+
+void StreamingValidator::Fail(const std::string& message) {
+  if (error_.empty()) error_ = message;
+}
+
+void StreamingValidator::OnEvent(const StreamEvent& event) {
+  if (!valid() || done_) return;
+  switch (event.kind) {
+    case EventKind::kStartDocument:
+      break;
+    case EventKind::kEndDocument:
+      done_ = true;
+      if (!stack_.empty()) Fail("document ended with open elements");
+      break;
+    case EventKind::kStartElement: {
+      ++elements_checked_;
+      // 1. The child must fit the parent's model.
+      if (!stack_.empty()) {
+        Frame& parent = stack_.back();
+        if (parent.model != nullptr) {
+          parent.states = parent.model->Step(parent.states, event.name);
+          if (parent.states.empty()) {
+            Fail("element " + parent.label + ": unexpected child " +
+                 event.name);
+          }
+        }
+      } else if (!schema_->root.empty() && event.name != schema_->root) {
+        Fail("unexpected root element " + event.name + " (declared root: " +
+             schema_->root + ")");
+      }
+      // 2. Open the child's own frame.
+      Frame frame;
+      frame.label = event.name;
+      const bool parent_lenient =
+          !stack_.empty() && stack_.back().lenient;
+      auto it = schema_->elements.find(event.name);
+      if (it != schema_->elements.end()) {
+        if (it->second->is_any()) {
+          frame.lenient = true;
+        } else {
+          frame.model = it->second.get();
+          frame.states = frame.model->InitialStates();
+        }
+      } else if (parent_lenient || options_.allow_undeclared) {
+        frame.lenient = true;  // tolerated: its subtree is unchecked too
+      } else {
+        Fail("undeclared element " + event.name);
+      }
+      stack_.push_back(std::move(frame));
+      max_depth_ = std::max(max_depth_, static_cast<int>(stack_.size()));
+      break;
+    }
+    case EventKind::kEndElement: {
+      if (stack_.empty()) {
+        Fail("unbalanced end element " + event.name);
+        return;
+      }
+      Frame& frame = stack_.back();
+      if (frame.model != nullptr && !frame.model->Accepts(frame.states)) {
+        Fail("element " + frame.label + ": content ended too early");
+      }
+      stack_.pop_back();
+      break;
+    }
+    case EventKind::kText: {
+      if (stack_.empty()) return;
+      Frame& frame = stack_.back();
+      const ContentModel* model = frame.model;
+      bool text_ok = model == nullptr || model->allows_text();
+      if (!text_ok && options_.ignore_whitespace_text) {
+        text_ok = event.text.find_first_not_of(" \t\r\n") ==
+                  std::string::npos;
+      }
+      if (!text_ok) {
+        Fail("element " + frame.label + ": character data not allowed");
+      }
+      break;
+    }
+  }
+}
+
+bool ValidateEvents(const Schema& schema,
+                    const std::vector<StreamEvent>& events,
+                    std::string* error, ValidatorOptions options) {
+  StreamingValidator validator(&schema, options);
+  for (const StreamEvent& e : events) validator.OnEvent(e);
+  if (!validator.valid()) {
+    if (error != nullptr) *error = validator.error();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace spex

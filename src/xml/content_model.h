@@ -1,0 +1,150 @@
+// Streaming DTD-style validation of XML streams under memory constraints —
+// the problem the paper's related work discusses (§VIII, [21] Segoufin &
+// Vianu, "Validating Streaming XML Documents"): validation of a DTD is
+// possible with a pushdown automaton whose stack is bounded by the document
+// depth.  This module implements exactly that: content models (regular
+// expressions over child labels) are compiled to epsilon-NFAs once, and the
+// validator runs one NFA state-set per open element.
+//
+// Schema syntax (one declaration per line, '#' comments):
+//
+//   root    = mondial
+//   mondial = country*
+//   country = name, population, province*, religions*
+//   province= name, city*
+//   city    = name
+//   name    = TEXT
+//   note    = EMPTY
+//   extra   = ANY
+//   para    = TEXT | (b | i)*        # mixed content
+//
+// Operators: ',' sequence, '|' alternation, '*' '+' '?' postfix, '()'
+// grouping.  TEXT permits character data, EMPTY forbids children and text,
+// ANY accepts any content.
+
+#ifndef SPEX_XML_CONTENT_MODEL_H_
+#define SPEX_XML_CONTENT_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/stream_event.h"
+
+namespace spex {
+
+// A compiled content model: an epsilon-NFA over child labels plus the
+// text/any flags.
+class ContentModel {
+ public:
+  // The element accepts character data.
+  bool allows_text() const { return allows_text_; }
+  // The element accepts any content (children unchecked).
+  bool is_any() const { return is_any_; }
+
+  // NFA interface (state sets are sorted, epsilon-closed).
+  std::vector<int> InitialStates() const;
+  std::vector<int> Step(const std::vector<int>& states,
+                        const std::string& label) const;
+  bool Accepts(const std::vector<int>& states) const;
+
+  int state_count() const { return static_cast<int>(states_.size()); }
+
+ private:
+  friend class ContentModelParser;
+
+  struct Edge {
+    bool epsilon = true;
+    std::string label;
+    int to = -1;
+  };
+  struct State {
+    std::vector<Edge> edges;
+  };
+
+  int NewState();
+  void AddEpsilon(int from, int to);
+  void AddLabel(int from, int to, std::string label);
+  void Closure(std::vector<int>* states) const;
+
+  std::vector<State> states_;
+  int start_ = -1;
+  int accept_ = -1;
+  bool allows_text_ = false;
+  bool is_any_ = false;
+};
+
+// A schema: content models per element label, plus an optional root label.
+struct Schema {
+  std::map<std::string, std::shared_ptr<const ContentModel>> elements;
+  std::string root;  // empty: any root accepted
+
+  bool declares(const std::string& label) const {
+    return elements.count(label) > 0;
+  }
+};
+
+// Parses the schema text above.  Returns false and fills *error on syntax
+// errors (with the line number).
+bool ParseSchema(std::string_view text, Schema* out, std::string* error);
+
+struct ValidatorOptions {
+  // Elements without a declaration: accepted as ANY (true) or rejected.
+  bool allow_undeclared = false;
+  // Whitespace-only text never violates a model.
+  bool ignore_whitespace_text = true;
+};
+
+// Streaming validator: an EventSink holding one NFA state-set per open
+// element — memory O(depth x max model size), independent of stream length.
+class StreamingValidator : public EventSink {
+ public:
+  // `schema` must outlive the validator.
+  StreamingValidator(const Schema* schema, ValidatorOptions options = {});
+
+  void OnEvent(const StreamEvent& event) override;
+
+  // Valid so far (final once kEndDocument was seen).
+  bool valid() const { return error_.empty(); }
+  bool done() const { return done_; }
+  // First violation, e.g. "element country: unexpected child religions
+  // after [name population]" — empty if valid.
+  const std::string& error() const { return error_; }
+
+  // Resource accounting: peak open-element stack size.
+  int max_depth() const { return max_depth_; }
+  int64_t elements_checked() const { return elements_checked_; }
+
+ private:
+  struct Frame {
+    const ContentModel* model = nullptr;  // null: ANY / undeclared-allowed
+    std::string label;
+    std::vector<int> states;
+    // True inside ANY content (or tolerated undeclared elements): children
+    // need no declaration; declared children are still validated.
+    bool lenient = false;
+  };
+
+  void Fail(const std::string& message);
+
+  const Schema* schema_;
+  ValidatorOptions options_;
+  std::vector<Frame> stack_;
+  std::string error_;
+  bool done_ = false;
+  int max_depth_ = 0;
+  int64_t elements_checked_ = 0;
+};
+
+// One-shot: validates a complete event stream.
+bool ValidateEvents(const Schema& schema,
+                    const std::vector<StreamEvent>& events,
+                    std::string* error = nullptr,
+                    ValidatorOptions options = {});
+
+}  // namespace spex
+
+#endif  // SPEX_XML_CONTENT_MODEL_H_

@@ -1,0 +1,157 @@
+#include "xml/dom.h"
+
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace spex {
+
+std::vector<int32_t> Document::Children(int32_t id) const {
+  std::vector<int32_t> out;
+  for (int32_t c = nodes_[id].first_child; c != -1;
+       c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<int32_t> Document::ElementChildren(int32_t id) const {
+  std::vector<int32_t> out;
+  for (int32_t c = nodes_[id].first_child; c != -1;
+       c = nodes_[c].next_sibling) {
+    if (nodes_[c].kind == DomNode::Kind::kElement) out.push_back(c);
+  }
+  return out;
+}
+
+void Document::EmitSubtree(int32_t id, EventSink* sink) const {
+  const DomNode& n = nodes_[id];
+  if (n.kind == DomNode::Kind::kText) {
+    sink->OnEvent(StreamEvent::Text(n.text));
+    return;
+  }
+  sink->OnEvent(StreamEvent::StartElement(n.label));
+  for (int32_t c = n.first_child; c != -1; c = nodes_[c].next_sibling) {
+    EmitSubtree(c, sink);
+  }
+  sink->OnEvent(StreamEvent::EndElement(n.label));
+}
+
+void Document::EmitDocument(EventSink* sink) const {
+  sink->OnEvent(StreamEvent::StartDocument());
+  if (!empty()) EmitSubtree(0, sink);
+  sink->OnEvent(StreamEvent::EndDocument());
+}
+
+std::string Document::SubtreeToXml(int32_t id) const {
+  XmlWriter writer;
+  EmitSubtree(id, &writer);
+  return writer.str();
+}
+
+DomBuilder::DomBuilder() = default;
+
+int32_t DomBuilder::AddNode(DomNode node) {
+  int32_t id = static_cast<int32_t>(doc_.nodes_.size());
+  if (!stack_.empty()) {
+    int32_t parent = stack_.back();
+    node.parent = parent;
+    node.depth = doc_.nodes_[parent].depth + 1;
+    int32_t& last = last_child_.back();
+    if (last == -1) {
+      doc_.nodes_[parent].first_child = id;
+    } else {
+      doc_.nodes_[last].next_sibling = id;
+    }
+    last = id;
+  } else {
+    node.parent = -1;
+    node.depth = 1;
+  }
+  node.document_order = order_counter_++;
+  if (node.depth > doc_.max_depth_) doc_.max_depth_ = node.depth;
+  doc_.nodes_.push_back(std::move(node));
+  return id;
+}
+
+void DomBuilder::OnEvent(const StreamEvent& event) {
+  if (!ok() || done_) return;
+  switch (event.kind) {
+    case EventKind::kStartDocument:
+      break;
+    case EventKind::kEndDocument:
+      if (!stack_.empty()) {
+        error_ = "end of document with open elements";
+        return;
+      }
+      done_ = true;
+      break;
+    case EventKind::kStartElement: {
+      if (stack_.empty() && !doc_.nodes_.empty()) {
+        error_ = "multiple root elements";
+        return;
+      }
+      DomNode n;
+      n.kind = DomNode::Kind::kElement;
+      n.label = event.name;
+      int32_t id = AddNode(std::move(n));
+      ++doc_.element_count_;
+      stack_.push_back(id);
+      last_child_.push_back(-1);
+      break;
+    }
+    case EventKind::kEndElement:
+      if (stack_.empty()) {
+        error_ = "unbalanced end element </" + event.name + ">";
+        return;
+      }
+      if (doc_.nodes_[stack_.back()].label != event.name) {
+        error_ = "mismatched end element </" + event.name + ">";
+        return;
+      }
+      stack_.pop_back();
+      last_child_.pop_back();
+      break;
+    case EventKind::kText: {
+      if (stack_.empty()) return;  // text outside root: ignore
+      DomNode n;
+      n.kind = DomNode::Kind::kText;
+      n.text = event.text;
+      AddNode(std::move(n));
+      break;
+    }
+  }
+}
+
+Document DomBuilder::TakeDocument() { return std::move(doc_); }
+
+bool ParseXmlToDocument(std::string_view text, Document* out,
+                        std::string* error) {
+  DomBuilder builder;
+  XmlParser parser(&builder);
+  if (!parser.Parse(text)) {
+    if (error != nullptr) *error = parser.error();
+    return false;
+  }
+  if (!builder.ok()) {
+    if (error != nullptr) *error = builder.error();
+    return false;
+  }
+  *out = builder.TakeDocument();
+  return true;
+}
+
+bool EventsToDocument(const std::vector<StreamEvent>& events, Document* out,
+                      std::string* error) {
+  DomBuilder builder;
+  for (const StreamEvent& e : events) builder.OnEvent(e);
+  if (!builder.ok() || !builder.done()) {
+    if (error != nullptr) {
+      *error = builder.ok() ? "incomplete stream" : builder.error();
+    }
+    return false;
+  }
+  *out = builder.TakeDocument();
+  return true;
+}
+
+}  // namespace spex

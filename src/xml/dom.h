@@ -1,0 +1,107 @@
+// In-memory XML document tree (the "XML Tree" of Fig. 1, after the XPath data
+// model).  Used by the DOM baseline evaluator and as a test oracle.
+
+#ifndef SPEX_XML_DOM_H_
+#define SPEX_XML_DOM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xml/stream_event.h"
+
+namespace spex {
+
+// A node in the document tree.  Nodes are owned by their Document via a flat
+// arena (stable indices), which keeps construction allocation-cheap for
+// multi-million-node documents.
+struct DomNode {
+  enum class Kind : uint8_t { kElement, kText };
+
+  Kind kind = Kind::kElement;
+  std::string label;         // element label (empty for text nodes)
+  std::string text;          // character data (text nodes only)
+  int32_t parent = -1;       // index into Document::nodes, -1 for the root
+  int32_t first_child = -1;  // head of the child list
+  int32_t next_sibling = -1;
+  int32_t depth = 0;           // root element has depth 1
+  int64_t document_order = 0;  // position in document order (0 = root elem)
+};
+
+// A parsed document.  `nodes[0]` is the root element.
+class Document {
+ public:
+  Document() = default;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  const DomNode& node(int32_t id) const { return nodes_[id]; }
+  int32_t size() const { return static_cast<int32_t>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+  int32_t root() const { return empty() ? -1 : 0; }
+
+  // Children of `id` in document order.
+  std::vector<int32_t> Children(int32_t id) const;
+  // Element children only.
+  std::vector<int32_t> ElementChildren(int32_t id) const;
+
+  // Replays the subtree rooted at `id` (inclusive) as document messages,
+  // without <$> / </$>.
+  void EmitSubtree(int32_t id, EventSink* sink) const;
+  // Replays the whole document including <$> and </$>.
+  void EmitDocument(EventSink* sink) const;
+
+  // Serializes the subtree rooted at `id`.
+  std::string SubtreeToXml(int32_t id) const;
+
+  int max_depth() const { return max_depth_; }
+  int64_t element_count() const { return element_count_; }
+
+ private:
+  friend class DomBuilder;
+
+  std::vector<DomNode> nodes_;
+  int max_depth_ = 0;
+  int64_t element_count_ = 0;
+};
+
+// Builds a Document from a stream of document messages.
+class DomBuilder : public EventSink {
+ public:
+  DomBuilder();
+
+  void OnEvent(const StreamEvent& event) override;
+
+  // True once </$> has been received and the tree is complete.
+  bool done() const { return done_; }
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Takes the completed document.  Must only be called when done() && ok().
+  Document TakeDocument();
+
+ private:
+  int32_t AddNode(DomNode node);
+
+  Document doc_;
+  std::vector<int32_t> stack_;   // open element indices
+  std::vector<int32_t> last_child_;  // last child of each open element
+  bool done_ = false;
+  std::string error_;
+  int64_t order_counter_ = 0;
+};
+
+// Parses an XML string into a Document.  Returns false on error.
+bool ParseXmlToDocument(std::string_view text, Document* out,
+                        std::string* error = nullptr);
+
+// Builds a Document directly from an event vector (must be well-formed).
+bool EventsToDocument(const std::vector<StreamEvent>& events, Document* out,
+                      std::string* error = nullptr);
+
+}  // namespace spex
+
+#endif  // SPEX_XML_DOM_H_

@@ -1,0 +1,282 @@
+#include "xml/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spex {
+
+namespace {
+
+// Small helper tracking stats while forwarding to the real sink.
+class CountingSink : public EventSink {
+ public:
+  explicit CountingSink(EventSink* inner) : inner_(inner) {}
+
+  void OnEvent(const StreamEvent& event) override {
+    ++stats_.events;
+    switch (event.kind) {
+      case EventKind::kStartElement:
+        ++stats_.elements;
+        ++depth_;
+        stats_.max_depth = std::max(stats_.max_depth, depth_);
+        break;
+      case EventKind::kEndElement:
+        --depth_;
+        break;
+      case EventKind::kText:
+        stats_.text_bytes += static_cast<int64_t>(event.text.size());
+        break;
+      default:
+        break;
+    }
+    inner_->OnEvent(event);
+  }
+
+  const GeneratorStats& stats() const { return stats_; }
+
+ private:
+  EventSink* inner_;
+  GeneratorStats stats_;
+  int depth_ = 0;
+};
+
+void Open(EventSink* s, const char* label) {
+  s->OnEvent(StreamEvent::StartElement(label));
+}
+void Close(EventSink* s, const char* label) {
+  s->OnEvent(StreamEvent::EndElement(label));
+}
+void Leaf(EventSink* s, const char* label, std::string text) {
+  Open(s, label);
+  s->OnEvent(StreamEvent::Text(std::move(text)));
+  Close(s, label);
+}
+
+std::string SyntheticWord(std::mt19937_64& rng, int min_len, int max_len) {
+  static const char* kSyllables[] = {"ka", "ro", "mi", "ta", "lu", "ze",
+                                     "an", "pe", "so", "vi", "du", "ne"};
+  std::uniform_int_distribution<int> len(min_len, max_len);
+  std::uniform_int_distribution<size_t> pick(0, 11);
+  std::string out;
+  int n = len(rng);
+  for (int i = 0; i < n; ++i) out += kSyllables[pick(rng)];
+  return out;
+}
+
+}  // namespace
+
+GeneratorStats GenerateMondialLike(uint64_t seed, double scale,
+                                   EventSink* sink) {
+  CountingSink s(sink);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Calibrated so scale 1.0 yields roughly the paper's 24,184 elements with
+  // max element depth 5 (mondial/country/province/city/name).
+  const int countries = std::max(1, static_cast<int>(230 * scale));
+  std::uniform_int_distribution<int> provinces_per_country(2, 20);
+  std::uniform_int_distribution<int> cities_per_province(2, 10);
+  std::uniform_int_distribution<int> religions_per_country(0, 3);
+
+  s.OnEvent(StreamEvent::StartDocument());
+  Open(&s, "mondial");
+  for (int c = 0; c < countries; ++c) {
+    Open(&s, "country");
+    // `name` precedes `province`: for _*.country[province].name the qualifier
+    // value is unknown when the candidate answer is met (a "future condition").
+    Leaf(&s, "name", SyntheticWord(rng, 2, 4));
+    Leaf(&s, "population", std::to_string(rng() % 100000000));
+    const bool has_provinces = coin(rng) > 0.3;
+    if (has_provinces) {
+      int np = provinces_per_country(rng);
+      for (int p = 0; p < np; ++p) {
+        Open(&s, "province");
+        Leaf(&s, "name", SyntheticWord(rng, 2, 3));
+        int nc = cities_per_province(rng);
+        for (int k = 0; k < nc; ++k) {
+          Open(&s, "city");
+          Leaf(&s, "name", SyntheticWord(rng, 1, 3));
+          Close(&s, "city");
+        }
+        Close(&s, "province");
+      }
+    }
+    // `religions` follows `province`: for _*.country[province].religions the
+    // qualifier is already determined (a "past condition").
+    int nr = religions_per_country(rng);
+    for (int r = 0; r < nr; ++r) {
+      Leaf(&s, "religions", SyntheticWord(rng, 2, 3));
+    }
+    Close(&s, "country");
+  }
+  Close(&s, "mondial");
+  s.OnEvent(StreamEvent::EndDocument());
+  return s.stats();
+}
+
+GeneratorStats GenerateWordnetLike(uint64_t seed, double scale,
+                                   EventSink* sink) {
+  CountingSink s(sink);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // Roughly 208k elements at scale 1.0: nouns * (1 + ~2.6 children).
+  const int64_t nouns = std::max<int64_t>(1, static_cast<int64_t>(58000 * scale));
+  std::uniform_int_distribution<int> word_forms(1, 3);
+
+  s.OnEvent(StreamEvent::StartDocument());
+  Open(&s, "wordnet");
+  for (int64_t n = 0; n < nouns; ++n) {
+    Open(&s, "Noun");
+    Leaf(&s, "id", std::to_string(n));
+    if (coin(rng) > 0.2) {  // ~20% of Nouns lack wordForm: [wordForm] selects
+      int nw = word_forms(rng);
+      for (int w = 0; w < nw; ++w) {
+        Leaf(&s, "wordForm", SyntheticWord(rng, 1, 3));
+      }
+    }
+    if (coin(rng) > 0.5) {
+      Leaf(&s, "gloss", SyntheticWord(rng, 4, 8));
+    }
+    Close(&s, "Noun");
+  }
+  Close(&s, "wordnet");
+  s.OnEvent(StreamEvent::EndDocument());
+  return s.stats();
+}
+
+GeneratorStats GenerateDmozLike(uint64_t seed, double scale, bool content,
+                                EventSink* sink) {
+  CountingSink s(sink);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  // structure: ~3.94M elements at scale 1.0 (topics * ~4.4 children);
+  // content:  ~13.2M elements at scale 1.0 (topics * ~9.5 children).
+  const int64_t topics = std::max<int64_t>(
+      1, static_cast<int64_t>((content ? 1390000 : 900000) * scale));
+
+  s.OnEvent(StreamEvent::StartDocument());
+  Open(&s, "RDF");
+  for (int64_t t = 0; t < topics; ++t) {
+    Open(&s, "Topic");
+    Leaf(&s, "Title", SyntheticWord(rng, 2, 4));
+    const bool has_editor = coin(rng) > 0.6;  // ~40% of Topics have an editor
+    if (has_editor) {
+      Leaf(&s, "editor", SyntheticWord(rng, 2, 3));
+    }
+    if (coin(rng) > 0.5) {
+      Leaf(&s, "newsGroup", SyntheticWord(rng, 2, 3));
+    }
+    if (content) {
+      Leaf(&s, "Description", SyntheticWord(rng, 8, 16));
+      int nl = static_cast<int>(rng() % 4);
+      for (int l = 0; l < nl; ++l) {
+        Leaf(&s, "link", SyntheticWord(rng, 3, 6));
+      }
+      Leaf(&s, "lastUpdate", std::to_string(rng() % 1000000));
+    }
+    Close(&s, "Topic");
+  }
+  Close(&s, "RDF");
+  s.OnEvent(StreamEvent::EndDocument());
+  return s.stats();
+}
+
+namespace {
+
+void RandomSubtree(std::mt19937_64& rng, const RandomTreeOptions& opts,
+                   int depth, int64_t* budget, CountingSink* s) {
+  if (*budget <= 0) return;
+  std::uniform_int_distribution<size_t> pick_label(0, opts.labels.size() - 1);
+  const std::string& label = opts.labels[pick_label(rng)];
+  --*budget;
+  s->OnEvent(StreamEvent::StartElement(label));
+  if (depth < opts.max_depth) {
+    std::uniform_int_distribution<int> nkids(0, opts.max_children);
+    int n = nkids(rng);
+    for (int i = 0; i < n && *budget > 0; ++i) {
+      RandomSubtree(rng, opts, depth + 1, budget, s);
+    }
+  }
+  if (opts.text_probability > 0.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng) < opts.text_probability) {
+      s->OnEvent(StreamEvent::Text(SyntheticWord(rng, 1, 2)));
+    }
+  }
+  s->OnEvent(StreamEvent::EndElement(label));
+}
+
+}  // namespace
+
+GeneratorStats GenerateRandomTree(uint64_t seed, const RandomTreeOptions& opts,
+                                  EventSink* sink) {
+  CountingSink s(sink);
+  std::mt19937_64 rng(seed);
+  s.OnEvent(StreamEvent::StartDocument());
+  s.OnEvent(StreamEvent::StartElement(opts.root_label));
+  int64_t budget = opts.max_elements;
+  std::uniform_int_distribution<int> nkids(1, std::max(1, opts.max_children));
+  int n = nkids(rng);
+  for (int i = 0; i < n && budget > 0; ++i) {
+    RandomSubtree(rng, opts, 2, &budget, &s);
+  }
+  s.OnEvent(StreamEvent::EndElement(opts.root_label));
+  s.OnEvent(StreamEvent::EndDocument());
+  return s.stats();
+}
+
+GeneratorStats GenerateDeepChain(int depth,
+                                 const std::vector<std::string>& labels,
+                                 EventSink* sink) {
+  CountingSink s(sink);
+  s.OnEvent(StreamEvent::StartDocument());
+  for (int i = 0; i < depth; ++i) {
+    s.OnEvent(StreamEvent::StartElement(labels[i % labels.size()]));
+  }
+  for (int i = depth - 1; i >= 0; --i) {
+    s.OnEvent(StreamEvent::EndElement(labels[i % labels.size()]));
+  }
+  s.OnEvent(StreamEvent::EndDocument());
+  return s.stats();
+}
+
+GeneratorStats GenerateWideFlat(int64_t count, const std::string& root,
+                                const std::string& child, EventSink* sink) {
+  CountingSink s(sink);
+  s.OnEvent(StreamEvent::StartDocument());
+  s.OnEvent(StreamEvent::StartElement(root));
+  for (int64_t i = 0; i < count; ++i) {
+    s.OnEvent(StreamEvent::StartElement(child));
+    s.OnEvent(StreamEvent::EndElement(child));
+  }
+  s.OnEvent(StreamEvent::EndElement(root));
+  s.OnEvent(StreamEvent::EndDocument());
+  return s.stats();
+}
+
+EndlessEventSource::EndlessEventSource(uint64_t seed) : rng_(seed) {}
+
+void EndlessEventSource::Begin(EventSink* sink) {
+  sink->OnEvent(StreamEvent::StartDocument());
+  sink->OnEvent(StreamEvent::StartElement("feed"));
+}
+
+void EndlessEventSource::NextRecord(EventSink* sink) {
+  ++records_;
+  sink->OnEvent(StreamEvent::StartElement("tick"));
+  sink->OnEvent(StreamEvent::StartElement("symbol"));
+  sink->OnEvent(StreamEvent::Text(SyntheticWord(rng_, 1, 2)));
+  sink->OnEvent(StreamEvent::EndElement("symbol"));
+  if (rng_() % 4 == 0) {
+    sink->OnEvent(StreamEvent::StartElement("alert"));
+    sink->OnEvent(StreamEvent::EndElement("alert"));
+  }
+  sink->OnEvent(StreamEvent::StartElement("price"));
+  sink->OnEvent(StreamEvent::Text(std::to_string(rng_() % 10000)));
+  sink->OnEvent(StreamEvent::EndElement("price"));
+  sink->OnEvent(StreamEvent::EndElement("tick"));
+}
+
+}  // namespace spex

@@ -1,0 +1,106 @@
+// Synthetic dataset generators (paper §VI substitutions — see DESIGN.md §2).
+//
+// The paper evaluates on MONDIAL (small, highly structured), a WordNet RDF
+// excerpt (medium, flat, highly repetitive) and DMOZ structure/content dumps
+// (large/very large, flat).  Those exact files are not redistributable, so we
+// generate documents with the same shape parameters: element counts, depth,
+// label vocabulary and the child orderings that make the paper's four query
+// classes meaningful ("future" vs "past" structural conditions).
+//
+// All generators stream events directly into an EventSink, so paper-scale
+// documents (millions of elements) never need to be materialized.
+
+#ifndef SPEX_XML_GENERATORS_H_
+#define SPEX_XML_GENERATORS_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "xml/stream_event.h"
+
+namespace spex {
+
+// Summary of a generated document.
+struct GeneratorStats {
+  int64_t elements = 0;    // number of element nodes
+  int64_t events = 0;      // number of document messages emitted
+  int max_depth = 0;       // element nesting depth
+  int64_t text_bytes = 0;  // bytes of character data
+};
+
+// MONDIAL-like geographical database: depth 5, ~24k elements at scale 1.0.
+//   mondial / country ( name, province* ( name, city* ( name ) ), religions* )
+// About 30% of countries have no province children, so the qualifier
+// [province] is selective.  `name` precedes `province` (future condition) and
+// `religions` follows it (past condition), as required by query classes 2/4.
+GeneratorStats GenerateMondialLike(uint64_t seed, double scale,
+                                   EventSink* sink);
+
+// WordNet-like lexical database: flat, depth 3, ~208k elements at scale 1.0.
+//   wordnet / Noun ( id, wordForm+, gloss ) — ~20% of Nouns lack wordForm.
+GeneratorStats GenerateWordnetLike(uint64_t seed, double scale,
+                                   EventSink* sink);
+
+// DMOZ-like web directory: flat, depth 3.  At scale 1.0 the structure variant
+// has ~3.94M elements (paper: 300 MB) and the content variant ~13.2M elements
+// (paper: 1 GB).  `content=true` adds description/link children and longer
+// text.  ~40% of Topics have an editor; newsGroup follows editor.
+GeneratorStats GenerateDmozLike(uint64_t seed, double scale, bool content,
+                                EventSink* sink);
+
+// Fully random labeled tree, used by the property-based differential tests.
+struct RandomTreeOptions {
+  int max_depth = 6;
+  int max_children = 4;
+  int64_t max_elements = 200;
+  std::vector<std::string> labels = {"a", "b", "c"};
+  double text_probability = 0.0;
+  std::string root_label = "r";
+};
+GeneratorStats GenerateRandomTree(uint64_t seed, const RandomTreeOptions& opts,
+                                  EventSink* sink);
+
+// A document that is a single chain of `depth` nested elements, with labels
+// cycling through `labels`; used by the depth/memory ablation (E5) where the
+// §V bounds are functions of the stream depth d.
+GeneratorStats GenerateDeepChain(int depth, const std::vector<std::string>& labels,
+                                 EventSink* sink);
+
+// A flat document with `count` children labeled `child` under root `root`;
+// used by the stream-size/time ablation (E6).
+GeneratorStats GenerateWideFlat(int64_t count, const std::string& root,
+                                const std::string& child, EventSink* sink);
+
+// Convenience wrapper collecting a generator's output in a vector.
+template <typename Fn>
+std::vector<StreamEvent> GenerateToVector(Fn&& fn) {
+  RecordingEventSink sink;
+  fn(&sink);
+  return sink.events();
+}
+
+// An unbounded source of document messages for the continuous-service /
+// SDI scenario (paper §I, §VI "application-generated infinite streams").
+// Emits <$> then an endless sequence of <tick> records of bounded depth;
+// the document never ends.  Call NextBatch() repeatedly.
+class EndlessEventSource {
+ public:
+  explicit EndlessEventSource(uint64_t seed);
+
+  // Emits the stream preamble (<$> and the opening <feed>).
+  void Begin(EventSink* sink);
+  // Emits one complete record (a bounded-depth subtree).
+  void NextRecord(EventSink* sink);
+
+  int64_t records_emitted() const { return records_; }
+
+ private:
+  std::mt19937_64 rng_;
+  int64_t records_ = 0;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_XML_GENERATORS_H_

@@ -1,0 +1,115 @@
+#include "xml/stream_event.h"
+
+#include <ostream>
+#include <vector>
+
+namespace spex {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStartDocument:
+      return "start-document";
+    case EventKind::kEndDocument:
+      return "end-document";
+    case EventKind::kStartElement:
+      return "start-element";
+    case EventKind::kEndElement:
+      return "end-element";
+    case EventKind::kText:
+      return "text";
+  }
+  return "unknown";
+}
+
+std::string StreamEvent::ToString() const {
+  switch (kind) {
+    case EventKind::kStartDocument:
+      return "<$>";
+    case EventKind::kEndDocument:
+      return "</$>";
+    case EventKind::kStartElement:
+      return "<" + name + ">";
+    case EventKind::kEndElement:
+      return "</" + name + ">";
+    case EventKind::kText:
+      return "\"" + text + "\"";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const StreamEvent& event) {
+  return os << event.ToString();
+}
+
+bool ValidateStream(const std::vector<StreamEvent>& events, std::string* error) {
+  if (events.empty()) {
+    if (error != nullptr) *error = "empty stream";
+    return false;
+  }
+  if (events.front().kind != EventKind::kStartDocument) {
+    if (error != nullptr) *error = "stream does not begin with <$>";
+    return false;
+  }
+  if (events.back().kind != EventKind::kEndDocument) {
+    if (error != nullptr) *error = "stream does not end with </$>";
+    return false;
+  }
+  std::vector<const std::string*> open;
+  for (size_t i = 1; i + 1 < events.size(); ++i) {
+    const StreamEvent& e = events[i];
+    switch (e.kind) {
+      case EventKind::kStartDocument:
+      case EventKind::kEndDocument:
+        if (error != nullptr) *error = "document message inside the document";
+        return false;
+      case EventKind::kStartElement:
+        open.push_back(&e.name);
+        break;
+      case EventKind::kEndElement:
+        if (open.empty()) {
+          if (error != nullptr) *error = "unbalanced </" + e.name + ">";
+          return false;
+        }
+        if (*open.back() != e.name) {
+          if (error != nullptr) {
+            *error = "mismatched </" + e.name + ">, expected </" +
+                     *open.back() + ">";
+          }
+          return false;
+        }
+        open.pop_back();
+        break;
+      case EventKind::kText:
+        break;
+    }
+  }
+  if (!open.empty()) {
+    if (error != nullptr) *error = "unclosed <" + *open.back() + ">";
+    return false;
+  }
+  return true;
+}
+
+int StreamDepth(const std::vector<StreamEvent>& events) {
+  int depth = 0;
+  int max_depth = 0;
+  for (const StreamEvent& e : events) {
+    if (e.kind == EventKind::kStartElement) {
+      ++depth;
+      if (depth > max_depth) max_depth = depth;
+    } else if (e.kind == EventKind::kEndElement) {
+      --depth;
+    }
+  }
+  return max_depth;
+}
+
+int64_t CountElements(const std::vector<StreamEvent>& events) {
+  int64_t n = 0;
+  for (const StreamEvent& e : events) {
+    if (e.kind == EventKind::kStartElement) ++n;
+  }
+  return n;
+}
+
+}  // namespace spex

@@ -1,0 +1,108 @@
+// XML stream data model (paper §II.1).
+//
+// A stream is a sequence of document messages: a start-document message <$>,
+// start-element / end-element messages carrying parent-child structure, text
+// messages, and an end-document message </$>.  Streaming an XML document
+// corresponds to a depth-first left-to-right traversal of its tree.
+
+#ifndef SPEX_XML_STREAM_EVENT_H_
+#define SPEX_XML_STREAM_EVENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spex {
+
+// Kind of a document message.
+enum class EventKind : uint8_t {
+  kStartDocument,  // <$>
+  kEndDocument,    // </$>
+  kStartElement,   // <name>
+  kEndElement,     // </name>
+  kText,           // character data
+};
+
+// Returns a short human-readable name ("start-document", "start-element", ...).
+const char* EventKindName(EventKind kind);
+
+// One document message.  For element events `name` holds the label; for text
+// events `text` holds the character data; the unused field is empty.
+struct StreamEvent {
+  EventKind kind = EventKind::kStartDocument;
+  std::string name;
+  std::string text;
+
+  static StreamEvent StartDocument() { return {EventKind::kStartDocument, {}, {}}; }
+  static StreamEvent EndDocument() { return {EventKind::kEndDocument, {}, {}}; }
+  static StreamEvent StartElement(std::string label) {
+    return {EventKind::kStartElement, std::move(label), {}};
+  }
+  static StreamEvent EndElement(std::string label) {
+    return {EventKind::kEndElement, std::move(label), {}};
+  }
+  static StreamEvent Text(std::string data) {
+    return {EventKind::kText, {}, std::move(data)};
+  }
+
+  bool IsElement() const {
+    return kind == EventKind::kStartElement || kind == EventKind::kEndElement;
+  }
+
+  // Renders the event in the paper's notation: <$>, </$>, <a>, </a>, "text".
+  std::string ToString() const;
+
+  friend bool operator==(const StreamEvent& a, const StreamEvent& b) {
+    return a.kind == b.kind && a.name == b.name && a.text == b.text;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const StreamEvent& event);
+
+// Consumer of a stream of document messages.  Implemented by the SPEX engine,
+// the DOM builder, the serializer, and test recorders.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void OnEvent(const StreamEvent& event) = 0;
+};
+
+// EventSink adapter around a std::function, convenient in tests and examples.
+class FunctionEventSink : public EventSink {
+ public:
+  explicit FunctionEventSink(std::function<void(const StreamEvent&)> fn)
+      : fn_(std::move(fn)) {}
+  void OnEvent(const StreamEvent& event) override { fn_(event); }
+
+ private:
+  std::function<void(const StreamEvent&)> fn_;
+};
+
+// EventSink that appends every event to a vector.
+class RecordingEventSink : public EventSink {
+ public:
+  void OnEvent(const StreamEvent& event) override { events_.push_back(event); }
+  const std::vector<StreamEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<StreamEvent> events_;
+};
+
+// Checks that `events` forms a well-formed stream: starts with <$>, ends with
+// </$>, element tags are properly nested and labels match.  Returns true on
+// success; otherwise fills *error with a description.
+bool ValidateStream(const std::vector<StreamEvent>& events, std::string* error);
+
+// Returns the maximum element nesting depth of a well-formed stream (the
+// depth d of the unmaterialized document tree; the root element has depth 1).
+int StreamDepth(const std::vector<StreamEvent>& events);
+
+// Counts the elements (start-element messages) in the stream.
+int64_t CountElements(const std::vector<StreamEvent>& events);
+
+}  // namespace spex
+
+#endif  // SPEX_XML_STREAM_EVENT_H_

@@ -1,0 +1,433 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace spex {
+
+namespace {
+
+bool AllWhitespace(const std::string& s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+XmlParser::XmlParser(EventSink* sink, XmlParserOptions options)
+    : sink_(sink), options_(options) {}
+
+bool XmlParser::IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool XmlParser::IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool XmlParser::IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+bool XmlParser::Fail(const std::string& message) {
+  if (error_.empty()) {
+    error_ = message + " (at byte " + std::to_string(bytes_consumed_) + ")";
+  }
+  state_ = State::kError;
+  return false;
+}
+
+void XmlParser::EmitStartDocumentIfNeeded() {
+  if (!document_started_) {
+    document_started_ = true;
+    if (options_.emit_document_events) {
+      sink_->OnEvent(StreamEvent::StartDocument());
+    }
+  }
+}
+
+void XmlParser::FlushText() {
+  if (text_.empty()) return;
+  if (!(options_.skip_whitespace_text && AllWhitespace(text_))) {
+    if (!open_elements_.empty()) {  // text outside the root is ignored
+      EmitStartDocumentIfNeeded();
+      sink_->OnEvent(StreamEvent::Text(text_));
+    }
+  }
+  text_.clear();
+}
+
+bool XmlParser::EmitStartElement() {
+  if (seen_root_ && open_elements_.empty()) {
+    return Fail("multiple root elements");
+  }
+  EmitStartDocumentIfNeeded();
+  seen_root_ = true;
+  if (options_.max_depth > 0 &&
+      static_cast<int>(open_elements_.size()) >= options_.max_depth) {
+    return Fail("maximum depth exceeded");
+  }
+  sink_->OnEvent(StreamEvent::StartElement(tag_name_));
+  if (options_.expose_attributes && !EmitAttributes()) return false;
+  if (tag_self_closing_) {
+    sink_->OnEvent(StreamEvent::EndElement(tag_name_));
+  } else {
+    open_elements_.push_back(tag_name_);
+  }
+  tag_name_.clear();
+  tag_rest_.clear();
+  tag_self_closing_ = false;
+  tag_name_done_ = false;
+  return true;
+}
+
+bool XmlParser::EmitAttributes() {
+  // tag_rest_ holds everything between the element name and '>', with
+  // quoting already verified by the feed loop.
+  size_t i = 0;
+  const std::string& rest = tag_rest_;
+  auto skip_space = [&] {
+    while (i < rest.size() && IsSpace(rest[i])) ++i;
+  };
+  for (;;) {
+    skip_space();
+    if (i >= rest.size()) return true;
+    if (rest[i] == '/') {  // the self-closing slash
+      ++i;
+      continue;
+    }
+    size_t name_start = i;
+    while (i < rest.size() && IsNameChar(rest[i])) ++i;
+    if (i == name_start) {
+      return Fail("malformed attribute near '" + rest.substr(i, 8) + "'");
+    }
+    std::string name = rest.substr(name_start, i - name_start);
+    skip_space();
+    if (i >= rest.size() || rest[i] != '=') {
+      return Fail("attribute " + name + " missing '='");
+    }
+    ++i;
+    skip_space();
+    if (i >= rest.size() || (rest[i] != '"' && rest[i] != '\'')) {
+      return Fail("attribute " + name + " missing quoted value");
+    }
+    char quote = rest[i++];
+    size_t value_start = i;
+    while (i < rest.size() && rest[i] != quote) ++i;
+    if (i >= rest.size()) {
+      return Fail("attribute " + name + " has an unterminated value");
+    }
+    std::string raw = rest.substr(value_start, i - value_start);
+    ++i;
+    // Decode entities in the value through the shared text machinery.
+    std::string value;
+    value.swap(text_);
+    for (size_t k = 0; k < raw.size(); ++k) {
+      if (raw[k] == '&') {
+        entity_buffer_.clear();
+        ++k;
+        while (k < raw.size() && raw[k] != ';') entity_buffer_ += raw[k++];
+        if (k >= raw.size() || !DecodeEntity()) {
+          text_.swap(value);
+          return Fail("bad entity in attribute " + name);
+        }
+      } else {
+        text_ += raw[k];
+      }
+    }
+    std::string decoded;
+    decoded.swap(text_);
+    text_.swap(value);
+    sink_->OnEvent(StreamEvent::StartElement("@" + name));
+    if (!decoded.empty()) sink_->OnEvent(StreamEvent::Text(decoded));
+    sink_->OnEvent(StreamEvent::EndElement("@" + name));
+  }
+}
+
+bool XmlParser::EmitEndElement(const std::string& name) {
+  if (open_elements_.empty()) {
+    return Fail("unbalanced </" + name + ">");
+  }
+  if (open_elements_.back() != name) {
+    return Fail("mismatched </" + name + ">, expected </" +
+                open_elements_.back() + ">");
+  }
+  open_elements_.pop_back();
+  sink_->OnEvent(StreamEvent::EndElement(name));
+  return true;
+}
+
+bool XmlParser::DecodeEntity() {
+  const std::string& e = entity_buffer_;
+  if (e == "lt") {
+    text_ += '<';
+  } else if (e == "gt") {
+    text_ += '>';
+  } else if (e == "amp") {
+    text_ += '&';
+  } else if (e == "apos") {
+    text_ += '\'';
+  } else if (e == "quot") {
+    text_ += '"';
+  } else if (!e.empty() && e[0] == '#') {
+    long code = 0;
+    if (e.size() > 1 && (e[1] == 'x' || e[1] == 'X')) {
+      code = std::strtol(e.c_str() + 2, nullptr, 16);
+    } else {
+      code = std::strtol(e.c_str() + 1, nullptr, 10);
+    }
+    if (code <= 0 || code > 0x10FFFF) {
+      return Fail("invalid character reference &" + e + ";");
+    }
+    // UTF-8 encode.
+    unsigned long cp = static_cast<unsigned long>(code);
+    if (cp < 0x80) {
+      text_ += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      text_ += static_cast<char>(0xC0 | (cp >> 6));
+      text_ += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      text_ += static_cast<char>(0xE0 | (cp >> 12));
+      text_ += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      text_ += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      text_ += static_cast<char>(0xF0 | (cp >> 18));
+      text_ += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      text_ += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      text_ += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  } else {
+    return Fail("unknown entity &" + e + ";");
+  }
+  entity_buffer_.clear();
+  return true;
+}
+
+bool XmlParser::HandleContentChar(char c) {
+  if (in_entity_) {
+    if (c == ';') {
+      in_entity_ = false;
+      return DecodeEntity();
+    }
+    if (entity_buffer_.size() > 16) return Fail("unterminated entity");
+    entity_buffer_ += c;
+    return true;
+  }
+  if (c == '<') {
+    FlushText();
+    if (!ok()) return false;
+    state_ = State::kMarkup;
+    return true;
+  }
+  if (c == '&') {
+    in_entity_ = true;
+    entity_buffer_.clear();
+    return true;
+  }
+  text_ += c;
+  return true;
+}
+
+bool XmlParser::HandleMarkupChar(char c) {
+  if (c == '/') {
+    state_ = State::kEndTag;
+    tag_name_.clear();
+    return true;
+  }
+  if (c == '?') {
+    state_ = State::kPi;
+    pi_prev_ = '\0';
+    return true;
+  }
+  if (c == '!') {
+    state_ = State::kBang;
+    bang_buffer_.clear();
+    return true;
+  }
+  if (IsNameStartChar(c)) {
+    state_ = State::kStartTag;
+    tag_name_.assign(1, c);
+    tag_rest_.clear();
+    tag_self_closing_ = false;
+    tag_name_done_ = false;
+    return true;
+  }
+  return Fail(std::string("unexpected character '") + c + "' after '<'");
+}
+
+bool XmlParser::HandleStartTagChar(char c) {
+  if (!tag_name_done_) {
+    if (IsNameChar(c)) {
+      tag_name_ += c;
+      return true;
+    }
+    tag_name_done_ = true;
+    // fall through: c terminates the name
+  }
+  if (c == '>') {
+    if (!tag_rest_.empty() && tag_rest_.back() == '/') {
+      tag_self_closing_ = true;
+    }
+    state_ = State::kContent;
+    return EmitStartElement();
+  }
+  if (IsSpace(c) || c == '/' || c == '=' || IsNameChar(c)) {
+    // Attribute region: kept only to detect the trailing '/'.  A full
+    // attribute well-formedness check is overkill for the paper's data model
+    // (quoted values are handled by the caller's quote tracking).
+    tag_rest_ += c;
+    return true;
+  }
+  return Fail(std::string("unexpected character '") + c + "' in start tag <" +
+              tag_name_);
+}
+
+bool XmlParser::HandleEndTagChar(char c) {
+  if (c == '>') {
+    // Trim trailing spaces: "</a  >" is legal.
+    while (!tag_name_.empty() && IsSpace(tag_name_.back())) {
+      tag_name_.pop_back();
+    }
+    if (tag_name_.empty()) return Fail("empty end tag");
+    state_ = State::kContent;
+    bool ok2 = EmitEndElement(tag_name_);
+    tag_name_.clear();
+    return ok2;
+  }
+  if (IsNameChar(c) || IsSpace(c)) {
+    tag_name_ += c;
+    return true;
+  }
+  return Fail(std::string("unexpected character '") + c + "' in end tag");
+}
+
+bool XmlParser::Feed(std::string_view chunk) {
+  if (state_ == State::kError) return false;
+  for (char c : chunk) {
+    ++bytes_consumed_;
+    switch (state_) {
+      case State::kContent:
+        if (!HandleContentChar(c)) return false;
+        break;
+      case State::kMarkup:
+        if (!HandleMarkupChar(c)) return false;
+        break;
+      case State::kStartTag:
+        // Quote-aware: inside a quoted attribute value '>' is data.
+        if (attr_quote_ != 0) {
+          if (c == attr_quote_) attr_quote_ = 0;
+          tag_rest_ += c;
+        } else if (tag_name_done_ && (c == '"' || c == '\'')) {
+          attr_quote_ = c;
+          tag_rest_ += c;
+        } else if (!HandleStartTagChar(c)) {
+          return false;
+        }
+        break;
+      case State::kEndTag:
+        if (!HandleEndTagChar(c)) return false;
+        break;
+      case State::kBang:
+        bang_buffer_ += c;
+        if (bang_buffer_ == "--") {
+          state_ = State::kComment;
+          comment_dashes_ = 0;
+        } else if (bang_buffer_ == "[CDATA[") {
+          state_ = State::kCdata;
+          cdata_brackets_ = 0;
+        } else if (bang_buffer_.size() >= 7 &&
+                   bang_buffer_.compare(0, 7, "DOCTYPE") == 0) {
+          state_ = State::kDoctype;
+          doctype_depth_ = 1;  // counts '<' ... '>' nesting incl. the opener
+        } else if (bang_buffer_.size() > 7) {
+          return Fail("malformed '<!' markup");
+        }
+        break;
+      case State::kComment:
+        if (c == '-') {
+          ++comment_dashes_;
+        } else if (c == '>' && comment_dashes_ >= 2) {
+          state_ = State::kContent;
+        } else {
+          comment_dashes_ = 0;
+        }
+        break;
+      case State::kCdata:
+        if (c == ']') {
+          ++cdata_brackets_;
+        } else if (c == '>' && cdata_brackets_ >= 2) {
+          state_ = State::kContent;
+          cdata_brackets_ = 0;
+        } else {
+          while (cdata_brackets_ > 0) {
+            text_ += ']';
+            --cdata_brackets_;
+          }
+          text_ += c;
+        }
+        break;
+      case State::kPi:
+        if (c == '>' && pi_prev_ == '?') {
+          state_ = State::kContent;
+        }
+        pi_prev_ = c;
+        break;
+      case State::kDoctype:
+        if (c == '<') {
+          ++doctype_depth_;
+        } else if (c == '>') {
+          --doctype_depth_;
+          if (doctype_depth_ == 0) state_ = State::kContent;
+        }
+        break;
+      case State::kError:
+        return false;
+    }
+  }
+  return ok();
+}
+
+bool XmlParser::Finish() {
+  if (state_ == State::kError) return false;
+  if (state_ != State::kContent) {
+    return Fail("input ended inside markup");
+  }
+  if (in_entity_) {
+    return Fail("input ended inside entity reference");
+  }
+  FlushText();
+  if (!ok()) return false;
+  if (!open_elements_.empty()) {
+    return Fail("unclosed <" + open_elements_.back() + "> at end of input");
+  }
+  if (!seen_root_) {
+    return Fail("no root element");
+  }
+  EmitStartDocumentIfNeeded();
+  if (options_.emit_document_events) {
+    sink_->OnEvent(StreamEvent::EndDocument());
+  }
+  return true;
+}
+
+bool XmlParser::Parse(std::string_view document) {
+  return Feed(document) && Finish();
+}
+
+bool ParseXmlToEvents(std::string_view document, std::vector<StreamEvent>* out,
+                      std::string* error, XmlParserOptions options) {
+  RecordingEventSink sink;
+  XmlParser parser(&sink, options);
+  if (!parser.Parse(document)) {
+    if (error != nullptr) *error = parser.error();
+    return false;
+  }
+  *out = sink.events();
+  return true;
+}
+
+}  // namespace spex

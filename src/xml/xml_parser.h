@@ -1,0 +1,142 @@
+// Streaming (SAX-style) XML parser, built from scratch (paper §II.1 and [8]).
+//
+// The parser is incremental and push-based: feed it arbitrary chunks of bytes
+// with Feed(); it emits document messages to an EventSink as soon as they are
+// complete.  This matches the paper's setting where the stream may be
+// unbounded and must never be buffered wholesale.
+//
+// Supported XML subset (the paper's data model, §II.1):
+//   * elements with ASCII-ish names:  <a> ... </a>  and  <a/>
+//   * character data, with entity decoding (&lt; &gt; &amp; &apos; &quot;
+//     and numeric &#NN; / &#xHH;)
+//   * XML declaration (<?xml ... ?>), processing instructions, comments,
+//     CDATA sections and DOCTYPE are recognized and skipped
+//   * attributes are parsed for well-formedness and, optionally
+//     (XmlParserOptions::expose_attributes), exposed as @-prefixed virtual
+//     child elements; by default they are skipped as in the paper's data
+//     model
+//
+// Errors are reported by returning false; the message is in error().
+
+#ifndef SPEX_XML_XML_PARSER_H_
+#define SPEX_XML_XML_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/stream_event.h"
+
+namespace spex {
+
+// Tunable limits protecting against pathological inputs.
+struct XmlParserOptions {
+  // If true, text consisting only of whitespace between elements is dropped.
+  bool skip_whitespace_text = true;
+  // If true, attributes are exposed in the stream as virtual child elements
+  // named "@<attr>" holding the value as text, emitted right after the
+  // element's start message (the paper's §II.1 "necessary extensions are
+  // technical, but not difficult"): <a id="7"> becomes
+  // <a> <@id> "7" </@id> ... — queries like a[@id] or a.@id then work with
+  // the unchanged transducer network.  If false (default), attributes are
+  // parsed for well-formedness and dropped.
+  bool expose_attributes = false;
+  // Maximum element nesting depth accepted (0 = unlimited).
+  int max_depth = 0;
+  // If true, the parser emits kStartDocument before the first message and
+  // kEndDocument when Finish() is called.
+  bool emit_document_events = true;
+};
+
+class XmlParser {
+ public:
+  explicit XmlParser(EventSink* sink, XmlParserOptions options = {});
+
+  XmlParser(const XmlParser&) = delete;
+  XmlParser& operator=(const XmlParser&) = delete;
+
+  // Feeds a chunk of input.  Returns false on a well-formedness error (the
+  // parser then stays in the error state).
+  bool Feed(std::string_view chunk);
+
+  // Declares end of input: flushes trailing text, checks all elements are
+  // closed, and emits </$>.  Returns false on error.
+  bool Finish();
+
+  // Convenience: parse a complete document in one call.
+  bool Parse(std::string_view document);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  // Number of bytes consumed so far.
+  int64_t bytes_consumed() const { return bytes_consumed_; }
+  // Current element nesting depth.
+  int depth() const { return static_cast<int>(open_elements_.size()); }
+
+ private:
+  enum class State : uint8_t {
+    kContent,        // between markup: accumulating character data
+    kMarkup,         // after '<'
+    kStartTag,       // inside <name ... >
+    kEndTag,         // inside </name >
+    kComment,        // inside <!-- ... -->
+    kCdata,          // inside <![CDATA[ ... ]]>
+    kPi,             // inside <? ... ?>
+    kDoctype,        // inside <!DOCTYPE ... >
+    kBang,           // after '<!', disambiguating comment / CDATA / DOCTYPE
+    kError,
+  };
+
+  bool Fail(const std::string& message);
+  void EmitStartDocumentIfNeeded();
+  void FlushText();
+  bool EmitStartElement();
+  // Parses tag_rest_ into (name, value) pairs and emits them as virtual
+  // @-elements.  Returns false on malformed attribute syntax.
+  bool EmitAttributes();
+  bool EmitEndElement(const std::string& name);
+  bool DecodeEntity();  // decodes entity_buffer_ into text_
+  bool HandleContentChar(char c);
+  bool HandleMarkupChar(char c);
+  bool HandleStartTagChar(char c);
+  bool HandleEndTagChar(char c);
+
+  static bool IsNameStartChar(char c);
+  static bool IsNameChar(char c);
+  static bool IsSpace(char c);
+
+  EventSink* sink_;
+  XmlParserOptions options_;
+  State state_ = State::kContent;
+  std::string error_;
+
+  bool document_started_ = false;
+  bool seen_root_ = false;
+  bool in_entity_ = false;
+  std::string entity_buffer_;
+  std::string text_;       // pending character data
+  std::string tag_name_;   // name being accumulated
+  std::string tag_rest_;   // attribute region of a start tag
+  bool tag_self_closing_ = false;
+  bool tag_name_done_ = false;
+  char attr_quote_ = '\0';  // active quote char inside a start tag, or 0
+  std::string bang_buffer_;  // lookahead after '<!'
+  int comment_dashes_ = 0;   // trailing '-' count inside comments
+  int cdata_brackets_ = 0;   // trailing ']' count inside CDATA
+  char pi_prev_ = '\0';
+  int doctype_depth_ = 0;
+  std::vector<std::string> open_elements_;
+  int64_t bytes_consumed_ = 0;
+};
+
+// Parses a complete document into a vector of events.  Returns true on
+// success; on failure fills *error if non-null.
+bool ParseXmlToEvents(std::string_view document, std::vector<StreamEvent>* out,
+                      std::string* error = nullptr,
+                      XmlParserOptions options = {});
+
+}  // namespace spex
+
+#endif  // SPEX_XML_XML_PARSER_H_

@@ -1,0 +1,133 @@
+// Unit tests of the baseline evaluators: the DOM oracle's set semantics and
+// the X-Scan-style streaming NFA.
+
+#include <gtest/gtest.h>
+
+#include "baseline/dom_evaluator.h"
+#include "baseline/nfa_evaluator.h"
+#include "rpeq/parser.h"
+#include "test_util.h"
+#include "xml/dom.h"
+
+namespace spex {
+namespace {
+
+constexpr char kPaperDoc[] = "<a><a><c/></a><b/><c/></a>";
+
+std::vector<std::string> DomEval(const std::string& query,
+                                 const std::string& xml) {
+  return DomEvaluateToStrings(*MustParseRpeq(query), xml);
+}
+
+TEST(DomEvaluatorTest, ChildSteps) {
+  EXPECT_EQ(DomEval("a.c", kPaperDoc), (std::vector<std::string>{"<c></c>"}));
+  EXPECT_TRUE(DomEval("c", kPaperDoc).empty());
+}
+
+TEST(DomEvaluatorTest, ClosureSemantics) {
+  EXPECT_EQ(DomEval("a+", kPaperDoc).size(), 2u);
+  EXPECT_EQ(DomEval("a+.c", kPaperDoc).size(), 2u);
+  // a* includes the zero-step case: c children of the virtual root do not
+  // exist, but a*.c == c | a+.c.
+  EXPECT_EQ(DomEval("a*.c", kPaperDoc).size(), 2u);
+}
+
+TEST(DomEvaluatorTest, WildcardAndNestedResults) {
+  EXPECT_EQ(DomEval("_*._", kPaperDoc).size(), 5u);
+  EXPECT_EQ(DomEval("_", kPaperDoc).size(), 1u);
+}
+
+TEST(DomEvaluatorTest, QualifiersFilterBySubtreeExistence) {
+  EXPECT_EQ(DomEval("_*.a[b]", kPaperDoc).size(), 1u);
+  EXPECT_EQ(DomEval("_*.a[c]", kPaperDoc).size(), 2u);
+  EXPECT_TRUE(DomEval("_*.a[zzz]", kPaperDoc).empty());
+}
+
+TEST(DomEvaluatorTest, ResultsInDocumentOrderWithoutDuplicates) {
+  // (a|_) matches the same node twice; the result must contain it once.
+  Document doc;
+  std::string error;
+  ASSERT_TRUE(ParseXmlToDocument(kPaperDoc, &doc, &error)) << error;
+  std::vector<int32_t> r = EvaluateOnDocument(*MustParseRpeq("(a|_)"), doc);
+  ASSERT_EQ(r.size(), 1u);
+  std::vector<int32_t> all = EvaluateOnDocument(*MustParseRpeq("_*._"), doc);
+  for (size_t i = 1; i < all.size(); ++i) EXPECT_LT(all[i - 1], all[i]);
+}
+
+TEST(DomEvaluatorTest, EmptyAndOptional) {
+  EXPECT_TRUE(DomEval("()", kPaperDoc).empty());  // virtual root dropped
+  EXPECT_EQ(DomEval("a.a?.c", kPaperDoc).size(), 2u);
+}
+
+TEST(DomEvaluatorTest, EventStreamEntryPoint) {
+  std::vector<StreamEvent> events = MustParseEvents(kPaperDoc);
+  EXPECT_EQ(DomEvaluateEventStream(*MustParseRpeq("_*.c"), events), 2);
+}
+
+TEST(PathNfaTest, BuildRejectsQualifiers) {
+  PathNfa nfa;
+  std::string error;
+  EXPECT_FALSE(nfa.Build(*MustParseRpeq("a[b]"), &error));
+  EXPECT_NE(error.find("qualifier"), std::string::npos);
+  EXPECT_TRUE(nfa.Build(*MustParseRpeq("a.b|c+"), &error));
+}
+
+TEST(PathNfaTest, StepAndAccept) {
+  PathNfa nfa;
+  std::string error;
+  ASSERT_TRUE(nfa.Build(*MustParseRpeq("a.b"), &error));
+  std::vector<int> s0 = nfa.InitialStates();
+  EXPECT_FALSE(nfa.Accepts(s0));
+  std::vector<int> s1 = nfa.Step(s0, "a");
+  EXPECT_FALSE(nfa.Accepts(s1));
+  std::vector<int> s2 = nfa.Step(s1, "b");
+  EXPECT_TRUE(nfa.Accepts(s2));
+  EXPECT_TRUE(nfa.Step(s0, "b").empty());
+}
+
+TEST(PathNfaTest, ClosureLoops) {
+  PathNfa nfa;
+  std::string error;
+  ASSERT_TRUE(nfa.Build(*MustParseRpeq("a+"), &error));
+  std::vector<int> s = nfa.InitialStates();
+  for (int i = 0; i < 5; ++i) {
+    s = nfa.Step(s, "a");
+    EXPECT_TRUE(nfa.Accepts(s)) << i;
+  }
+  EXPECT_FALSE(nfa.Accepts(nfa.Step(s, "x")));
+}
+
+TEST(PathNfaTest, KleeneAcceptsImmediately) {
+  PathNfa nfa;
+  std::string error;
+  ASSERT_TRUE(nfa.Build(*MustParseRpeq("a*"), &error));
+  EXPECT_TRUE(nfa.Accepts(nfa.InitialStates()));
+}
+
+TEST(NfaEvaluateTest, CountsMatchesOnPaperDoc) {
+  std::vector<StreamEvent> events = MustParseEvents(kPaperDoc);
+  EXPECT_EQ(NfaCountMatches(*MustParseRpeq("a.c"), events), 1);
+  EXPECT_EQ(NfaCountMatches(*MustParseRpeq("a+.c+"), events), 2);
+  EXPECT_EQ(NfaCountMatches(*MustParseRpeq("_*._"), events), 5);
+  EXPECT_EQ(NfaCountMatches(*MustParseRpeq("a[b]"), events), -1);
+}
+
+TEST(NfaEvaluateTest, ReportsMatchOrdinals) {
+  std::vector<StreamEvent> events = MustParseEvents(kPaperDoc);
+  NfaResult r = NfaEvaluate(*MustParseRpeq("_*.c"), events);
+  ASSERT_TRUE(r.ok);
+  // Elements in order: a(0) a(1) c(2) b(3) c(4).
+  EXPECT_EQ(r.matches, (std::vector<int64_t>{2, 4}));
+}
+
+TEST(NfaStreamEvaluatorTest, IncrementalUse) {
+  PathNfa nfa;
+  std::string error;
+  ASSERT_TRUE(nfa.Build(*MustParseRpeq("_*.c"), &error));
+  NfaStreamEvaluator eval(&nfa);
+  for (const StreamEvent& e : MustParseEvents(kPaperDoc)) eval.OnEvent(e);
+  EXPECT_EQ(eval.match_count(), 2);
+}
+
+}  // namespace
+}  // namespace spex

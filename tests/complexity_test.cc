@@ -1,0 +1,161 @@
+// Tests of the §V complexity claims, measured through the engine's
+// resource accounting:
+//   * Lemma V.1  — network degree linear in query size
+//   * depth stacks bounded by the stream depth d
+//   * condition stacks bounded by d (nested activations)
+//   * rpeq* fragment (no qualifiers): constant formula size
+//   * rpeq! fragment (qualifiers, no closure): formula size <= min(n, d)
+//   * output buffering zero for decided candidates (progressiveness)
+
+#include <gtest/gtest.h>
+
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+RunStats RunOn(const std::string& query,
+               const std::vector<StreamEvent>& events) {
+  ExprPtr e = MustParseRpeq(query);
+  CountingResultSink sink;
+  SpexEngine engine(*e, &sink);
+  for (const StreamEvent& ev : events) engine.OnEvent(ev);
+  return engine.ComputeStats();
+}
+
+std::vector<StreamEvent> Chain(int depth) {
+  return GenerateToVector([&](EventSink* s) {
+    GenerateDeepChain(depth, {"a", "b"}, s);
+  });
+}
+
+TEST(ComplexityTest, DepthStackGrowsLinearlyWithStreamDepth) {
+  // S_depth = O(d): doubling the document depth doubles the peak.
+  ExprPtr q = MustParseRpeq("_*.a");
+  int64_t prev = 0;
+  for (int d = 8; d <= 128; d *= 2) {
+    RunStats stats = RunOn("_*.a", Chain(d));
+    EXPECT_GE(stats.max_depth_stack, d);      // counts every level
+    EXPECT_LE(stats.max_depth_stack, d + 2);  // plus <$>
+    EXPECT_GT(stats.max_depth_stack, prev);
+    prev = stats.max_depth_stack;
+  }
+}
+
+TEST(ComplexityTest, ConditionStackBoundedByNestedActivations) {
+  // A wildcard closure activates every level: condition stacks reach d.
+  for (int d = 8; d <= 64; d *= 2) {
+    RunStats stats = RunOn("_*.a[b]", Chain(d));
+    EXPECT_LE(stats.max_condition_stack, d + 2);
+  }
+  // A flat document keeps them constant regardless of size.
+  std::vector<StreamEvent> flat = GenerateToVector(
+      [](EventSink* s) { GenerateWideFlat(5000, "r", "a", s); });
+  RunStats stats = RunOn("_*.a[b]", flat);
+  EXPECT_LE(stats.max_condition_stack, 4);
+}
+
+TEST(ComplexityTest, QualifierFreeQueriesHaveConstantFormulas) {
+  // §V, fragment rpeq*: the only formula is `true` (size 0 in our DAG).
+  for (int d = 8; d <= 64; d *= 2) {
+    RunStats stats = RunOn("_*.a.b+", Chain(d));
+    EXPECT_EQ(stats.max_formula_nodes, 0);
+  }
+}
+
+TEST(ComplexityTest, QualifierWithoutClosureFormulasBounded) {
+  // §V, fragment rpeq!: conjunctions of at most min(n, d) variables.
+  std::vector<StreamEvent> events = GenerateToVector(
+      [](EventSink* s) { GenerateMondialLike(1, 0.05, s); });
+  RunStats one = RunOn("mondial.country[province].name", events);
+  EXPECT_LE(one.max_formula_nodes, 1 + 1);  // a single variable
+  RunStats two =
+      RunOn("mondial.country[province].province[city].name", events);
+  EXPECT_LE(two.max_formula_nodes, 3 + 1);  // c1 AND c2
+}
+
+TEST(ComplexityTest, WildcardClosureWithQualifierFormulasBoundedByDepth) {
+  // §V, fragment rpeq*!: sizes grow with d but stay polynomial for one
+  // qualifier (disjunctions of at most d variables).
+  for (int d = 8; d <= 64; d *= 2) {
+    RunStats stats = RunOn("_*[b]._", Chain(d));
+    EXPECT_LE(stats.max_formula_nodes, 4 * d);
+  }
+}
+
+TEST(ComplexityTest, NetworkDegreeLinear) {
+  // Lemma V.1 measured through the compiler.
+  std::vector<int> degrees;
+  for (int n = 1; n <= 32; n *= 2) {
+    std::string q = "_*";
+    for (int i = 0; i < n; ++i) q += ".a[b]";
+    ExprPtr e = MustParseRpeq(q);
+    CountingResultSink sink;
+    SpexEngine engine(*e, &sink);
+    degrees.push_back(engine.network().node_count());
+  }
+  // Degree(n) = base + 7n (CH + VC + SP + CH + VF + VD + JO per step).
+  for (size_t i = 1; i < degrees.size(); ++i) {
+    int n_prev = 1 << (i - 1);
+    int n_cur = 1 << i;
+    EXPECT_EQ(degrees[i] - degrees[i - 1], 7 * (n_cur - n_prev));
+  }
+}
+
+TEST(ComplexityTest, TimeMessagesLinearInStreamSize) {
+  // T = O(sigma * s): the number of messages processed grows linearly with
+  // the stream size for a fixed query.
+  ExprPtr q = MustParseRpeq("r.a[b]");
+  int64_t prev_messages = 0;
+  for (int64_t n = 1000; n <= 8000; n *= 2) {
+    std::vector<StreamEvent> events = GenerateToVector(
+        [&](EventSink* s) { GenerateWideFlat(n, "r", "a", s); });
+    RunStats stats = RunOn("r.a[b]", events);
+    if (prev_messages > 0) {
+      double ratio = static_cast<double>(stats.total_messages) /
+                     static_cast<double>(prev_messages);
+      EXPECT_NEAR(ratio, 2.0, 0.2);  // doubling s doubles messages
+    }
+    prev_messages = stats.total_messages;
+  }
+}
+
+TEST(ComplexityTest, ProgressiveOutputBuffersOnlyUndecidedCandidates) {
+  // Class 1 (no qualifiers): nothing is ever buffered.
+  std::vector<StreamEvent> events = GenerateToVector(
+      [](EventSink* s) { GenerateMondialLike(1, 0.05, s); });
+  RunStats no_qual = RunOn("_*.province.city", events);
+  EXPECT_EQ(no_qual.output.buffered_events_peak, 0);
+  EXPECT_GT(no_qual.output.candidates_emitted, 0);
+  // Classes 2 and 4 buffer a candidate only while its qualifier instance is
+  // undetermined; the peak is bounded by the record size, NOT by the stream
+  // size: doubling the document leaves the peak unchanged.
+  RunStats past = RunOn("_*.country[province].religions", events);
+  EXPECT_GT(past.output.candidates_emitted, 0);
+  RunStats future = RunOn("_*.country[province].name", events);
+  EXPECT_GT(future.output.buffered_events_peak, 0);
+  std::vector<StreamEvent> twice = GenerateToVector(
+      [](EventSink* s) { GenerateMondialLike(1, 0.1, s); });
+  RunStats future2 = RunOn("_*.country[province].name", twice);
+  EXPECT_EQ(future2.output.buffered_events_peak,
+            future.output.buffered_events_peak);
+  EXPECT_LE(past.output.buffered_events_peak, 64);
+  EXPECT_LE(future.output.buffered_events_peak, 64);
+}
+
+TEST(ComplexityTest, EndDocumentLeavesNoResidue) {
+  std::vector<StreamEvent> events = GenerateToVector(
+      [](EventSink* s) { GenerateMondialLike(3, 0.02, s); });
+  ExprPtr q = MustParseRpeq("_*.country[province].name");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  for (const StreamEvent& ev : events) engine.OnEvent(ev);
+  RunStats stats = engine.ComputeStats();
+  EXPECT_EQ(stats.output.candidates_created,
+            stats.output.candidates_emitted + stats.output.candidates_dropped);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,204 @@
+// Tests of the streaming content-model validator (the §VIII [21] substrate:
+// DTD validation with a stack bounded by the document depth).
+
+#include "xml/content_model.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/generators.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+namespace {
+
+Schema MustParseSchema(const std::string& text) {
+  Schema schema;
+  std::string error;
+  EXPECT_TRUE(ParseSchema(text, &schema, &error)) << error;
+  return schema;
+}
+
+bool Validate(const Schema& schema, const std::string& xml,
+              std::string* error = nullptr, ValidatorOptions options = {}) {
+  std::vector<StreamEvent> events;
+  std::string parse_error;
+  EXPECT_TRUE(ParseXmlToEvents(xml, &events, &parse_error)) << parse_error;
+  return ValidateEvents(schema, events, error, options);
+}
+
+TEST(SchemaParserTest, ParsesDeclarations) {
+  Schema s = MustParseSchema(R"(
+    # a catalog schema
+    root    = catalog
+    catalog = book*
+    book    = title, author+, year?
+    title   = TEXT
+    author  = TEXT
+    year    = TEXT
+  )");
+  EXPECT_EQ(s.root, "catalog");
+  EXPECT_EQ(s.elements.size(), 5u);  // `root` is a directive, not an element
+  EXPECT_TRUE(s.declares("book"));
+  EXPECT_TRUE(s.elements.at("title")->allows_text());
+  EXPECT_FALSE(s.elements.at("book")->allows_text());
+}
+
+TEST(SchemaParserTest, Errors) {
+  Schema s;
+  std::string error;
+  EXPECT_FALSE(ParseSchema("book title, author", &s, &error));
+  EXPECT_NE(error.find("expected '='"), std::string::npos);
+  EXPECT_FALSE(ParseSchema("a = (b, c", &s, &error));
+  EXPECT_FALSE(ParseSchema("a = b\na = c", &s, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+  EXPECT_FALSE(ParseSchema("a = b,,c", &s, &error));
+}
+
+TEST(ContentModelTest, SequenceSemantics) {
+  Schema s = MustParseSchema("r = a, b, c\na=EMPTY\nb=EMPTY\nc=EMPTY");
+  EXPECT_TRUE(Validate(s, "<r><a/><b/><c/></r>"));
+  EXPECT_FALSE(Validate(s, "<r><a/><c/><b/></r>"));  // wrong order
+  EXPECT_FALSE(Validate(s, "<r><a/><b/></r>"));      // too short
+  std::string error;
+  EXPECT_FALSE(Validate(s, "<r><a/><b/><c/><c/></r>", &error));
+  EXPECT_NE(error.find("unexpected child"), std::string::npos);
+}
+
+TEST(ContentModelTest, ClosureAndOptional) {
+  Schema s = MustParseSchema(
+      "r = a+, b*, c?\na=EMPTY\nb=EMPTY\nc=EMPTY");
+  EXPECT_TRUE(Validate(s, "<r><a/></r>"));
+  EXPECT_TRUE(Validate(s, "<r><a/><a/><b/><b/><c/></r>"));
+  EXPECT_FALSE(Validate(s, "<r><b/></r>"));        // a+ missing
+  EXPECT_FALSE(Validate(s, "<r><a/><c/><c/></r>"));  // two c's
+}
+
+TEST(ContentModelTest, AlternationAndGroups) {
+  Schema s = MustParseSchema("r = (a | b)*, c\na=EMPTY\nb=EMPTY\nc=EMPTY");
+  EXPECT_TRUE(Validate(s, "<r><c/></r>"));
+  EXPECT_TRUE(Validate(s, "<r><a/><b/><a/><c/></r>"));
+  EXPECT_FALSE(Validate(s, "<r><a/></r>"));
+}
+
+TEST(ContentModelTest, EmptyAnyText) {
+  Schema s = MustParseSchema(
+      "r = e, x, t\ne = EMPTY\nx = ANY\nt = TEXT");
+  EXPECT_TRUE(Validate(s, "<r><e/><x><weird/>stuff</x><t>hi</t></r>"));
+  std::string error;
+  EXPECT_FALSE(Validate(s, "<r><e>oops</e><x/><t/></r>", &error));
+  EXPECT_NE(error.find("character data"), std::string::npos);
+  EXPECT_FALSE(Validate(s, "<r><e><child/></e><x/><t/></r>"));
+  EXPECT_FALSE(Validate(s, "<r><e/><x/><t><child/></t></r>"));
+}
+
+TEST(ContentModelTest, MixedContent) {
+  Schema s = MustParseSchema("p = TEXT | (b | i)*\nb = TEXT\ni = TEXT");
+  EXPECT_TRUE(Validate(s, "<p>plain</p>"));
+  EXPECT_TRUE(Validate(s, "<p><b>x</b><i>y</i></p>"));
+  // TEXT sets a flag: character data is allowed between children too.
+  EXPECT_TRUE(Validate(s, "<p>a<b>x</b>c</p>"));
+}
+
+TEST(ContentModelTest, RootDeclaration) {
+  Schema s = MustParseSchema("root = r\nr = EMPTY");
+  EXPECT_TRUE(Validate(s, "<r/>"));
+  std::string error;
+  EXPECT_FALSE(Validate(s, "<x/>", &error));
+  EXPECT_NE(error.find("root"), std::string::npos);
+}
+
+TEST(ContentModelTest, UndeclaredElements) {
+  // An element may satisfy its parent's model yet lack a declaration.
+  Schema s = MustParseSchema("r = mystery?, a\na = EMPTY");
+  std::string error;
+  EXPECT_FALSE(Validate(s, "<r><mystery/><a/></r>", &error));
+  EXPECT_NE(error.find("undeclared"), std::string::npos);
+  ValidatorOptions lax;
+  lax.allow_undeclared = true;
+  EXPECT_TRUE(Validate(s, "<r><mystery/><a/></r>", nullptr, lax));
+  // Inside ANY content, undeclared elements are tolerated by design.
+  Schema any = MustParseSchema("r = a\na = ANY");
+  EXPECT_TRUE(Validate(any, "<r><a><mystery/></a></r>"));
+}
+
+TEST(ContentModelTest, WhitespaceTextIgnoredByDefault) {
+  Schema s = MustParseSchema("r = a\na = EMPTY");
+  std::vector<StreamEvent> events = {
+      StreamEvent::StartDocument(), StreamEvent::StartElement("r"),
+      StreamEvent::Text("  \n "),   StreamEvent::StartElement("a"),
+      StreamEvent::EndElement("a"), StreamEvent::EndElement("r"),
+      StreamEvent::EndDocument()};
+  EXPECT_TRUE(ValidateEvents(s, events));
+  ValidatorOptions strict;
+  strict.ignore_whitespace_text = false;
+  EXPECT_FALSE(ValidateEvents(s, events, nullptr, strict));
+}
+
+TEST(StreamingValidatorTest, MemoryBoundedByDepthNotSize) {
+  // The [21] claim: one NFA state-set per OPEN element.
+  Schema s = MustParseSchema("r = item*\nitem = v\nv = TEXT");
+  StreamingValidator validator(&s);
+  validator.OnEvent(StreamEvent::StartDocument());
+  validator.OnEvent(StreamEvent::StartElement("r"));
+  for (int i = 0; i < 50000; ++i) {
+    validator.OnEvent(StreamEvent::StartElement("item"));
+    validator.OnEvent(StreamEvent::StartElement("v"));
+    validator.OnEvent(StreamEvent::Text("x"));
+    validator.OnEvent(StreamEvent::EndElement("v"));
+    validator.OnEvent(StreamEvent::EndElement("item"));
+  }
+  validator.OnEvent(StreamEvent::EndElement("r"));
+  validator.OnEvent(StreamEvent::EndDocument());
+  EXPECT_TRUE(validator.valid()) << validator.error();
+  EXPECT_EQ(validator.max_depth(), 3);  // never grows with the stream
+  EXPECT_EQ(validator.elements_checked(), 100001);
+}
+
+TEST(StreamingValidatorTest, FirstErrorIsSticky) {
+  Schema s = MustParseSchema("r = a\na = EMPTY");
+  StreamingValidator validator(&s);
+  validator.OnEvent(StreamEvent::StartDocument());
+  validator.OnEvent(StreamEvent::StartElement("r"));
+  validator.OnEvent(StreamEvent::StartElement("z"));  // error 1
+  validator.OnEvent(StreamEvent::StartElement("y"));  // would be error 2
+  EXPECT_FALSE(validator.valid());
+  EXPECT_NE(validator.error().find("z"), std::string::npos);
+}
+
+TEST(StreamingValidatorTest, GeneratedMondialValidatesAgainstItsSchema) {
+  // The generator's output conforms to the schema that documents it —
+  // useful both as a generator invariant and as a validator stress test.
+  Schema s = MustParseSchema(R"(
+    root       = mondial
+    mondial    = country*
+    country    = name, population, province*, religions*
+    province   = name, city*
+    city       = name
+    name       = TEXT
+    population = TEXT
+    religions  = TEXT
+  )");
+  RecordingEventSink sink;
+  GenerateMondialLike(11, 0.05, &sink);
+  std::string error;
+  EXPECT_TRUE(ValidateEvents(s, sink.events(), &error)) << error;
+}
+
+TEST(StreamingValidatorTest, DetectsGeneratorSchemaViolations) {
+  Schema s = MustParseSchema(R"(
+    root       = mondial
+    mondial    = country*
+    country    = name, province*     # population missing from the model
+    province   = name, city*
+    city       = name
+    name       = TEXT
+  )");
+  RecordingEventSink sink;
+  GenerateMondialLike(11, 0.02, &sink);
+  std::string error;
+  EXPECT_FALSE(ValidateEvents(s, sink.events(), &error));
+  EXPECT_NE(error.find("population"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spex

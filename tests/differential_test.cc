@@ -1,0 +1,192 @@
+// Property-based differential tests: SPEX (streaming transducer network)
+// must agree with the DOM oracle (recursive set semantics of §II.2) on
+// random documents x random queries, and with the NFA baseline on
+// qualifier-free queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baseline/dom_evaluator.h"
+#include "baseline/nfa_evaluator.h"
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "xml/dom.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+// Random rpeq generator over a small label alphabet.
+class QueryGen {
+ public:
+  QueryGen(uint64_t seed, bool with_qualifiers)
+      : rng_(seed), with_qualifiers_(with_qualifiers) {}
+
+  ExprPtr Gen(int budget) { return GenRec(budget); }
+
+ private:
+  std::string RandomLabel() {
+    static const char* kLabels[] = {"a", "b", "c", "_"};
+    return kLabels[rng_() % 4];
+  }
+
+  ExprPtr GenLeaf() {
+    std::string label = RandomLabel();
+    switch (rng_() % 4) {
+      case 0:
+        return MakeClosure(label, /*positive=*/true);
+      case 1:
+        return MakeClosure(label, /*positive=*/false);
+      default:
+        return MakeLabel(label);
+    }
+  }
+
+  ExprPtr GenRec(int budget) {
+    if (budget <= 1) return GenLeaf();
+    switch (rng_() % (with_qualifiers_ ? 6 : 4)) {
+      case 0:
+      case 1:
+        return MakeConcat(GenRec(budget / 2), GenRec(budget - budget / 2));
+      case 2:
+        return MakeUnion(GenRec(budget / 2), GenRec(budget - budget / 2));
+      case 3:
+        return MakeOptional(GenRec(budget - 1));
+      default:
+        return MakeQualified(GenRec(budget / 2), GenRec(budget - budget / 2));
+    }
+  }
+
+  std::mt19937_64 rng_;
+  bool with_qualifiers_;
+};
+
+std::vector<StreamEvent> RandomDoc(uint64_t seed, int max_depth,
+                                   int64_t max_elements) {
+  RandomTreeOptions opts;
+  opts.max_depth = max_depth;
+  opts.max_children = 3;
+  opts.max_elements = max_elements;
+  opts.labels = {"a", "b", "c"};
+  opts.root_label = "a";
+  return GenerateToVector(
+      [&](EventSink* sink) { GenerateRandomTree(seed, opts, sink); });
+}
+
+std::vector<std::string> Oracle(const Expr& query,
+                                const std::vector<StreamEvent>& events) {
+  Document doc;
+  std::string error;
+  EXPECT_TRUE(EventsToDocument(events, &doc, &error)) << error;
+  return DomEvaluateToStrings(query, doc);
+}
+
+class DifferentialSeedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialSeedTest, SpexAgreesWithDomOracle) {
+  const int seed = GetParam();
+  std::vector<StreamEvent> events = RandomDoc(seed, 5, 60);
+  QueryGen gen(seed * 7919 + 13, /*with_qualifiers=*/true);
+  for (int q = 0; q < 8; ++q) {
+    ExprPtr query = gen.Gen(2 + q);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " query=" + query->ToString());
+    EXPECT_EQ(EvaluateToStrings(*query, events), Oracle(*query, events));
+  }
+}
+
+TEST_P(DifferentialSeedTest, LazyAndEagerModesAgree) {
+  const int seed = GetParam();
+  std::vector<StreamEvent> events = RandomDoc(seed + 1000, 4, 40);
+  QueryGen gen(seed * 104729 + 1, /*with_qualifiers=*/true);
+  EngineOptions lazy;
+  lazy.eager_formula_update = false;
+  for (int q = 0; q < 4; ++q) {
+    ExprPtr query = gen.Gen(3 + q);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " query=" + query->ToString());
+    EXPECT_EQ(EvaluateToStrings(*query, events, lazy),
+              EvaluateToStrings(*query, events));
+  }
+}
+
+TEST_P(DifferentialSeedTest, NfaAgreesOnQualifierFreeQueries) {
+  const int seed = GetParam();
+  std::vector<StreamEvent> events = RandomDoc(seed + 2000, 5, 80);
+  QueryGen gen(seed * 31 + 5, /*with_qualifiers=*/false);
+  for (int q = 0; q < 6; ++q) {
+    ExprPtr query = gen.Gen(2 + q);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " query=" + query->ToString());
+    int64_t nfa = NfaCountMatches(*query, events);
+    ASSERT_GE(nfa, 0);
+    EXPECT_EQ(nfa, CountMatches(*query, events));
+    Document doc;
+    std::string error;
+    ASSERT_TRUE(EventsToDocument(events, &doc, &error)) << error;
+    EXPECT_EQ(nfa,
+              static_cast<int64_t>(EvaluateOnDocument(*query, doc).size()));
+  }
+}
+
+TEST_P(DifferentialSeedTest, DeepNarrowDocuments) {
+  // Deep chains exercise the scope stacks.
+  const int seed = GetParam();
+  std::vector<StreamEvent> events = RandomDoc(seed + 3000, 12, 40);
+  QueryGen gen(seed * 17 + 3, /*with_qualifiers=*/true);
+  for (int q = 0; q < 4; ++q) {
+    ExprPtr query = gen.Gen(4);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " query=" + query->ToString());
+    EXPECT_EQ(EvaluateToStrings(*query, events), Oracle(*query, events));
+  }
+}
+
+
+TEST_P(DifferentialSeedTest, DeterminationOrderPolicyMatchesAsSet) {
+  const int seed = GetParam();
+  std::vector<StreamEvent> events = RandomDoc(seed + 4000, 6, 60);
+  QueryGen gen(seed * 2221 + 9, /*with_qualifiers=*/true);
+  EngineOptions interleaved;
+  interleaved.output_order = OutputOrder::kDetermination;
+  for (int q = 0; q < 4; ++q) {
+    ExprPtr query = gen.Gen(3 + q);
+    SCOPED_TRACE("seed=" + std::to_string(seed) +
+                 " query=" + query->ToString());
+    std::vector<std::string> a = EvaluateToStrings(*query, events);
+    std::vector<std::string> b =
+        EvaluateToStrings(*query, events, interleaved);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeedTest,
+                         ::testing::Range(0, 25));
+
+// Hand-picked regression queries on the same documents for every seed.
+class FixedQueryDifferentialTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixedQueryDifferentialTest, AgreesOnManyDocuments) {
+  ExprPtr query = MustParseRpeq(GetParam());
+  for (int seed = 0; seed < 10; ++seed) {
+    std::vector<StreamEvent> events = RandomDoc(seed, 6, 80);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query=" + GetParam());
+    EXPECT_EQ(EvaluateToStrings(*query, events), Oracle(*query, events));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, FixedQueryDifferentialTest,
+    ::testing::Values("a", "_", "_*._", "a+.c+", "_*.a[b].c", "_*.a[b]._*.c",
+                      "a.(b|c)", "(a|b).c", "a?.b?.c", "_*.a[b[c]]",
+                      "_*.a[b][c]", "a[_*.c].b", "_+", "_+._+",
+                      "a[b|c]", "_*.a[b?]", "(a.b)|(a.c)", "a[b].a[c]",
+                      "_*.b[a+]", "a*.c", "_*.a[_._]"));
+
+}  // namespace
+}  // namespace spex

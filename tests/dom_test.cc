@@ -1,0 +1,116 @@
+// Unit tests for the in-memory document tree (Fig. 1's "XML Tree").
+
+#include "xml/dom.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_writer.h"
+
+namespace spex {
+namespace {
+
+Document Parse(const std::string& xml) {
+  Document doc;
+  std::string error;
+  EXPECT_TRUE(ParseXmlToDocument(xml, &doc, &error)) << error;
+  return doc;
+}
+
+TEST(DomTest, BuildsPaperFig1Tree) {
+  Document doc = Parse("<a><a><c/></a><b/><c/></a>");
+  EXPECT_EQ(doc.element_count(), 5);
+  EXPECT_EQ(doc.max_depth(), 3);
+  const DomNode& root = doc.node(doc.root());
+  EXPECT_EQ(root.label, "a");
+  EXPECT_EQ(root.parent, -1);
+  EXPECT_EQ(root.depth, 1);
+  std::vector<int32_t> kids = doc.ElementChildren(doc.root());
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(doc.node(kids[0]).label, "a");
+  EXPECT_EQ(doc.node(kids[1]).label, "b");
+  EXPECT_EQ(doc.node(kids[2]).label, "c");
+}
+
+TEST(DomTest, DocumentOrderFollowsNodeIds) {
+  Document doc = Parse("<a><b><c/></b><d/></a>");
+  for (int32_t i = 0; i < doc.size(); ++i) {
+    EXPECT_EQ(doc.node(i).document_order, i);
+  }
+}
+
+TEST(DomTest, TextNodes) {
+  Document doc = Parse("<a>x<b>y</b>z</a>");
+  std::vector<int32_t> kids = doc.Children(doc.root());
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(doc.node(kids[0]).kind, DomNode::Kind::kText);
+  EXPECT_EQ(doc.node(kids[0]).text, "x");
+  EXPECT_EQ(doc.node(kids[1]).kind, DomNode::Kind::kElement);
+  EXPECT_EQ(doc.node(kids[2]).text, "z");
+  // ElementChildren skips text.
+  EXPECT_EQ(doc.ElementChildren(doc.root()).size(), 1u);
+}
+
+TEST(DomTest, SubtreeSerialization) {
+  Document doc = Parse("<a><b>x</b><c/></a>");
+  std::vector<int32_t> kids = doc.ElementChildren(doc.root());
+  EXPECT_EQ(doc.SubtreeToXml(kids[0]), "<b>x</b>");
+  EXPECT_EQ(doc.SubtreeToXml(doc.root()), "<a><b>x</b><c></c></a>");
+}
+
+TEST(DomTest, EmitDocumentRoundTrips) {
+  Document doc = Parse("<a><b>x</b></a>");
+  RecordingEventSink sink;
+  doc.EmitDocument(&sink);
+  ASSERT_GE(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events().front().kind, EventKind::kStartDocument);
+  EXPECT_EQ(sink.events().back().kind, EventKind::kEndDocument);
+  Document again;
+  std::string error;
+  ASSERT_TRUE(EventsToDocument(sink.events(), &again, &error)) << error;
+  EXPECT_EQ(again.element_count(), doc.element_count());
+  EXPECT_EQ(again.SubtreeToXml(0), doc.SubtreeToXml(0));
+}
+
+TEST(DomTest, DepthTracking) {
+  Document doc = Parse("<a><b><c><d/></c></b></a>");
+  EXPECT_EQ(doc.max_depth(), 4);
+  EXPECT_EQ(doc.node(3).depth, 4);
+}
+
+TEST(DomBuilderTest, RejectsIncompleteStream) {
+  Document doc;
+  std::string error;
+  EXPECT_FALSE(EventsToDocument(
+      {StreamEvent::StartDocument(), StreamEvent::StartElement("a")}, &doc,
+      &error));
+}
+
+TEST(DomBuilderTest, RejectsMismatchedEnd) {
+  DomBuilder builder;
+  builder.OnEvent(StreamEvent::StartDocument());
+  builder.OnEvent(StreamEvent::StartElement("a"));
+  builder.OnEvent(StreamEvent::EndElement("b"));
+  EXPECT_FALSE(builder.ok());
+}
+
+TEST(DomBuilderTest, RejectsMultipleRoots) {
+  DomBuilder builder;
+  builder.OnEvent(StreamEvent::StartDocument());
+  builder.OnEvent(StreamEvent::StartElement("a"));
+  builder.OnEvent(StreamEvent::EndElement("a"));
+  builder.OnEvent(StreamEvent::StartElement("b"));
+  EXPECT_FALSE(builder.ok());
+}
+
+TEST(DomTest, LargeFlatDocument) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 1000; ++i) xml += "<x/>";
+  xml += "</r>";
+  Document doc = Parse(xml);
+  EXPECT_EQ(doc.element_count(), 1001);
+  EXPECT_EQ(doc.ElementChildren(doc.root()).size(), 1000u);
+  EXPECT_EQ(doc.max_depth(), 2);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,180 @@
+// Unit tests for condition formulas (Def. 2 / §V): construction,
+// three-valued evaluation, simplification, false-pruning, variable
+// projection and size accounting.
+
+#include "spex/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace spex {
+namespace {
+
+TEST(VarIdTest, PacksQualifierAndCounter) {
+  VarId v = MakeVarId(3, 12345);
+  EXPECT_EQ(VarQualifier(v), 3u);
+  EXPECT_EQ(VarCounter(v), 12345u);
+  EXPECT_EQ(VarName(v), "co3_12345");
+}
+
+TEST(AssignmentTest, FirstDeterminationWins) {
+  Assignment a;
+  EXPECT_EQ(a.Get(1), Truth::kUnknown);
+  EXPECT_TRUE(a.Set(1, true));
+  EXPECT_EQ(a.Get(1), Truth::kTrue);
+  EXPECT_FALSE(a.Set(1, false));  // ignored: already determined
+  EXPECT_EQ(a.Get(1), Truth::kTrue);
+  EXPECT_TRUE(a.Set(2, false));
+  EXPECT_EQ(a.Get(2), Truth::kFalse);
+}
+
+TEST(FormulaTest, Constants) {
+  EXPECT_TRUE(Formula::True().is_true());
+  EXPECT_TRUE(Formula::False().is_false());
+  EXPECT_TRUE(Formula().is_true());  // default is `true`
+  Assignment empty;
+  EXPECT_EQ(Formula::True().Evaluate(empty), Truth::kTrue);
+  EXPECT_EQ(Formula::False().Evaluate(empty), Truth::kFalse);
+}
+
+TEST(FormulaTest, ConstantFolding) {
+  Formula v = Formula::Var(1);
+  EXPECT_TRUE(Formula::And(Formula::True(), v).SameAs(v));
+  EXPECT_TRUE(Formula::And(v, Formula::True()).SameAs(v));
+  EXPECT_TRUE(Formula::And(Formula::False(), v).is_false());
+  EXPECT_TRUE(Formula::Or(Formula::False(), v).SameAs(v));
+  EXPECT_TRUE(Formula::Or(v, Formula::True()).is_true());
+}
+
+TEST(FormulaTest, IdempotentOrAndAndOnSameNode) {
+  // The normalization of §III.4: a disjunction of a formula with itself
+  // collapses ("a formula contains at most one reference to a variable").
+  Formula v = Formula::Var(1);
+  EXPECT_TRUE(Formula::Or(v, v).SameAs(v));
+  EXPECT_TRUE(Formula::And(v, v).SameAs(v));
+}
+
+TEST(FormulaTest, ThreeValuedEvaluation) {
+  Formula f = Formula::And(Formula::Or(Formula::Var(1), Formula::Var(2)),
+                           Formula::Var(3));
+  Assignment a;
+  EXPECT_EQ(f.Evaluate(a), Truth::kUnknown);
+  a.Set(3, true);
+  EXPECT_EQ(f.Evaluate(a), Truth::kUnknown);
+  a.Set(1, true);
+  EXPECT_EQ(f.Evaluate(a), Truth::kTrue);  // 2 still unknown: OR short-circuit
+
+  Assignment b;
+  b.Set(3, false);
+  EXPECT_EQ(f.Evaluate(b), Truth::kFalse);  // AND short-circuit
+
+  Assignment c;
+  c.Set(1, false);
+  c.Set(2, false);
+  EXPECT_EQ(f.Evaluate(c), Truth::kFalse);
+}
+
+TEST(FormulaTest, SimplifySubstitutesBothValues) {
+  Formula f = Formula::And(Formula::Or(Formula::Var(1), Formula::Var(2)),
+                           Formula::Var(3));
+  Assignment a;
+  a.Set(1, false);
+  Formula g = f.Simplify(a);
+  EXPECT_EQ(g.ToString(), "co0_2&co0_3");
+  a.Set(2, true);
+  EXPECT_EQ(f.Simplify(a).ToString(), "co0_3");
+  a.Set(3, true);
+  EXPECT_TRUE(f.Simplify(a).is_true());
+}
+
+TEST(FormulaTest, PruneFalseKeepsTrueVariablesSymbolic) {
+  Formula f = Formula::Or(Formula::And(Formula::Var(1), Formula::Var(2)),
+                          Formula::Var(3));
+  Assignment a;
+  a.Set(1, true);   // kept symbolic by PruneFalse
+  a.Set(3, false);  // pruned
+  Formula g = f.PruneFalse(a);
+  EXPECT_EQ(g.ToString(), "co0_1&co0_2");
+  // Full simplify would erase co0_1.
+  EXPECT_EQ(f.Simplify(a).ToString(), "co0_2");
+}
+
+TEST(FormulaTest, VariablesInFirstOccurrenceOrder) {
+  Formula f = Formula::And(Formula::Var(MakeVarId(1, 0)),
+                           Formula::Or(Formula::Var(MakeVarId(0, 5)),
+                                       Formula::Var(MakeVarId(1, 0))));
+  std::vector<VarId> vars = f.Variables();
+  ASSERT_EQ(vars.size(), 2u);  // deduplicated
+  EXPECT_EQ(vars[0], MakeVarId(1, 0));
+  EXPECT_EQ(vars[1], MakeVarId(0, 5));
+  EXPECT_EQ(f.VariablesOfQualifier(1).size(), 1u);
+  EXPECT_EQ(f.VariablesOfQualifier(0).size(), 1u);
+  EXPECT_TRUE(f.VariablesOfQualifier(7).empty());
+}
+
+TEST(FormulaTest, NodeCountSharesDag) {
+  Formula a = Formula::Or(Formula::Var(1), Formula::Var(2));  // 3 nodes
+  EXPECT_EQ(a.NodeCount(), 3);
+  // And/Or of a handle with itself collapse entirely (normalization).
+  EXPECT_EQ(Formula::And(a, a).NodeCount(), 3);
+  // Shared subterms are counted once.
+  Formula b = Formula::And(a, Formula::Var(3));  // +var +and
+  EXPECT_EQ(b.NodeCount(), 5);
+  Formula c = Formula::Or(b, a);  // a is already inside b: +1 or-node only
+  EXPECT_EQ(c.NodeCount(), 6);
+  EXPECT_EQ(Formula::True().NodeCount(), 0);
+}
+
+TEST(FormulaTest, DnfLiteralCount) {
+  // (1|2)&(3|4) expands to 4 terms of 2 literals each = 8 literals.
+  Formula f = Formula::And(Formula::Or(Formula::Var(1), Formula::Var(2)),
+                           Formula::Or(Formula::Var(3), Formula::Var(4)));
+  EXPECT_EQ(f.DnfLiteralCount(), 8);
+  EXPECT_EQ(Formula::Var(1).DnfLiteralCount(), 1);
+  EXPECT_EQ(Formula::True().DnfLiteralCount(), 0);
+}
+
+TEST(FormulaTest, DnfLiteralCountSaturatesAtCap) {
+  // Chain of ANDs of ORs: DNF size 2^20 literals * 20 — must cap, and the
+  // shared-DAG representation must stay tiny (Remark V.1's point).
+  Formula f = Formula::True();
+  for (int i = 0; i < 20; ++i) {
+    f = Formula::And(
+        f, Formula::Or(Formula::Var(2 * i), Formula::Var(2 * i + 1)));
+  }
+  EXPECT_EQ(f.DnfLiteralCount(1000), 1001);  // saturated
+  EXPECT_LE(f.NodeCount(), 4 * 20);          // factored stays linear
+}
+
+TEST(FormulaTest, DeepSharedDagEvaluationIsNotExponential) {
+  // f_{i+1} = f_i OR f_i-with-extra; naive traversal would be 2^64.
+  Formula f = Formula::Var(0);
+  for (int i = 1; i < 64; ++i) {
+    f = Formula::Or(f, Formula::And(f, Formula::Var(i)));
+  }
+  Assignment a;
+  a.Set(0, false);
+  EXPECT_EQ(f.Evaluate(a), Truth::kFalse);  // memoized traversal terminates
+  a.Set(1, true);
+  EXPECT_EQ(f.Evaluate(a), Truth::kFalse);
+}
+
+TEST(FormulaTest, ToString) {
+  Formula f = Formula::And(Formula::Or(Formula::Var(1), Formula::Var(2)),
+                           Formula::Var(3));
+  EXPECT_EQ(f.ToString(), "(co0_1|co0_2)&co0_3");
+  EXPECT_EQ(Formula::True().ToString(), "true");
+  EXPECT_EQ(Formula::False().ToString(), "false");
+}
+
+TEST(VariableAllocatorTest, PerQualifierCounters) {
+  VariableAllocator alloc;
+  EXPECT_EQ(alloc.Next(0), MakeVarId(0, 0));
+  EXPECT_EQ(alloc.Next(0), MakeVarId(0, 1));
+  EXPECT_EQ(alloc.Next(2), MakeVarId(2, 0));
+  EXPECT_EQ(alloc.Next(0), MakeVarId(0, 2));
+  alloc.Reset();
+  EXPECT_EQ(alloc.Next(0), MakeVarId(0, 0));
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,116 @@
+// Tests of the node-identity join `(p1 & p2)` (paper §I) and its
+// intersection transducer, plus CQ identity-join support.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "baseline/dom_evaluator.h"
+#include "cq/conjunctive.h"
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "test_util.h"
+#include "xml/dom.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+constexpr char kPaperDoc[] = "<a><a><c/></a><b/><c/></a>";
+
+std::vector<std::string> Eval(const std::string& query,
+                              const std::string& xml) {
+  return EvaluateToStrings(*MustParseRpeq(query), MustParseEvents(xml));
+}
+
+std::vector<std::string> Oracle(const std::string& query,
+                                const std::string& xml) {
+  return DomEvaluateToStrings(*MustParseRpeq(query), xml);
+}
+
+TEST(IntersectTest, ParserPrecedence) {
+  // '&' binds tighter than '|', looser than '.'.
+  ExprPtr e = MustParseRpeq("a.b&c.d|x");
+  EXPECT_EQ(e->kind, ExprKind::kUnion);
+  EXPECT_EQ(e->left->kind, ExprKind::kIntersect);
+  EXPECT_EQ(e->left->left->ToString(), "a.b");
+  EXPECT_EQ(MustParseRpeq("(a&b).c")->ToString(), "(a&b).c");
+  EXPECT_EQ(MustParseRpeq("a&b&c")->ToString(), "a&b&c");
+}
+
+TEST(IntersectTest, BasicIdentityJoin) {
+  // Nodes that are both a c child of an a AND a c descendant of the root.
+  EXPECT_EQ(Eval("a.c & _*.c", kPaperDoc),
+            (std::vector<std::string>{"<c></c>"}));
+  EXPECT_EQ(Eval("a.c & _*.c", kPaperDoc), Oracle("a.c & _*.c", kPaperDoc));
+  // Disjoint paths: empty.
+  EXPECT_TRUE(Eval("a.b & a.c", kPaperDoc).empty());
+  // Self-intersection is the identity.
+  EXPECT_EQ(Eval("_*.c & _*.c", kPaperDoc), Eval("_*.c", kPaperDoc));
+}
+
+TEST(IntersectTest, JoinWithQualifiedPaths) {
+  const char doc[] = "<r><x><f/><g/></x><x><f/></x><x><g/></x></r>";
+  // x's with an f child AND with a g child (== r.x[f][g]).
+  EXPECT_EQ(Eval("r.x[f] & r.x[g]", doc),
+            (std::vector<std::string>{"<x><f></f><g></g></x>"}));
+  EXPECT_EQ(Eval("r.x[f] & r.x[g]", doc), Eval("r.x[f][g]", doc));
+}
+
+TEST(IntersectTest, JoinConditionsAreConjoined) {
+  // A future condition on one side must still gate the joined result.
+  const char doc[] = "<r><x><v/><f/></x><x><v/></x></r>";
+  EXPECT_EQ(Eval("r.x[f].v & r._.v", doc),
+            (std::vector<std::string>{"<v></v>"}));
+}
+
+TEST(IntersectTest, NetworkUsesIntersectTransducer) {
+  ExprPtr q = MustParseRpeq("a.b & a._");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  EXPECT_NE(engine.network().FindByName("IS"), nullptr);
+  EXPECT_EQ(engine.network().FindByName("UN"), nullptr);
+}
+
+TEST(IntersectTest, ComposesWithFurtherSteps) {
+  const char doc[] = "<r><x><k><v/></k></x><y><k/></y></r>";
+  // (children of x) AND (k's anywhere), then their v children.
+  EXPECT_EQ(Eval("(r.x._ & _*.k).v", doc),
+            (std::vector<std::string>{"<v></v>"}));
+  EXPECT_EQ(Eval("(r.x._ & _*.k).v", doc), Oracle("(r.x._ & _*.k).v", doc));
+}
+
+class IntersectDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntersectDifferentialTest, AgreesWithOracle) {
+  const int seed = GetParam();
+  RandomTreeOptions opts;
+  opts.max_depth = 5;
+  opts.max_children = 3;
+  opts.max_elements = 60;
+  opts.labels = {"a", "b", "c"};
+  opts.root_label = "a";
+  std::vector<StreamEvent> events = GenerateToVector(
+      [&](EventSink* s) { GenerateRandomTree(seed, opts, s); });
+  Document doc;
+  std::string error;
+  ASSERT_TRUE(EventsToDocument(events, &doc, &error)) << error;
+  const char* queries[] = {
+      "_*.a & _*._",       "a.b & a._",          "_*.c & a+.c",
+      "(_*.a & _*.b)",     "(_*._ & _*.a).b",    "_*.a[b] & _*.a[c]",
+      "(a._ & a.b) | a.c", "_*._ & _*._ & _*.b",
+  };
+  for (const char* q : queries) {
+    ExprPtr query = MustParseRpeq(q);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " query=" + q);
+    EXPECT_EQ(EvaluateToStrings(*query, events),
+              DomEvaluateToStrings(*query, doc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntersectDifferentialTest,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,130 @@
+// Tests of the multi-query engine (§IX outlook): correctness of shared
+// evaluation against per-query engines, and the prefix-sharing win.
+
+#include "spex/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "rpeq/parser.h"
+#include "test_util.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+constexpr char kPaperDoc[] = "<a><a><c/></a><b/><c/></a>";
+
+// Evaluates `queries` (a) individually and (b) through one shared network;
+// expects identical result fragments per query.
+void ExpectSharedMatchesIndividual(const std::vector<std::string>& queries,
+                                   const std::vector<StreamEvent>& events) {
+  std::vector<std::unique_ptr<SerializingResultSink>> shared_sinks;
+  MultiQueryEngine mq;
+  for (const std::string& q : queries) {
+    shared_sinks.push_back(std::make_unique<SerializingResultSink>());
+    mq.AddQuery(q, shared_sinks.back().get());
+  }
+  mq.Finalize();
+  for (const StreamEvent& e : events) mq.OnEvent(e);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExprPtr query = MustParseRpeq(queries[i]);
+    std::vector<std::string> individual = EvaluateToStrings(*query, events);
+    EXPECT_EQ(shared_sinks[i]->results(), individual) << queries[i];
+    EXPECT_EQ(mq.result_count(static_cast<int>(i)),
+              static_cast<int64_t>(individual.size()));
+  }
+}
+
+TEST(MultiQueryTest, TwoQueriesSharedPrefix) {
+  ExpectSharedMatchesIndividual({"_*.a.c", "_*.a.b"},
+                                MustParseEvents(kPaperDoc));
+}
+
+TEST(MultiQueryTest, IdenticalQueries) {
+  ExpectSharedMatchesIndividual({"_*.c", "_*.c"},
+                                MustParseEvents(kPaperDoc));
+}
+
+TEST(MultiQueryTest, DisjointQueries) {
+  ExpectSharedMatchesIndividual({"a.c", "b", "_*._"},
+                                MustParseEvents(kPaperDoc));
+}
+
+TEST(MultiQueryTest, QualifiersInSharedPrefix) {
+  const char doc[] = "<r><x><f/><p>1</p><q>2</q></x><x><p>3</p></x></r>";
+  ExpectSharedMatchesIndividual({"r.x[f].p", "r.x[f].q", "r.x.p"},
+                                MustParseEvents(doc));
+}
+
+TEST(MultiQueryTest, OneQueryIsPrefixOfAnother) {
+  ExpectSharedMatchesIndividual({"_*.a", "_*.a.c", "_*.a.c._*"},
+                                MustParseEvents(kPaperDoc));
+}
+
+TEST(MultiQueryTest, ManyProfilesOnGeneratedData) {
+  std::vector<StreamEvent> events = GenerateToVector(
+      [](EventSink* s) { GenerateMondialLike(3, 0.05, s); });
+  ExpectSharedMatchesIndividual(
+      {"_*.country.name", "_*.country[province].name",
+       "_*.country.province.city", "_*.country.province.name",
+       "_*.country.religions", "_*.province.city.name"},
+      events);
+}
+
+TEST(MultiQueryTest, SharingReducesNetworkDegree) {
+  CountingResultSink s1, s2, s3;
+  MultiQueryEngine mq;
+  mq.AddQuery("_*.country[province].name", &s1);
+  mq.AddQuery("_*.country[province].religions", &s2);
+  mq.AddQuery("_*.country.population", &s3);
+  mq.Finalize();
+  // The `_*.country` prefix — and for the first two even the qualifier
+  // pipeline — is compiled once.
+  EXPECT_LT(mq.shared_degree(), mq.naive_degree());
+  EXPECT_EQ(mq.query_count(), 3);
+}
+
+TEST(MultiQueryTest, NoSharingForDisjointRoots) {
+  CountingResultSink s1, s2;
+  MultiQueryEngine mq;
+  mq.AddQuery("a.b", &s1);
+  mq.AddQuery("c.d", &s2);
+  mq.Finalize();
+  // Only IN is shared (the two networks would each have their own IN/OU):
+  // shared = IN + SP + 4 CH + 2 OU = 8, naive = 2 * 4 = 8.
+  EXPECT_LE(mq.shared_degree(), mq.naive_degree() + 1);
+}
+
+TEST(MultiQueryTest, StepGranularityIsTopLevelConcat) {
+  // (a|b).c and (a|b).d share the compiled union subnetwork.
+  CountingResultSink s1, s2;
+  MultiQueryEngine mq;
+  mq.AddQuery("(a|b).c", &s1);
+  mq.AddQuery("(a|b).d", &s2);
+  mq.Finalize();
+  EXPECT_LT(mq.shared_degree(), mq.naive_degree());
+  for (const StreamEvent& e : MustParseEvents(kPaperDoc)) mq.OnEvent(e);
+  EXPECT_EQ(mq.result_count(0), 1);  // the root a's outer c child
+  EXPECT_EQ(mq.result_count(1), 0);  // no d anywhere
+}
+
+TEST(MultiQueryTest, StreamsProgressively) {
+  CountingResultSink s1, s2;
+  MultiQueryEngine mq;
+  mq.AddQuery("feed.tick.price", &s1);
+  mq.AddQuery("feed.tick[alert].price", &s2);
+  mq.Finalize();
+  EndlessEventSource source(11);
+  FunctionEventSink feed([&](const StreamEvent& e) { mq.OnEvent(e); });
+  source.Begin(&feed);
+  for (int i = 0; i < 500; ++i) source.NextRecord(&feed);
+  EXPECT_EQ(mq.result_count(0), 500);
+  EXPECT_GT(mq.result_count(1), 0);
+  EXPECT_LT(mq.result_count(1), 500);
+  // GC also works through the multi-query engine.
+  EXPECT_LE(mq.context().assignment.size(), 4u);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,186 @@
+// Unit tests of the network plumbing: tape wiring, delivery, description,
+// DOT export, and the remaining small transducers (IN, UN, IS).
+
+#include "spex/network.h"
+
+#include <gtest/gtest.h>
+
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "spex/input_transducer.h"
+#include "spex/intersect_transducer.h"
+#include "spex/union_transducer.h"
+#include "test_util.h"
+
+namespace spex {
+namespace {
+
+// A pass-through transducer that records what it saw.
+class ProbeTransducer : public Transducer {
+ public:
+  ProbeTransducer() : Transducer("PROBE") {}
+  void OnMessage(int port, Message message, Emitter* out) override {
+    (void)port;
+    seen.push_back(message.ToString());
+    out->Emit(0, std::move(message));
+  }
+  std::vector<std::string> seen;
+};
+
+TEST(NetworkTest, DeliveryFollowsTapes) {
+  Network net;
+  auto probe1 = std::make_unique<ProbeTransducer>();
+  auto probe2 = std::make_unique<ProbeTransducer>();
+  ProbeTransducer* p1 = probe1.get();
+  ProbeTransducer* p2 = probe2.get();
+  int n1 = net.AddNode(std::move(probe1));
+  int n2 = net.AddNode(std::move(probe2));
+  int t = net.NewTape();
+  net.SetProducer(t, n1, 0);
+  net.SetConsumer(t, n2, 0);
+  net.Deliver(n1, 0, Open("a"));
+  EXPECT_EQ(p1->seen, (std::vector<std::string>{"<a>"}));
+  EXPECT_EQ(p2->seen, (std::vector<std::string>{"<a>"}));
+}
+
+TEST(NetworkTest, DanglingOutputIsDropped) {
+  Network net;
+  auto probe = std::make_unique<ProbeTransducer>();
+  int n = net.AddNode(std::move(probe));
+  // No output tape: emitting must be a safe no-op.
+  net.Deliver(n, 0, Open("a"));
+  SUCCEED();
+}
+
+TEST(NetworkTest, NetworkSurvivesMove) {
+  // The engine moves networks around; emitters must not hold stale
+  // back-pointers (regression test for an early segfault).
+  Network net;
+  auto probe1 = std::make_unique<ProbeTransducer>();
+  auto probe2 = std::make_unique<ProbeTransducer>();
+  ProbeTransducer* p2 = probe2.get();
+  int n1 = net.AddNode(std::move(probe1));
+  int n2 = net.AddNode(std::move(probe2));
+  int t = net.NewTape();
+  net.SetProducer(t, n1, 0);
+  net.SetConsumer(t, n2, 0);
+  Network moved = std::move(net);
+  moved.Deliver(0, 0, Open("x"));
+  EXPECT_EQ(p2->seen.size(), 1u);
+}
+
+TEST(NetworkTest, FindByName) {
+  ExprPtr q = MustParseRpeq("a[b]");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  EXPECT_NE(engine.network().FindByName("VC(q0)"), nullptr);
+  EXPECT_EQ(engine.network().FindByName("nope"), nullptr);
+}
+
+TEST(NetworkTest, ToDotContainsNodesAndEdges) {
+  ExprPtr q = MustParseRpeq("a.b");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  std::string dot = engine.network().ToDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("CH(a)"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(InputTransducerTest, ActivatesOnceOnStartDocument) {
+  InputTransducer in;
+  TestEmitter e;
+  in.OnMessage(0, OpenDoc(), &e);
+  EXPECT_EQ(e.Summary(), "[true];<$>");
+  e.Clear();
+  in.OnMessage(0, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "<a>");  // no further activation
+  e.Clear();
+  in.OnMessage(0, CloseDoc(), &e);
+  EXPECT_EQ(e.Summary(), "</$>");
+}
+
+TEST(UnionTransducerTest, MergesTwoActivations) {
+  UnionTransducer un;
+  TestEmitter e;
+  un.OnMessage(0, Activate(Formula::Var(1)), &e);
+  EXPECT_EQ(e.Summary(), "");  // stored (Fig. 10 rule 1)
+  un.OnMessage(0, Activate(Formula::Var(2)), &e);
+  EXPECT_EQ(e.Summary(), "[co0_1|co0_2]");  // rule 2
+  e.Clear();
+  un.OnMessage(0, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "<a>");  // no pending activation any more
+}
+
+TEST(UnionTransducerTest, ForwardsSingleActivationBeforeItsMessage) {
+  UnionTransducer un;
+  TestEmitter e;
+  un.OnMessage(0, Activate(Formula::Var(7)), &e);
+  un.OnMessage(0, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "[co0_7];<a>");  // rule 3
+}
+
+TEST(UnionTransducerTest, ForwardsDeterminations) {
+  UnionTransducer un;
+  TestEmitter e;
+  un.OnMessage(0, Activate(Formula::Var(7)), &e);
+  un.OnMessage(0, Message::Determination(9, true), &e);
+  EXPECT_EQ(e.Summary(), "{co0_9,true}");  // rule 4, store intact
+  e.Clear();
+  un.OnMessage(0, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "[co0_7];<a>");
+}
+
+TEST(IntersectTransducerTest, EmitsConjunctionOnlyWhenBothActivate) {
+  IntersectTransducer is;
+  TestEmitter e;
+  // Round 1: both sides activate <a>.
+  is.OnMessage(0, Activate(Formula::Var(1)), &e);
+  is.OnMessage(0, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "");  // waits for the right copy
+  is.OnMessage(1, Activate(Formula::Var(2)), &e);
+  is.OnMessage(1, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "[co0_1&co0_2];<a>");
+  e.Clear();
+  // Round 2: only the left side activates <b>: plain forward.
+  is.OnMessage(0, Activate(Formula::Var(3)), &e);
+  is.OnMessage(0, Close("a"), &e);
+  is.OnMessage(1, Close("a"), &e);
+  EXPECT_EQ(e.Summary(), "</a>");
+}
+
+TEST(IntersectTransducerTest, DeterminationsPassThrough) {
+  IntersectTransducer is;
+  TestEmitter e;
+  is.OnMessage(0, Message::Determination(5, true), &e);
+  is.OnMessage(0, Open("a"), &e);
+  is.OnMessage(1, Open("a"), &e);
+  EXPECT_EQ(e.Summary(), "{co0_5,true};<a>");
+}
+
+TEST(MessageTest, ToStringNotation) {
+  EXPECT_EQ(Open("a").ToString(), "<a>");
+  EXPECT_EQ(Activate().ToString(), "[true]");
+  EXPECT_EQ(Activate(Formula::Var(MakeVarId(2, 7))).ToString(), "[co2_7]");
+  EXPECT_EQ(Message::Determination(MakeVarId(1, 2), false).ToString(),
+            "{co1_2,false}");
+  EXPECT_TRUE(Open("a").is_open());
+  EXPECT_TRUE(Close("a").is_close());
+  EXPECT_TRUE(OpenDoc().is_open());
+  EXPECT_TRUE(Message::Document(StreamEvent::Text("t")).is_text());
+}
+
+TEST(TransducerTraceTest, GroupsAndRendering) {
+  TransducerTrace t;
+  t.Fire(1);
+  t.Fire(5);
+  t.EndGroup();
+  t.Fire(7);
+  t.EndGroup();
+  t.EndGroup();  // empty group renders as '-'
+  EXPECT_EQ(t.ToString(), "1,5 7 -");
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,176 @@
+// Robustness tests: malformed / mutated inputs must produce errors, never
+// crashes or hangs — for the XML parser, the query parsers and the engine.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cq/conjunctive.h"
+#include "rpeq/parser.h"
+#include "rpeq/xpath.h"
+#include "spex/engine.h"
+#include "xml/content_model.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+namespace {
+
+constexpr char kBaseDoc[] =
+    "<catalog><book id=\"1\"><title>T&amp;T</title><!--c--><author>A"
+    "</author></book><book><![CDATA[x]]></book></catalog>";
+
+class XmlFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlFuzzTest, MutatedDocumentsNeverCrashTheParser) {
+  std::mt19937_64 rng(GetParam());
+  std::string doc = kBaseDoc;
+  static const char kBytes[] = "<>/&;\"'abc $!-[]?=";
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = doc;
+    int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0:  // replace
+          mutated[pos] = kBytes[rng() % (sizeof(kBytes) - 1)];
+          break;
+        case 1:  // delete
+          mutated.erase(pos, 1);
+          break;
+        case 2:  // insert
+          mutated.insert(pos, 1, kBytes[rng() % (sizeof(kBytes) - 1)]);
+          break;
+      }
+    }
+    if (mutated.empty()) continue;
+    RecordingEventSink sink;
+    XmlParser parser(&sink);
+    bool ok = parser.Parse(mutated);
+    if (ok) {
+      // Whatever parsed must be a well-formed stream.
+      std::string error;
+      EXPECT_TRUE(ValidateStream(sink.events(), &error))
+          << error << "\ninput: " << mutated;
+    } else {
+      EXPECT_FALSE(parser.error().empty());
+    }
+  }
+}
+
+TEST_P(XmlFuzzTest, MutatedDocumentsNeverCrashTheEngine) {
+  std::mt19937_64 rng(GetParam() + 5000);
+  ExprPtr query = MustParseRpeq("_*.book[author].title");
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = kBaseDoc;
+    for (int m = 0; m < 3; ++m) {
+      size_t pos = rng() % mutated.size();
+      mutated[pos] = static_cast<char>('!' + rng() % 90);
+    }
+    CountingResultSink sink;
+    SpexEngine engine(*query, &sink);
+    XmlParser parser(&engine);
+    (void)parser.Parse(mutated);  // either outcome is fine; no crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzzTest, ::testing::Range(0, 8));
+
+TEST(QueryFuzzTest, RandomQueryStringsNeverCrashTheParsers) {
+  std::mt19937_64 rng(99);
+  static const char kChars[] = "ab_.*+?|&[]()<>/:= x";
+  for (int round = 0; round < 2000; ++round) {
+    std::string q;
+    int len = 1 + static_cast<int>(rng() % 24);
+    for (int i = 0; i < len; ++i) q += kChars[rng() % (sizeof(kChars) - 1)];
+    ParseResult r = ParseRpeq(q);
+    if (r.ok()) {
+      // Anything that parses must print and re-parse to an equal AST...
+      ParseResult again = ParseRpeq(r.expr->ToString());
+      ASSERT_TRUE(again.ok()) << q << " -> " << r.expr->ToString();
+      EXPECT_TRUE(r.expr->Equals(*again.expr)) << q;
+      // ...and, if it validates, compile and run without crashing.
+      std::string verror;
+      if (ValidateQuery(*r.expr, &verror)) {
+        CountingResultSink sink;
+        SpexEngine engine(*r.expr, &sink);
+        XmlParser parser(&engine);
+        parser.Parse("<a><b/><a><b/></a></a>");
+      }
+    }
+    ParseResult x = ParseXPath(q);
+    if (x.ok()) {
+      EXPECT_FALSE(x.expr->ToString().empty());
+    }
+  }
+}
+
+TEST(QueryFuzzTest, RandomCqStringsNeverCrash) {
+  std::mt19937_64 rng(7);
+  static const char kChars[] = "XqRoot(),:-_.*ab ";
+  for (int round = 0; round < 1000; ++round) {
+    std::string q;
+    int len = 1 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < len; ++i) q += kChars[rng() % (sizeof(kChars) - 1)];
+    CqParseResult r = ParseConjunctiveQuery(q);
+    if (r.ok()) {
+      EXPECT_FALSE(r.query->ToString().empty());
+    } else {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+TEST(SchemaFuzzTest, RandomSchemasNeverCrash) {
+  std::mt19937_64 rng(13);
+  static const char kChars[] = "ab=,|*+?()# \nTEXTANYroot";
+  for (int round = 0; round < 1000; ++round) {
+    std::string text;
+    int len = 1 + static_cast<int>(rng() % 60);
+    for (int i = 0; i < len; ++i) text += kChars[rng() % (sizeof(kChars) - 1)];
+    Schema schema;
+    std::string error;
+    if (ParseSchema(text, &schema, &error)) {
+      // A parsed schema must be usable.
+      std::vector<StreamEvent> events = {
+          StreamEvent::StartDocument(), StreamEvent::StartElement("a"),
+          StreamEvent::EndElement("a"), StreamEvent::EndDocument()};
+      (void)ValidateEvents(schema, events);
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedDocumentDoesNotOverflow) {
+  // 100k-deep documents exercise stack discipline in parser and engine
+  // (both are iterative; only the DOM serializer recurses, so it is not
+  // used here).
+  std::string xml;
+  const int depth = 100000;
+  for (int i = 0; i < depth; ++i) xml += "<a>";
+  for (int i = 0; i < depth; ++i) xml += "</a>";
+  ExprPtr query = MustParseRpeq("a.a.a");
+  CountingResultSink sink;
+  SpexEngine engine(*query, &sink);
+  XmlParser parser(&engine);
+  ASSERT_TRUE(parser.Parse(xml)) << parser.error();
+  EXPECT_EQ(sink.results(), 1);
+  EXPECT_EQ(engine.ComputeStats().max_depth_stack, depth + 1);
+}
+
+TEST(RobustnessTest, PathologicalTagSoup) {
+  const char* cases[] = {
+      "", "<", ">", "</>", "<a", "<a/", "<<a>>", "<a></a",
+      "<a b=></a>", "<a><![CDATA[</a>", "<!-->", "<?", "<!DOCTYPE",
+      "<a>&#xFFFFFFFF;</a>", "<a>&#0;</a>", "< a></a>", "<a ></a >",
+  };
+  for (const char* c : cases) {
+    RecordingEventSink sink;
+    XmlParser parser(&sink);
+    bool ok = parser.Parse(c);
+    if (!ok) EXPECT_FALSE(parser.error().empty()) << c;
+  }
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,154 @@
+// Unit tests for the rpeq grammar (paper §II.2): parsing, printing,
+// precedence, error reporting and AST metrics.
+
+#include "rpeq/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace spex {
+namespace {
+
+std::string RoundTrip(const std::string& text) {
+  ParseResult r = ParseRpeq(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.error;
+  return r.ok() ? r.expr->ToString() : "";
+}
+
+TEST(RpeqParserTest, Labels) {
+  ParseResult r = ParseRpeq("country");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.expr->kind, ExprKind::kLabel);
+  EXPECT_EQ(r.expr->label, "country");
+  EXPECT_FALSE(r.expr->is_wildcard);
+}
+
+TEST(RpeqParserTest, Wildcard) {
+  ParseResult r = ParseRpeq("_");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.expr->is_wildcard);
+}
+
+TEST(RpeqParserTest, Closures) {
+  ParseResult plus = ParseRpeq("a+");
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(plus.expr->kind, ExprKind::kClosure);
+  EXPECT_TRUE(plus.expr->is_positive);
+  ParseResult star = ParseRpeq("_*");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star.expr->kind, ExprKind::kClosure);
+  EXPECT_FALSE(star.expr->is_positive);
+  EXPECT_TRUE(star.expr->is_wildcard);
+}
+
+TEST(RpeqParserTest, PaperQueriesRoundTrip) {
+  // Queries that appear in the paper.
+  EXPECT_EQ(RoundTrip("_*.a[b]._*.c"), "_*.a[b]._*.c");
+  EXPECT_EQ(RoundTrip("a+.c+"), "a+.c+");
+  EXPECT_EQ(RoundTrip("_*.province.city"), "_*.province.city");
+  EXPECT_EQ(RoundTrip("_*.country[province].name"),
+            "_*.country[province].name");
+  EXPECT_EQ(RoundTrip("_*.Noun.wordForm"), "_*.Noun.wordForm");
+  EXPECT_EQ(RoundTrip("_*.Topic[editor].Title"), "_*.Topic[editor].Title");
+  EXPECT_EQ(RoundTrip("_*._"), "_*._");
+}
+
+TEST(RpeqParserTest, PrecedenceUnionVsConcat) {
+  // '.' binds tighter than '|': a.b|c.d == (a.b)|(c.d)
+  ParseResult r = ParseRpeq("a.b|c.d");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.expr->kind, ExprKind::kUnion);
+  EXPECT_EQ(r.expr->left->kind, ExprKind::kConcat);
+  EXPECT_EQ(r.expr->right->kind, ExprKind::kConcat);
+  EXPECT_EQ(RoundTrip("(a.b)|(c.d)"), "a.b|c.d");
+}
+
+TEST(RpeqParserTest, QualifierBindsToPrecedingStep) {
+  // _*.a[b].c : the qualifier attaches to a, not to the whole path.
+  ParseResult r = ParseRpeq("_*.a[b].c");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.expr->kind, ExprKind::kConcat);
+  const Expr* left = r.expr->left.get();  // _*.a[b]
+  ASSERT_EQ(left->kind, ExprKind::kConcat);
+  EXPECT_EQ(left->right->kind, ExprKind::kQualified);
+  EXPECT_EQ(left->right->left->label, "a");
+}
+
+TEST(RpeqParserTest, NestedAndChainedQualifiers) {
+  EXPECT_EQ(RoundTrip("a[b[c]]"), "a[b[c]]");
+  EXPECT_EQ(RoundTrip("a[b][c]"), "a[b][c]");
+  EXPECT_EQ(RoundTrip("a[b.c|d]"), "a[b.c|d]");
+}
+
+TEST(RpeqParserTest, OptionalAndEmpty) {
+  EXPECT_EQ(RoundTrip("a?"), "a?");
+  EXPECT_EQ(RoundTrip("(a.b)?"), "(a.b)?");
+  ParseResult r = ParseRpeq("()");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.expr->kind, ExprKind::kEmpty);
+  EXPECT_EQ(RoundTrip("(a|())"), "a|()");
+}
+
+TEST(RpeqParserTest, WhitespaceIsInsignificant) {
+  ParseResult a = ParseRpeq("_* . a [ b ] . c");
+  ParseResult b = ParseRpeq("_*.a[b].c");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a.expr->Equals(*b.expr));
+}
+
+TEST(RpeqParserTest, ClosureOnCompositeIsRejected) {
+  ParseResult r = ParseRpeq("(a.b)*");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("labels only"), std::string::npos);
+}
+
+TEST(RpeqParserTest, ErrorPositions) {
+  ParseResult r = ParseRpeq("a..b");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error_position, 2u);
+  EXPECT_FALSE(ParseRpeq("").ok());
+  EXPECT_FALSE(ParseRpeq("a[b").ok());
+  EXPECT_FALSE(ParseRpeq("a)").ok());
+  EXPECT_FALSE(ParseRpeq("|a").ok());
+  EXPECT_FALSE(ParseRpeq("a$b").ok());
+}
+
+TEST(RpeqParserTest, EqualsAndClone) {
+  ExprPtr a = MustParseRpeq("_*.a[b|c].d?");
+  ExprPtr b = a->Clone();
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*MustParseRpeq("_*.a[b|c].e?")));
+  EXPECT_FALSE(a->Equals(*MustParseRpeq("_*.a[b|c].d")));
+}
+
+TEST(RpeqParserTest, SizeMetric) {
+  EXPECT_EQ(MustParseRpeq("a")->Size(), 1);
+  EXPECT_EQ(MustParseRpeq("a.b")->Size(), 3);
+  EXPECT_EQ(MustParseRpeq("a[b]")->Size(), 3);
+  EXPECT_EQ(MustParseRpeq("_*.a[b].c")->Size(), 7);
+}
+
+TEST(RpeqParserTest, QualifierAndWildcardClosureCounts) {
+  ExprPtr e = MustParseRpeq("_*.a[b[c]]._+[d]");
+  EXPECT_EQ(e->QualifierCount(), 3);
+  EXPECT_EQ(e->WildcardClosureCount(), 2);
+  EXPECT_EQ(MustParseRpeq("a+.b*")->WildcardClosureCount(), 0);
+}
+
+TEST(RpeqParserTest, LongChainParses) {
+  std::string q = "a0";
+  for (int i = 1; i < 200; ++i) q += ".a" + std::to_string(i);
+  ParseResult r = ParseRpeq(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.expr->Size(), 399);  // 200 labels + 199 concats
+}
+
+TEST(RpeqParserTest, UnderscorePrefixedNameIsNotWildcard) {
+  ParseResult r = ParseRpeq("_foo");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.expr->is_wildcard);
+  EXPECT_EQ(r.expr->label, "_foo");
+}
+
+}  // namespace
+}  // namespace spex

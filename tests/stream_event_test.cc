@@ -1,0 +1,124 @@
+// Unit tests for the XML stream data model (paper §II.1).
+
+#include "xml/stream_event.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spex {
+namespace {
+
+TEST(StreamEventTest, FactoriesAndKinds) {
+  EXPECT_EQ(StreamEvent::StartDocument().kind, EventKind::kStartDocument);
+  EXPECT_EQ(StreamEvent::EndDocument().kind, EventKind::kEndDocument);
+  StreamEvent s = StreamEvent::StartElement("a");
+  EXPECT_EQ(s.kind, EventKind::kStartElement);
+  EXPECT_EQ(s.name, "a");
+  EXPECT_TRUE(s.IsElement());
+  StreamEvent t = StreamEvent::Text("hi");
+  EXPECT_EQ(t.kind, EventKind::kText);
+  EXPECT_EQ(t.text, "hi");
+  EXPECT_FALSE(t.IsElement());
+}
+
+TEST(StreamEventTest, PaperNotationToString) {
+  EXPECT_EQ(StreamEvent::StartDocument().ToString(), "<$>");
+  EXPECT_EQ(StreamEvent::EndDocument().ToString(), "</$>");
+  EXPECT_EQ(StreamEvent::StartElement("a").ToString(), "<a>");
+  EXPECT_EQ(StreamEvent::EndElement("a").ToString(), "</a>");
+  EXPECT_EQ(StreamEvent::Text("x").ToString(), "\"x\"");
+}
+
+TEST(StreamEventTest, Equality) {
+  EXPECT_EQ(StreamEvent::StartElement("a"), StreamEvent::StartElement("a"));
+  EXPECT_FALSE(StreamEvent::StartElement("a") ==
+               StreamEvent::StartElement("b"));
+  EXPECT_FALSE(StreamEvent::StartElement("a") == StreamEvent::EndElement("a"));
+}
+
+TEST(StreamEventTest, StreamInsertionOperator) {
+  std::ostringstream os;
+  os << StreamEvent::StartElement("x");
+  EXPECT_EQ(os.str(), "<x>");
+}
+
+TEST(StreamEventTest, EventKindNames) {
+  EXPECT_STREQ(EventKindName(EventKind::kStartDocument), "start-document");
+  EXPECT_STREQ(EventKindName(EventKind::kText), "text");
+}
+
+std::vector<StreamEvent> Fig1Stream() {
+  // <$> <a> <a> <c> </c> </a> <b> </b> <c> </c> </a> </$>
+  return {StreamEvent::StartDocument(),   StreamEvent::StartElement("a"),
+          StreamEvent::StartElement("a"), StreamEvent::StartElement("c"),
+          StreamEvent::EndElement("c"),   StreamEvent::EndElement("a"),
+          StreamEvent::StartElement("b"), StreamEvent::EndElement("b"),
+          StreamEvent::StartElement("c"), StreamEvent::EndElement("c"),
+          StreamEvent::EndElement("a"),   StreamEvent::EndDocument()};
+}
+
+TEST(ValidateStreamTest, AcceptsTheFig1Stream) {
+  std::string error;
+  EXPECT_TRUE(ValidateStream(Fig1Stream(), &error)) << error;
+}
+
+TEST(ValidateStreamTest, RejectsEmptyAndUnframed) {
+  std::string error;
+  EXPECT_FALSE(ValidateStream({}, &error));
+  EXPECT_FALSE(ValidateStream({StreamEvent::StartElement("a"),
+                               StreamEvent::EndElement("a")},
+                              &error));
+}
+
+TEST(ValidateStreamTest, RejectsMismatchedTags) {
+  std::string error;
+  EXPECT_FALSE(ValidateStream({StreamEvent::StartDocument(),
+                               StreamEvent::StartElement("a"),
+                               StreamEvent::EndElement("b"),
+                               StreamEvent::EndDocument()},
+                              &error));
+  EXPECT_NE(error.find("mismatched"), std::string::npos);
+}
+
+TEST(ValidateStreamTest, RejectsUnclosedElement) {
+  std::string error;
+  EXPECT_FALSE(ValidateStream(
+      {StreamEvent::StartDocument(), StreamEvent::StartElement("a"),
+       StreamEvent::EndDocument()},
+      &error));
+}
+
+TEST(ValidateStreamTest, RejectsUnbalancedClose) {
+  std::string error;
+  EXPECT_FALSE(ValidateStream(
+      {StreamEvent::StartDocument(), StreamEvent::EndElement("a"),
+       StreamEvent::EndDocument()},
+      &error));
+}
+
+TEST(StreamMetricsTest, DepthAndCount) {
+  std::vector<StreamEvent> s = Fig1Stream();
+  EXPECT_EQ(StreamDepth(s), 3);
+  EXPECT_EQ(CountElements(s), 5);
+}
+
+TEST(RecordingEventSinkTest, RecordsAndClears) {
+  RecordingEventSink sink;
+  sink.OnEvent(StreamEvent::StartElement("a"));
+  sink.OnEvent(StreamEvent::EndElement("a"));
+  EXPECT_EQ(sink.events().size(), 2u);
+  sink.Clear();
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(FunctionEventSinkTest, ForwardsToFunction) {
+  int n = 0;
+  FunctionEventSink sink([&](const StreamEvent&) { ++n; });
+  sink.OnEvent(StreamEvent::StartElement("a"));
+  sink.OnEvent(StreamEvent::Text("t"));
+  EXPECT_EQ(n, 2);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,158 @@
+// Streaming / progressiveness tests: chunked parsing straight into the
+// engine, unbounded (endless) streams with bounded memory, and on-the-fly
+// result delivery timing (the core claims of §I and §VI).
+
+#include <gtest/gtest.h>
+
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "xml/generators.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+namespace {
+
+TEST(StreamingTest, ParserFeedsEngineChunkByChunk) {
+  ExprPtr q = MustParseRpeq("_*.b");
+  SerializingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  XmlParser parser(&engine);
+  const std::string doc = "<a><b>x</b><c><b>y</b></c></a>";
+  for (size_t i = 0; i < doc.size(); i += 3) {
+    ASSERT_TRUE(parser.Feed(doc.substr(i, 3))) << parser.error();
+  }
+  ASSERT_TRUE(parser.Finish());
+  EXPECT_EQ(sink.results(), (std::vector<std::string>{"<b>x</b>", "<b>y</b>"}));
+}
+
+TEST(StreamingTest, ResultsArriveBeforeStreamEnds) {
+  // Progressive delivery: after the first matched subtree closes, the
+  // result must already be in the sink although the stream continues.
+  ExprPtr q = MustParseRpeq("r.item");
+  CollectingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  engine.OnEvent(StreamEvent::StartDocument());
+  engine.OnEvent(StreamEvent::StartElement("r"));
+  engine.OnEvent(StreamEvent::StartElement("item"));
+  engine.OnEvent(StreamEvent::EndElement("item"));
+  EXPECT_EQ(sink.results().size(), 1u);  // already delivered
+  engine.OnEvent(StreamEvent::StartElement("item"));
+  engine.OnEvent(StreamEvent::EndElement("item"));
+  EXPECT_EQ(sink.results().size(), 2u);
+  engine.OnEvent(StreamEvent::EndElement("r"));
+  engine.OnEvent(StreamEvent::EndDocument());
+}
+
+TEST(StreamingTest, FutureConditionDelaysExactlyUntilDetermination) {
+  ExprPtr q = MustParseRpeq("r.item[flag]");
+  CollectingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  engine.OnEvent(StreamEvent::StartDocument());
+  engine.OnEvent(StreamEvent::StartElement("r"));
+  engine.OnEvent(StreamEvent::StartElement("item"));
+  engine.OnEvent(StreamEvent::StartElement("x"));
+  engine.OnEvent(StreamEvent::EndElement("x"));
+  EXPECT_TRUE(sink.results().empty());  // [flag] still unknown
+  engine.OnEvent(StreamEvent::StartElement("flag"));
+  // The determination fires on <flag>: the buffered candidate is released
+  // and streams from now on.
+  EXPECT_EQ(sink.results().size(), 1u);
+  engine.OnEvent(StreamEvent::EndElement("flag"));
+  engine.OnEvent(StreamEvent::EndElement("item"));
+  engine.OnEvent(StreamEvent::EndElement("r"));
+  engine.OnEvent(StreamEvent::EndDocument());
+  // <item><x></x><flag></flag></item> = 6 events.
+  EXPECT_EQ(sink.results()[0].size(), 6u);
+}
+
+TEST(StreamingTest, EndlessStreamKeepsConstantMemory) {
+  // §VI: "tested against application-generated infinite streams and proved
+  // stable in cases where the depth of the tree conveyed in the stream is
+  // bounded".  Process many records of an endless feed and check that no
+  // state accumulates.
+  ExprPtr q = MustParseRpeq("feed.tick[alert].price");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  EndlessEventSource source(7);
+  FunctionEventSink feed([&](const StreamEvent& e) { engine.OnEvent(e); });
+  source.Begin(&feed);
+
+  auto snapshot = [&]() {
+    RunStats s = engine.ComputeStats();
+    return std::make_tuple(s.max_depth_stack, s.max_condition_stack,
+                           s.output.buffered_events_peak);
+  };
+  for (int i = 0; i < 1000; ++i) source.NextRecord(&feed);
+  auto after_1k = snapshot();
+  int64_t results_1k = sink.results();
+  size_t assignment_1k = engine.context().assignment.size();
+  for (int i = 0; i < 9000; ++i) source.NextRecord(&feed);
+  auto after_10k = snapshot();
+  EXPECT_GT(sink.results(), results_1k);  // results keep flowing
+  // Peaks do not grow with stream length: constant memory.
+  EXPECT_EQ(after_1k, after_10k);
+  // Determined variables are garbage-collected once their scope closes, so
+  // the assignment does not accumulate either.
+  EXPECT_LE(engine.context().assignment.size(), assignment_1k + 2);
+  EXPECT_LE(engine.context().assignment.size(), 8u);
+}
+
+TEST(StreamingTest, EndlessStreamOutputIsProgressivePerRecord) {
+  ExprPtr q = MustParseRpeq("feed.tick.symbol");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  EndlessEventSource source(3);
+  FunctionEventSink feed([&](const StreamEvent& e) { engine.OnEvent(e); });
+  source.Begin(&feed);
+  for (int i = 1; i <= 50; ++i) {
+    source.NextRecord(&feed);
+    EXPECT_EQ(sink.results(), i);  // one symbol per tick, delivered per tick
+  }
+}
+
+TEST(StreamingTest, DeterminationsDoNotLeakAcrossRecords) {
+  // A qualifier satisfied in record i must not leak into record i+1.
+  ExprPtr q = MustParseRpeq("feed.tick[alert].symbol");
+  CollectingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  engine.OnEvent(StreamEvent::StartDocument());
+  engine.OnEvent(StreamEvent::StartElement("feed"));
+  auto tick = [&](bool alert, const std::string& sym) {
+    engine.OnEvent(StreamEvent::StartElement("tick"));
+    if (alert) {
+      engine.OnEvent(StreamEvent::StartElement("alert"));
+      engine.OnEvent(StreamEvent::EndElement("alert"));
+    }
+    engine.OnEvent(StreamEvent::StartElement("symbol"));
+    engine.OnEvent(StreamEvent::Text(sym));
+    engine.OnEvent(StreamEvent::EndElement("symbol"));
+    engine.OnEvent(StreamEvent::EndElement("tick"));
+  };
+  tick(true, "AAA");
+  tick(false, "BBB");
+  tick(true, "CCC");
+  ASSERT_EQ(sink.results().size(), 2u);
+  EXPECT_EQ(sink.results()[0][1], StreamEvent::Text("AAA"));
+  EXPECT_EQ(sink.results()[1][1], StreamEvent::Text("CCC"));
+}
+
+TEST(StreamingTest, HugeFlatDocumentStreamsWithTinyStacks) {
+  ExprPtr q = MustParseRpeq("r.x");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  engine.OnEvent(StreamEvent::StartDocument());
+  engine.OnEvent(StreamEvent::StartElement("r"));
+  for (int i = 0; i < 100000; ++i) {
+    engine.OnEvent(StreamEvent::StartElement("x"));
+    engine.OnEvent(StreamEvent::EndElement("x"));
+  }
+  engine.OnEvent(StreamEvent::EndElement("r"));
+  engine.OnEvent(StreamEvent::EndDocument());
+  EXPECT_EQ(sink.results(), 100000);
+  RunStats stats = engine.ComputeStats();
+  EXPECT_LE(stats.max_depth_stack, 3);
+  EXPECT_EQ(stats.output.buffered_events_peak, 0);
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,76 @@
+// Shared helpers for the SPEX unit tests.
+
+#ifndef SPEX_TESTS_TEST_UTIL_H_
+#define SPEX_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spex/message.h"
+#include "spex/transducer.h"
+#include "xml/stream_event.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+
+// Emitter that records everything a transducer emits.
+class TestEmitter : public Emitter {
+ public:
+  void Emit(int port, Message message) override {
+    messages_.emplace_back(port, std::move(message));
+  }
+
+  const std::vector<std::pair<int, Message>>& messages() const {
+    return messages_;
+  }
+  void Clear() { messages_.clear(); }
+
+  // Semicolon-joined rendering in the paper's notation, e.g.
+  // "[true];<a>;{co0_0,false}".  For two-port transducers the port is
+  // prefixed: "0:<a>;1:<a>".
+  std::string Summary(bool with_ports = false) const {
+    std::string out;
+    for (const auto& [port, m] : messages_) {
+      if (!out.empty()) out += ';';
+      if (with_ports) out += std::to_string(port) + ":";
+      out += m.ToString();
+    }
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<int, Message>> messages_;
+};
+
+inline Message Open(const std::string& label) {
+  return Message::Document(StreamEvent::StartElement(label));
+}
+inline Message Close(const std::string& label) {
+  return Message::Document(StreamEvent::EndElement(label));
+}
+inline Message OpenDoc() {
+  return Message::Document(StreamEvent::StartDocument());
+}
+inline Message CloseDoc() {
+  return Message::Document(StreamEvent::EndDocument());
+}
+inline Message Activate(Formula f = Formula::True()) {
+  return Message::Activation(std::move(f));
+}
+
+// Parses XML into a document-message vector, aborting on error.
+inline std::vector<StreamEvent> MustParseEvents(const std::string& xml) {
+  std::vector<StreamEvent> events;
+  std::string error;
+  if (!ParseXmlToEvents(xml, &events, &error)) {
+    ADD_FAILURE() << "bad test XML: " << error;
+  }
+  return events;
+}
+
+}  // namespace spex
+
+#endif  // SPEX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,257 @@
+// Unit tests for the streaming XML parser.
+
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rpeq/parser.h"
+#include "rpeq/xpath.h"
+#include "spex/engine.h"
+#include "xml/xml_writer.h"
+
+namespace spex {
+namespace {
+
+std::vector<StreamEvent> Parse(const std::string& xml,
+                               XmlParserOptions options = {}) {
+  std::vector<StreamEvent> events;
+  std::string error;
+  EXPECT_TRUE(ParseXmlToEvents(xml, &events, &error, options)) << error;
+  return events;
+}
+
+std::string ParseError(const std::string& xml) {
+  std::vector<StreamEvent> events;
+  std::string error;
+  EXPECT_FALSE(ParseXmlToEvents(xml, &events, &error));
+  return error;
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  std::vector<StreamEvent> e = Parse("<a></a>");
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e[0], StreamEvent::StartDocument());
+  EXPECT_EQ(e[1], StreamEvent::StartElement("a"));
+  EXPECT_EQ(e[2], StreamEvent::EndElement("a"));
+  EXPECT_EQ(e[3], StreamEvent::EndDocument());
+}
+
+TEST(XmlParserTest, SelfClosingElement) {
+  std::vector<StreamEvent> e = Parse("<a><b/></a>");
+  ASSERT_EQ(e.size(), 6u);
+  EXPECT_EQ(e[2], StreamEvent::StartElement("b"));
+  EXPECT_EQ(e[3], StreamEvent::EndElement("b"));
+}
+
+TEST(XmlParserTest, PaperFig1Document) {
+  // The serialized document of Fig. 1 produces the stream of Fig. 1.
+  std::vector<StreamEvent> e =
+      Parse("<?xml version=\"1.0\"?><a><a><c/></a><b/><c/></a>");
+  std::vector<std::string> expected = {"<$>",  "<a>",  "<a>", "<c>",
+                                       "</c>", "</a>", "<b>", "</b>",
+                                       "<c>",  "</c>", "</a>", "</$>"};
+  ASSERT_EQ(e.size(), expected.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(e[i].ToString(), expected[i]) << "at " << i;
+  }
+}
+
+TEST(XmlParserTest, TextContent) {
+  std::vector<StreamEvent> e = Parse("<a>hello</a>");
+  ASSERT_EQ(e.size(), 5u);
+  EXPECT_EQ(e[2], StreamEvent::Text("hello"));
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextSkippedByDefault) {
+  std::vector<StreamEvent> e = Parse("<a>  <b/>\n</a>");
+  EXPECT_EQ(e.size(), 6u);  // no text events
+}
+
+TEST(XmlParserTest, WhitespaceKeptWhenRequested) {
+  XmlParserOptions opts;
+  opts.skip_whitespace_text = false;
+  std::vector<StreamEvent> e = Parse("<a> <b/></a>", opts);
+  EXPECT_EQ(e[2], StreamEvent::Text(" "));
+}
+
+TEST(XmlParserTest, EntityDecoding) {
+  std::vector<StreamEvent> e = Parse("<a>&lt;&gt;&amp;&apos;&quot;</a>");
+  EXPECT_EQ(e[2], StreamEvent::Text("<>&'\""));
+}
+
+TEST(XmlParserTest, NumericCharacterReferences) {
+  std::vector<StreamEvent> e = Parse("<a>&#65;&#x42;</a>");
+  EXPECT_EQ(e[2], StreamEvent::Text("AB"));
+}
+
+TEST(XmlParserTest, Utf8CharacterReference) {
+  std::vector<StreamEvent> e = Parse("<a>&#xE9;</a>");  // é
+  EXPECT_EQ(e[2], StreamEvent::Text("\xC3\xA9"));
+}
+
+TEST(XmlParserTest, UnknownEntityIsAnError) {
+  EXPECT_NE(ParseError("<a>&nope;</a>").find("entity"), std::string::npos);
+}
+
+TEST(XmlParserTest, CommentsAreSkipped) {
+  std::vector<StreamEvent> e = Parse("<a><!-- a comment <not a tag> --><b/></a>");
+  EXPECT_EQ(e.size(), 6u);
+}
+
+TEST(XmlParserTest, CdataBecomesText) {
+  std::vector<StreamEvent> e = Parse("<a><![CDATA[x <y> ]]&]]></a>");
+  EXPECT_EQ(e[2], StreamEvent::Text("x <y> ]]&"));
+}
+
+TEST(XmlParserTest, ProcessingInstructionsAreSkipped) {
+  std::vector<StreamEvent> e = Parse("<a><?php echo ?><b/></a>");
+  EXPECT_EQ(e.size(), 6u);
+}
+
+TEST(XmlParserTest, DoctypeIsSkipped) {
+  std::vector<StreamEvent> e =
+      Parse("<!DOCTYPE a [<!ELEMENT a (b)>]><a><b/></a>");
+  EXPECT_EQ(e.size(), 6u);
+}
+
+TEST(XmlParserTest, AttributesAreParsedButDropped) {
+  std::vector<StreamEvent> e =
+      Parse("<a x=\"1\" y='2'><b z=\"&gt;\"/></a>");
+  ASSERT_EQ(e.size(), 6u);
+  EXPECT_EQ(e[1], StreamEvent::StartElement("a"));
+  EXPECT_EQ(e[2], StreamEvent::StartElement("b"));
+}
+
+TEST(XmlParserTest, AttributeValueMayContainGt) {
+  std::vector<StreamEvent> e = Parse("<a x=\"1 > 0\"><b/></a>");
+  EXPECT_EQ(e.size(), 6u);
+}
+
+TEST(XmlParserTest, MismatchedTagsError) {
+  EXPECT_NE(ParseError("<a><b></a></b>").find("mismatched"),
+            std::string::npos);
+}
+
+TEST(XmlParserTest, UnclosedElementError) {
+  EXPECT_NE(ParseError("<a><b>").find("unclosed"), std::string::npos);
+}
+
+TEST(XmlParserTest, MultipleRootsError) {
+  EXPECT_NE(ParseError("<a/><b/>").find("multiple root"), std::string::npos);
+}
+
+TEST(XmlParserTest, NoRootError) {
+  EXPECT_NE(ParseError("  "). find("root"), std::string::npos);
+}
+
+TEST(XmlParserTest, GarbageAfterOpenAngleError) {
+  EXPECT_FALSE(ParseError("<a><1/></a>").empty());
+}
+
+TEST(XmlParserTest, MaxDepthEnforced) {
+  XmlParserOptions opts;
+  opts.max_depth = 2;
+  std::vector<StreamEvent> events;
+  std::string error;
+  EXPECT_TRUE(ParseXmlToEvents("<a><b/></a>", &events, &error, opts));
+  EXPECT_FALSE(ParseXmlToEvents("<a><b><c/></b></a>", &events, &error, opts));
+}
+
+TEST(XmlParserTest, IncrementalFeedingSplitsAnywhere) {
+  // Feeding byte-by-byte must give the same events as one-shot parsing.
+  const std::string doc =
+      "<a x='v'>text &amp; more<!--c--><b><![CDATA[z]]></b></a>";
+  std::vector<StreamEvent> whole = Parse(doc);
+  RecordingEventSink sink;
+  XmlParser parser(&sink);
+  for (char c : doc) {
+    ASSERT_TRUE(parser.Feed(std::string_view(&c, 1))) << parser.error();
+  }
+  ASSERT_TRUE(parser.Finish()) << parser.error();
+  EXPECT_EQ(sink.events(), whole);
+}
+
+TEST(XmlParserTest, BytesConsumedAndDepthTracking) {
+  RecordingEventSink sink;
+  XmlParser parser(&sink);
+  ASSERT_TRUE(parser.Feed("<a><b>"));
+  EXPECT_EQ(parser.depth(), 2);
+  EXPECT_EQ(parser.bytes_consumed(), 6);
+  ASSERT_TRUE(parser.Feed("</b></a>"));
+  EXPECT_EQ(parser.depth(), 0);
+  ASSERT_TRUE(parser.Finish());
+}
+
+TEST(XmlParserTest, ErrorStateIsSticky) {
+  RecordingEventSink sink;
+  XmlParser parser(&sink);
+  EXPECT_FALSE(parser.Feed("<a></b>"));
+  EXPECT_FALSE(parser.ok());
+  EXPECT_FALSE(parser.Feed("<a></a>"));  // still failed
+}
+
+TEST(XmlParserTest, RoundTripThroughWriter) {
+  const std::string doc = "<a><b>x &amp; y</b><c></c></a>";
+  std::vector<StreamEvent> e = Parse(doc);
+  EXPECT_EQ(EventsToXml(e), doc);
+}
+
+TEST(XmlParserTest, EndTagWithTrailingSpace) {
+  std::vector<StreamEvent> e = Parse("<a></a  >");
+  EXPECT_EQ(e.size(), 4u);
+}
+
+TEST(XmlParserTest, NamesWithDigitsDashesColons) {
+  std::vector<StreamEvent> e = Parse("<ns:a-1><b.c/></ns:a-1>");
+  EXPECT_EQ(e[1], StreamEvent::StartElement("ns:a-1"));
+  EXPECT_EQ(e[2], StreamEvent::StartElement("b.c"));
+}
+
+
+TEST(XmlParserTest, ExposedAttributesBecomeVirtualChildren) {
+  XmlParserOptions opts;
+  opts.expose_attributes = true;
+  std::vector<StreamEvent> e = Parse("<a id=\"7\" lang='de'><b x=\"&lt;\"/></a>", opts);
+  std::vector<std::string> expected = {
+      "<$>",   "<a>",   "<@id>", "\"7\"",  "</@id>", "<@lang>", "\"de\"",
+      "</@lang>", "<b>", "<@x>", "\"<\"", "</@x>", "</b>", "</a>", "</$>"};
+  ASSERT_EQ(e.size(), expected.size());
+  for (size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(e[i].ToString(), expected[i]) << i;
+  }
+}
+
+TEST(XmlParserTest, ExposedAttributesRejectMalformedSyntax) {
+  XmlParserOptions opts;
+  opts.expose_attributes = true;
+  std::vector<StreamEvent> events;
+  std::string error;
+  EXPECT_FALSE(ParseXmlToEvents("<a id></a>", &events, &error, opts));
+  EXPECT_NE(error.find("missing"), std::string::npos);
+  EXPECT_FALSE(ParseXmlToEvents("<a =\"v\"></a>", &events, &error, opts));
+}
+
+TEST(XmlParserTest, AttributeQueriesEndToEnd) {
+  // The §II.1 extension: a[@id] and a.@id work on the unchanged network.
+  XmlParserOptions opts;
+  opts.expose_attributes = true;
+  std::vector<StreamEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseXmlToEvents(
+      "<cat><book id=\"1\"><t>A</t></book><book><t>B</t></book></cat>",
+      &events, &error, opts))
+      << error;
+  ExprPtr with_id = MustParseRpeq("cat.book[@id].t");
+  EXPECT_EQ(EvaluateToStrings(*with_id, events),
+            (std::vector<std::string>{"<t>A</t>"}));
+  ExprPtr id_value = MustParseRpeq("_*.book.@id");
+  EXPECT_EQ(EvaluateToStrings(*id_value, events),
+            (std::vector<std::string>{"<@id>1</@id>"}));
+  // And through the XPath front-end.
+  ExprPtr xp = MustParseXPath("//book[@id]/t");
+  EXPECT_EQ(EvaluateToStrings(*xp, events),
+            (std::vector<std::string>{"<t>A</t>"}));
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,121 @@
+// Unit tests for the XML serializer.
+
+#include "xml/xml_writer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+
+namespace spex {
+namespace {
+
+TEST(XmlWriterTest, CompactSerialization) {
+  XmlWriter w;
+  w.OnEvent(StreamEvent::StartDocument());
+  w.OnEvent(StreamEvent::StartElement("a"));
+  w.OnEvent(StreamEvent::Text("hi"));
+  w.OnEvent(StreamEvent::StartElement("b"));
+  w.OnEvent(StreamEvent::EndElement("b"));
+  w.OnEvent(StreamEvent::EndElement("a"));
+  w.OnEvent(StreamEvent::EndDocument());
+  EXPECT_EQ(w.str(), "<a>hi<b></b></a>");
+}
+
+TEST(XmlWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(XmlWriter::EscapeText("a<b>&c"), "a&lt;b&gt;&amp;c");
+  XmlWriter w;
+  w.OnEvent(StreamEvent::StartElement("a"));
+  w.OnEvent(StreamEvent::Text("1 < 2 & 3 > 2"));
+  w.OnEvent(StreamEvent::EndElement("a"));
+  EXPECT_EQ(w.str(), "<a>1 &lt; 2 &amp; 3 &gt; 2</a>");
+}
+
+TEST(XmlWriterTest, DeclarationOption) {
+  XmlWriterOptions opts;
+  opts.declaration = true;
+  XmlWriter w(opts);
+  w.OnEvent(StreamEvent::StartDocument());
+  w.OnEvent(StreamEvent::StartElement("a"));
+  w.OnEvent(StreamEvent::EndElement("a"));
+  w.OnEvent(StreamEvent::EndDocument());
+  EXPECT_EQ(w.str(), "<?xml version=\"1.0\"?><a></a>");
+}
+
+TEST(XmlWriterTest, IndentedOutput) {
+  XmlWriterOptions opts;
+  opts.indent = 2;
+  XmlWriter w(opts);
+  w.OnEvent(StreamEvent::StartDocument());
+  w.OnEvent(StreamEvent::StartElement("a"));
+  w.OnEvent(StreamEvent::StartElement("b"));
+  w.OnEvent(StreamEvent::EndElement("b"));
+  w.OnEvent(StreamEvent::EndElement("a"));
+  w.OnEvent(StreamEvent::EndDocument());
+  EXPECT_EQ(w.str(), "<a>\n  <b>\n  </b>\n</a>\n");
+}
+
+TEST(XmlWriterTest, ClearResets) {
+  XmlWriter w;
+  w.OnEvent(StreamEvent::StartElement("a"));
+  w.Clear();
+  EXPECT_TRUE(w.str().empty());
+  // With attribute folding (default) a start tag stays open until the next
+  // event, in case @-children follow.
+  w.OnEvent(StreamEvent::StartElement("b"));
+  EXPECT_EQ(w.str(), "<b");
+  w.OnEvent(StreamEvent::EndElement("b"));
+  EXPECT_EQ(w.str(), "<b></b>");
+}
+
+TEST(XmlWriterTest, EventsToXmlRoundTripsWithParser) {
+  const std::string doc = "<r><x>alpha</x><y>b &amp; c</y><z></z></r>";
+  std::vector<StreamEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseXmlToEvents(doc, &events, &error)) << error;
+  EXPECT_EQ(EventsToXml(events), doc);
+  // And the serialization parses back to the same events.
+  std::vector<StreamEvent> again;
+  ASSERT_TRUE(ParseXmlToEvents(EventsToXml(events), &again, &error)) << error;
+  EXPECT_EQ(again, events);
+}
+
+
+TEST(XmlWriterTest, FoldsVirtualAttributeChildrenBack) {
+  XmlParserOptions popts;
+  popts.expose_attributes = true;
+  std::vector<StreamEvent> events;
+  std::string error;
+  const std::string doc =
+      "<a id=\"7\" lang=\"de\"><b x=\"1 &lt; 2\"></b>text</a>";
+  ASSERT_TRUE(ParseXmlToEvents(doc, &events, &error, popts)) << error;
+  // Round-trip: attributes come back as attributes, not <@id> elements.
+  EXPECT_EQ(EventsToXml(events), doc);
+}
+
+TEST(XmlWriterTest, BareAttributeFragmentSerializesLiterally) {
+  // A result fragment consisting of just an @-element (e.g. the result of
+  // `_*.book.@id`) has no enclosing open tag: it serializes in the virtual
+  // notation.
+  std::vector<StreamEvent> events = {StreamEvent::StartElement("@id"),
+                                     StreamEvent::Text("7"),
+                                     StreamEvent::EndElement("@id")};
+  EXPECT_EQ(EventsToXml(events), "<@id>7</@id>");
+}
+
+TEST(XmlWriterTest, FoldingCanBeDisabled) {
+  XmlParserOptions popts;
+  popts.expose_attributes = true;
+  std::vector<StreamEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseXmlToEvents("<a id=\"7\"></a>", &events, &error, popts));
+  XmlWriterOptions wopts;
+  wopts.fold_attributes = false;
+  EXPECT_EQ(EventsToXml(events, wopts), "<a><@id>7</@id></a>");
+}
+
+TEST(XmlWriterTest, AttributeValueEscaping) {
+  EXPECT_EQ(XmlWriter::EscapeAttribute("a<b&\"c"), "a&lt;b&amp;&quot;c");
+}
+
+}  // namespace
+}  // namespace spex

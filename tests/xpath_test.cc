@@ -1,0 +1,136 @@
+// Unit tests for the XPath(child/descendant/qualifier fragment) front-end.
+
+#include "rpeq/xpath.h"
+
+#include <gtest/gtest.h>
+
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+namespace {
+
+std::string Translate(const std::string& xpath) {
+  ParseResult r = ParseXPath(xpath);
+  EXPECT_TRUE(r.ok()) << xpath << ": " << r.error;
+  return r.ok() ? r.expr->ToString() : "";
+}
+
+TEST(XPathTest, ChildSteps) {
+  EXPECT_EQ(Translate("/a/b"), "a.b");
+  EXPECT_EQ(Translate("a/b"), "a.b");
+  EXPECT_EQ(Translate("/a"), "a");
+}
+
+TEST(XPathTest, DescendantSteps) {
+  EXPECT_EQ(Translate("//a"), "_*.a");
+  EXPECT_EQ(Translate("/a//b"), "a._*.b");
+  EXPECT_EQ(Translate("//a//b"), "_*.a._*.b");
+}
+
+TEST(XPathTest, WildcardStep) {
+  EXPECT_EQ(Translate("/a/*/b"), "a._.b");
+  EXPECT_EQ(Translate("//*"), "_*._");
+}
+
+TEST(XPathTest, Predicates) {
+  EXPECT_EQ(Translate("/a[b]/c"), "a[b].c");
+  EXPECT_EQ(Translate("//a[.//b]"), "_*.a[_*.b]");
+  EXPECT_EQ(Translate("//a[b][c]"), "_*.a[b][c]");
+  EXPECT_EQ(Translate("//a[b/c]"), "_*.a[b.c]");
+}
+
+TEST(XPathTest, Union) {
+  EXPECT_EQ(Translate("/a | /b"), "a|b");
+  EXPECT_EQ(Translate("//a/b | //c"), "_*.a.b|_*.c");
+}
+
+TEST(XPathTest, ExplicitAxes) {
+  EXPECT_EQ(Translate("/child::a/descendant::b"), "a._*.b");
+  EXPECT_EQ(Translate("/descendant-or-self::node()/a"), "_*.a");
+  EXPECT_EQ(Translate("/child::node()"), "_");
+}
+
+TEST(XPathTest, SelfStepIsNoOp) {
+  EXPECT_EQ(Translate("./a/b"), "a.b");
+  EXPECT_EQ(Translate("/a/./b"), "a.b");
+}
+
+TEST(XPathTest, TrailingDescendant) {
+  EXPECT_EQ(Translate("/a//"), "a._*");
+}
+
+TEST(XPathTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("/a[b").ok());
+  EXPECT_FALSE(ParseXPath("/a/ancestor::b").ok());
+  EXPECT_FALSE(ParseXPath("/a]").ok());
+}
+
+TEST(XPathTest, TranslatedQueriesEvaluateLikeRpeq) {
+  const char doc[] = "<m><c><p><t/></p></c><c><x/></c></m>";
+  std::vector<StreamEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseXmlToEvents(doc, &events, &error)) << error;
+  struct Pair {
+    const char* xpath;
+    const char* rpeq;
+  };
+  const Pair pairs[] = {
+      {"//p/t", "_*.p.t"},
+      {"/m/c[p]", "m.c[p]"},
+      {"//c[p/t]", "_*.c[p.t]"},
+      {"/m/*", "m._"},
+  };
+  for (const Pair& p : pairs) {
+    ExprPtr from_xpath = MustParseXPath(p.xpath);
+    ExprPtr from_rpeq = MustParseRpeq(p.rpeq);
+    EXPECT_TRUE(from_xpath->Equals(*from_rpeq))
+        << p.xpath << " -> " << from_xpath->ToString() << " != " << p.rpeq;
+    EXPECT_EQ(EvaluateToStrings(*from_xpath, events),
+              EvaluateToStrings(*from_rpeq, events))
+        << p.xpath;
+  }
+}
+
+
+TEST(XPathTest, ParentAxisRewrites) {
+  // [10]-style rewriting into the forward fragment.
+  EXPECT_EQ(Translate("//b/parent::t"), "_*.t[b]");
+  EXPECT_EQ(Translate("//b/parent::*"), "_*[b]");
+  EXPECT_EQ(Translate("/a/b/parent::a"), "a[b]");
+  EXPECT_EQ(Translate("/a/b/parent::*"), "a[b]");
+  EXPECT_EQ(Translate("/a/b[c]/parent::a"), "a[b[c]]");
+  // Specific label after a non-initial '//' is out of the fragment.
+  EXPECT_FALSE(ParseXPath("/x//b/parent::t").ok());
+  // Statically impossible parent label.
+  ParseResult r = ParseXPath("/a/b/parent::z");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("selects nothing"), std::string::npos);
+}
+
+TEST(XPathTest, AncestorAxisRewrites) {
+  EXPECT_EQ(Translate("//b/ancestor::t"), "_*.t[_*.b]");
+  EXPECT_EQ(Translate("//b/ancestor::*"), "_*[_*.b]");
+  EXPECT_FALSE(ParseXPath("/a/b/ancestor::t").ok());
+  EXPECT_FALSE(ParseXPath("/x//b/ancestor::*").ok());
+}
+
+TEST(XPathTest, RewrittenBackwardAxesEvaluateCorrectly) {
+  const char doc[] = "<r><p><b/></p><q><m><b/></m></q><p/></r>";
+  std::vector<StreamEvent> events;
+  std::string error;
+  ASSERT_TRUE(ParseXmlToEvents(doc, &events, &error)) << error;
+  // Parents of b: the first p and m.
+  ExprPtr parents = MustParseXPath("//b/parent::*");
+  EXPECT_EQ(EvaluateToStrings(*parents, events),
+            (std::vector<std::string>{"<p><b></b></p>", "<m><b></b></m>"}));
+  // Ancestors of b labeled q: the q element.
+  ExprPtr anc = MustParseXPath("//b/ancestor::q");
+  EXPECT_EQ(EvaluateToStrings(*anc, events),
+            (std::vector<std::string>{"<q><m><b></b></m></q>"}));
+}
+
+}  // namespace
+}  // namespace spex

@@ -1,0 +1,195 @@
+// spexquery — command-line streaming query processor.
+//
+//   spexquery QUERY [FILE]            evaluate an rpeq over FILE (or stdin)
+//   spexquery --xpath QUERY [FILE]    the query is XPath instead of rpeq
+//   spexquery --count ...             print only the number of results
+//   spexquery --stats ...             print run statistics to stderr
+//   spexquery --order=det ...         determination-order output (constant
+//                                     memory on nested results)
+//   spexquery --network ...           print the compiled network and exit
+//   spexquery --dot ...               print the network as Graphviz DOT
+//
+// Examples:
+//   spexquery '_*.book[author].title' catalog.xml
+//   spexquery --xpath '//country[province]/name' mondial.xml
+//   generator | spexquery --count 'feed.tick[alert].price'
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "spex/spex.h"
+
+namespace {
+
+struct Options {
+  std::string query;
+  std::string file;  // empty = stdin
+  bool xpath = false;
+  bool count_only = false;
+  bool stats = false;
+  bool show_network = false;
+  bool dot = false;
+  spex::OutputOrder order = spex::OutputOrder::kDocumentStart;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spexquery [--xpath] [--count] [--stats] "
+               "[--order=doc|det]\n"
+               "                 [--network] [--dot] QUERY [FILE]\n");
+  return 2;
+}
+
+// Streams each result fragment to stdout as soon as it is complete.
+class PrintingSink : public spex::ResultSink {
+ public:
+  void OnResultBegin(int64_t id) override { collector_.OnResultBegin(id); }
+  void OnResultEvent(const spex::StreamEvent& e) override {
+    collector_.OnResultEvent(e);
+  }
+  void OnReplayedResultEvent(int64_t id,
+                             const spex::StreamEvent& e) override {
+    collector_.OnReplayedResultEvent(id, e);
+  }
+  void OnResultEnd(int64_t id) override {
+    collector_.OnResultEnd(id);
+    // Fragments are final once their bracket closes; print new ones.
+    while (printed_ < collector_.results().size()) {
+      // Only print fragments that are complete (closed); under interleaved
+      // emission a later-closing outer fragment may still be open.
+      // SerializingResultSink fills results() in Begin order, so wait until
+      // the next unprinted one is non-empty.
+      if (collector_.results()[printed_].empty()) break;
+      std::fputs(collector_.results()[printed_].c_str(), stdout);
+      std::fputc('\n', stdout);
+      ++printed_;
+    }
+  }
+  size_t printed() const { return printed_; }
+  const std::vector<std::string>& all() const { return collector_.results(); }
+
+ private:
+  spex::SerializingResultSink collector_;
+  size_t printed_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--xpath") {
+      opts.xpath = true;
+    } else if (arg == "--count") {
+      opts.count_only = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "--network") {
+      opts.show_network = true;
+    } else if (arg == "--dot") {
+      opts.dot = true;
+    } else if (arg == "--order=det") {
+      opts.order = spex::OutputOrder::kDetermination;
+    } else if (arg == "--order=doc") {
+      opts.order = spex::OutputOrder::kDocumentStart;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage();
+    } else if (opts.query.empty()) {
+      opts.query = arg;
+    } else if (opts.file.empty()) {
+      opts.file = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (opts.query.empty()) return Usage();
+
+  // Parse the query.
+  spex::ParseResult parsed = opts.xpath ? spex::ParseXPath(opts.query)
+                                        : spex::ParseRpeq(opts.query);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "query error at offset %zu: %s\n",
+                 parsed.error_position, parsed.error.c_str());
+    return 1;
+  }
+  std::string validation_error;
+  if (!spex::ValidateQuery(*parsed.expr, &validation_error)) {
+    std::fprintf(stderr, "query error: %s\n", validation_error.c_str());
+    return 1;
+  }
+
+  spex::EngineOptions engine_options;
+  engine_options.output_order = opts.order;
+
+  if (opts.show_network || opts.dot) {
+    spex::CountingResultSink sink;
+    spex::SpexEngine engine(*parsed.expr, &sink, engine_options);
+    if (opts.dot) {
+      std::fputs(engine.network().ToDot().c_str(), stdout);
+    } else {
+      std::printf("query: %s\nnetwork (%d transducers):\n%s",
+                  parsed.expr->ToString().c_str(),
+                  engine.network().node_count(),
+                  engine.network().Describe().c_str());
+    }
+    return 0;
+  }
+
+  // Evaluate, streaming the document through the engine.
+  spex::CountingResultSink counter;
+  PrintingSink printer;
+  spex::ResultSink* sink =
+      opts.count_only ? static_cast<spex::ResultSink*>(&counter)
+                      : static_cast<spex::ResultSink*>(&printer);
+  spex::SpexEngine engine(*parsed.expr, sink, engine_options);
+  spex::XmlParser parser(&engine);
+
+  bool ok = true;
+  if (opts.file.empty()) {
+    std::string chunk(1 << 16, '\0');
+    while (ok && std::cin.read(chunk.data(), chunk.size()),
+           std::cin.gcount() > 0) {
+      ok = parser.Feed(std::string_view(
+          chunk.data(), static_cast<size_t>(std::cin.gcount())));
+      if (!ok) break;
+    }
+    if (ok) ok = parser.Finish();
+  } else {
+    std::ifstream in(opts.file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", opts.file.c_str());
+      return 1;
+    }
+    std::string chunk(1 << 16, '\0');
+    while (ok && in.read(chunk.data(), chunk.size()), in.gcount() > 0) {
+      ok = parser.Feed(
+          std::string_view(chunk.data(), static_cast<size_t>(in.gcount())));
+      if (!ok) break;
+    }
+    if (ok) ok = parser.Finish();
+  }
+  if (!ok) {
+    std::fprintf(stderr, "XML error: %s\n", parser.error().c_str());
+    return 1;
+  }
+
+  if (opts.count_only) {
+    std::printf("%lld\n", static_cast<long long>(counter.results()));
+  } else {
+    // Flush any fragments not yet printed (e.g. interleaved outer ones).
+    for (size_t i = printer.printed(); i < printer.all().size(); ++i) {
+      std::fputs(printer.all()[i].c_str(), stdout);
+      std::fputc('\n', stdout);
+    }
+  }
+  if (opts.stats) {
+    std::fprintf(stderr, "%s\n", engine.ComputeStats().ToString().c_str());
+  }
+  return 0;
+}
