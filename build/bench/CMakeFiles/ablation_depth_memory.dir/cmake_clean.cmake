@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_depth_memory.dir/ablation_depth_memory.cc.o"
+  "CMakeFiles/ablation_depth_memory.dir/ablation_depth_memory.cc.o.d"
+  "ablation_depth_memory"
+  "ablation_depth_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_depth_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_formula.dir/ablation_formula.cc.o"
+  "CMakeFiles/ablation_formula.dir/ablation_formula.cc.o.d"
+  "ablation_formula"
+  "ablation_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_query.dir/ablation_multi_query.cc.o"
+  "CMakeFiles/ablation_multi_query.dir/ablation_multi_query.cc.o.d"
+  "ablation_multi_query"
+  "ablation_multi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

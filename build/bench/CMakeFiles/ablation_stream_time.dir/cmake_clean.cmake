@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stream_time.dir/ablation_stream_time.cc.o"
+  "CMakeFiles/ablation_stream_time.dir/ablation_stream_time.cc.o.d"
+  "ablation_stream_time"
+  "ablation_stream_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stream_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

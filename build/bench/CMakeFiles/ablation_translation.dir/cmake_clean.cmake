@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_translation.dir/ablation_translation.cc.o"
+  "CMakeFiles/ablation_translation.dir/ablation_translation.cc.o.d"
+  "ablation_translation"
+  "ablation_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_mondial.dir/geo_mondial.cpp.o"
+  "CMakeFiles/geo_mondial.dir/geo_mondial.cpp.o.d"
+  "geo_mondial"
+  "geo_mondial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_mondial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdi_filter.dir/sdi_filter.cpp.o"
+  "CMakeFiles/sdi_filter.dir/sdi_filter.cpp.o.d"
+  "sdi_filter"
+  "sdi_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdi_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dom_evaluator.cc" "src/baseline/CMakeFiles/spex_baseline.dir/dom_evaluator.cc.o" "gcc" "src/baseline/CMakeFiles/spex_baseline.dir/dom_evaluator.cc.o.d"
+  "/root/repo/src/baseline/nfa_evaluator.cc" "src/baseline/CMakeFiles/spex_baseline.dir/nfa_evaluator.cc.o" "gcc" "src/baseline/CMakeFiles/spex_baseline.dir/nfa_evaluator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpeq/CMakeFiles/spex_rpeq.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/spex_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

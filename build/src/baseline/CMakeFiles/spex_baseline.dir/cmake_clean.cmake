@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spex_baseline.dir/dom_evaluator.cc.o"
+  "CMakeFiles/spex_baseline.dir/dom_evaluator.cc.o.d"
+  "CMakeFiles/spex_baseline.dir/nfa_evaluator.cc.o"
+  "CMakeFiles/spex_baseline.dir/nfa_evaluator.cc.o.d"
+  "libspex_baseline.a"
+  "libspex_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spex_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspex_baseline.a"
+)

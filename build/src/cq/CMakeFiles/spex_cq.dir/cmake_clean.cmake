@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spex_cq.dir/conjunctive.cc.o"
+  "CMakeFiles/spex_cq.dir/conjunctive.cc.o.d"
+  "libspex_cq.a"
+  "libspex_cq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spex_cq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

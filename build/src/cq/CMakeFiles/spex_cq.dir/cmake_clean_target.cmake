@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspex_cq.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpeq/ast.cc" "src/rpeq/CMakeFiles/spex_rpeq.dir/ast.cc.o" "gcc" "src/rpeq/CMakeFiles/spex_rpeq.dir/ast.cc.o.d"
+  "/root/repo/src/rpeq/parser.cc" "src/rpeq/CMakeFiles/spex_rpeq.dir/parser.cc.o" "gcc" "src/rpeq/CMakeFiles/spex_rpeq.dir/parser.cc.o.d"
+  "/root/repo/src/rpeq/xpath.cc" "src/rpeq/CMakeFiles/spex_rpeq.dir/xpath.cc.o" "gcc" "src/rpeq/CMakeFiles/spex_rpeq.dir/xpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spex_rpeq.dir/ast.cc.o"
+  "CMakeFiles/spex_rpeq.dir/ast.cc.o.d"
+  "CMakeFiles/spex_rpeq.dir/parser.cc.o"
+  "CMakeFiles/spex_rpeq.dir/parser.cc.o.d"
+  "CMakeFiles/spex_rpeq.dir/xpath.cc.o"
+  "CMakeFiles/spex_rpeq.dir/xpath.cc.o.d"
+  "libspex_rpeq.a"
+  "libspex_rpeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spex_rpeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spex_rpeq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for spex_rpeq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spex/child_transducer.cc" "src/spex/CMakeFiles/spex_core.dir/child_transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/child_transducer.cc.o.d"
+  "/root/repo/src/spex/closure_transducer.cc" "src/spex/CMakeFiles/spex_core.dir/closure_transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/closure_transducer.cc.o.d"
+  "/root/repo/src/spex/compiler.cc" "src/spex/CMakeFiles/spex_core.dir/compiler.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/compiler.cc.o.d"
+  "/root/repo/src/spex/engine.cc" "src/spex/CMakeFiles/spex_core.dir/engine.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/engine.cc.o.d"
+  "/root/repo/src/spex/formula.cc" "src/spex/CMakeFiles/spex_core.dir/formula.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/formula.cc.o.d"
+  "/root/repo/src/spex/input_transducer.cc" "src/spex/CMakeFiles/spex_core.dir/input_transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/input_transducer.cc.o.d"
+  "/root/repo/src/spex/intersect_transducer.cc" "src/spex/CMakeFiles/spex_core.dir/intersect_transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/intersect_transducer.cc.o.d"
+  "/root/repo/src/spex/message.cc" "src/spex/CMakeFiles/spex_core.dir/message.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/message.cc.o.d"
+  "/root/repo/src/spex/multi_query.cc" "src/spex/CMakeFiles/spex_core.dir/multi_query.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/multi_query.cc.o.d"
+  "/root/repo/src/spex/network.cc" "src/spex/CMakeFiles/spex_core.dir/network.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/network.cc.o.d"
+  "/root/repo/src/spex/order_transducers.cc" "src/spex/CMakeFiles/spex_core.dir/order_transducers.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/order_transducers.cc.o.d"
+  "/root/repo/src/spex/output_transducer.cc" "src/spex/CMakeFiles/spex_core.dir/output_transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/output_transducer.cc.o.d"
+  "/root/repo/src/spex/qualifier_transducers.cc" "src/spex/CMakeFiles/spex_core.dir/qualifier_transducers.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/qualifier_transducers.cc.o.d"
+  "/root/repo/src/spex/split_join_transducers.cc" "src/spex/CMakeFiles/spex_core.dir/split_join_transducers.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/split_join_transducers.cc.o.d"
+  "/root/repo/src/spex/transducer.cc" "src/spex/CMakeFiles/spex_core.dir/transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/transducer.cc.o.d"
+  "/root/repo/src/spex/union_transducer.cc" "src/spex/CMakeFiles/spex_core.dir/union_transducer.cc.o" "gcc" "src/spex/CMakeFiles/spex_core.dir/union_transducer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpeq/CMakeFiles/spex_rpeq.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/spex_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

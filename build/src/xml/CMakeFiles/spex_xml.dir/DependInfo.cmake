@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/content_model.cc" "src/xml/CMakeFiles/spex_xml.dir/content_model.cc.o" "gcc" "src/xml/CMakeFiles/spex_xml.dir/content_model.cc.o.d"
+  "/root/repo/src/xml/dom.cc" "src/xml/CMakeFiles/spex_xml.dir/dom.cc.o" "gcc" "src/xml/CMakeFiles/spex_xml.dir/dom.cc.o.d"
+  "/root/repo/src/xml/generators.cc" "src/xml/CMakeFiles/spex_xml.dir/generators.cc.o" "gcc" "src/xml/CMakeFiles/spex_xml.dir/generators.cc.o.d"
+  "/root/repo/src/xml/stream_event.cc" "src/xml/CMakeFiles/spex_xml.dir/stream_event.cc.o" "gcc" "src/xml/CMakeFiles/spex_xml.dir/stream_event.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/xml/CMakeFiles/spex_xml.dir/xml_parser.cc.o" "gcc" "src/xml/CMakeFiles/spex_xml.dir/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_writer.cc" "src/xml/CMakeFiles/spex_xml.dir/xml_writer.cc.o" "gcc" "src/xml/CMakeFiles/spex_xml.dir/xml_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spex_xml.dir/content_model.cc.o"
+  "CMakeFiles/spex_xml.dir/content_model.cc.o.d"
+  "CMakeFiles/spex_xml.dir/dom.cc.o"
+  "CMakeFiles/spex_xml.dir/dom.cc.o.d"
+  "CMakeFiles/spex_xml.dir/generators.cc.o"
+  "CMakeFiles/spex_xml.dir/generators.cc.o.d"
+  "CMakeFiles/spex_xml.dir/stream_event.cc.o"
+  "CMakeFiles/spex_xml.dir/stream_event.cc.o.d"
+  "CMakeFiles/spex_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/spex_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/spex_xml.dir/xml_writer.cc.o"
+  "CMakeFiles/spex_xml.dir/xml_writer.cc.o.d"
+  "libspex_xml.a"
+  "libspex_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spex_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

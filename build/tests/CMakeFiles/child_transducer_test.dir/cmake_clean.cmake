@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/child_transducer_test.dir/child_transducer_test.cc.o"
+  "CMakeFiles/child_transducer_test.dir/child_transducer_test.cc.o.d"
+  "child_transducer_test"
+  "child_transducer_test.pdb"
+  "child_transducer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/child_transducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_transducer_test.dir/closure_transducer_test.cc.o"
+  "CMakeFiles/closure_transducer_test.dir/closure_transducer_test.cc.o.d"
+  "closure_transducer_test"
+  "closure_transducer_test.pdb"
+  "closure_transducer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_transducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_model_test.dir/content_model_test.cc.o"
+  "CMakeFiles/content_model_test.dir/content_model_test.cc.o.d"
+  "content_model_test"
+  "content_model_test.pdb"
+  "content_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_differential_test.dir/cq_differential_test.cc.o"
+  "CMakeFiles/cq_differential_test.dir/cq_differential_test.cc.o.d"
+  "cq_differential_test"
+  "cq_differential_test.pdb"
+  "cq_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_axes_test.dir/order_axes_test.cc.o"
+  "CMakeFiles/order_axes_test.dir/order_axes_test.cc.o.d"
+  "order_axes_test"
+  "order_axes_test.pdb"
+  "order_axes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_axes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

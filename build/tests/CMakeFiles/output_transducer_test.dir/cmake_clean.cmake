@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_transducer_test.dir/output_transducer_test.cc.o"
+  "CMakeFiles/output_transducer_test.dir/output_transducer_test.cc.o.d"
+  "output_transducer_test"
+  "output_transducer_test.pdb"
+  "output_transducer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_transducer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qualifier_transducers_test.dir/qualifier_transducers_test.cc.o"
+  "CMakeFiles/qualifier_transducers_test.dir/qualifier_transducers_test.cc.o.d"
+  "qualifier_transducers_test"
+  "qualifier_transducers_test.pdb"
+  "qualifier_transducers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qualifier_transducers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

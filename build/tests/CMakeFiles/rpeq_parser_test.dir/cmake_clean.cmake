@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpeq_parser_test.dir/rpeq_parser_test.cc.o"
+  "CMakeFiles/rpeq_parser_test.dir/rpeq_parser_test.cc.o.d"
+  "rpeq_parser_test"
+  "rpeq_parser_test.pdb"
+  "rpeq_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpeq_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

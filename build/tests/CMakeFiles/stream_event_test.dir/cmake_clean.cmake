@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_event_test.dir/stream_event_test.cc.o"
+  "CMakeFiles/stream_event_test.dir/stream_event_test.cc.o.d"
+  "stream_event_test"
+  "stream_event_test.pdb"
+  "stream_event_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spexquery.dir/spexquery.cc.o"
+  "CMakeFiles/spexquery.dir/spexquery.cc.o.d"
+  "spexquery"
+  "spexquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spexquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

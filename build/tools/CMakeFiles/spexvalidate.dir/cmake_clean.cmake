@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spexvalidate.dir/spexvalidate.cc.o"
+  "CMakeFiles/spexvalidate.dir/spexvalidate.cc.o.d"
+  "spexvalidate"
+  "spexvalidate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spexvalidate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
