@@ -51,12 +51,16 @@ struct Dataset {
   std::vector<QueryClass> queries;
 };
 
-// SPEX: streamed parse -> transducer network, results on the fly.
+// SPEX: streamed parse -> transducer network, results on the fly.  The
+// parser stamps interned label symbols through the engine's table, the
+// production configuration.
 bench::SpexRun RunSpexOnText(const Expr& query, const std::string& xml) {
   Timer timer;
   CountingResultSink sink;
   SpexEngine engine(query, &sink);
-  XmlParser parser(&engine);
+  XmlParserOptions options;
+  options.symbols = engine.symbol_table();
+  XmlParser parser(&engine, options);
   parser.Parse(xml);
   bench::SpexRun run;
   run.seconds = timer.Seconds();
@@ -81,7 +85,8 @@ double RunDomBaseline(const Expr& query, const std::string& xml,
   return timer.Seconds();
 }
 
-// X-Scan-style NFA: streamed parse -> automaton (no qualifiers).
+// X-Scan-style NFA: streamed parse -> automaton (no qualifiers).  Interns
+// through its own table, like-for-like with the SPEX run.
 double RunNfaBaseline(const Expr& query, const std::string& xml,
                       int64_t* results) {
   Timer timer;
@@ -91,14 +96,21 @@ double RunNfaBaseline(const Expr& query, const std::string& xml,
     *results = -1;
     return timer.Seconds();
   }
+  SymbolTable symbols;
+  nfa.ResolveSymbols(&symbols);
   NfaStreamEvaluator eval(&nfa);
-  XmlParser parser(&eval);
+  XmlParserOptions options;
+  options.symbols = &symbols;
+  XmlParser parser(&eval, options);
   parser.Parse(xml);
   *results = eval.match_count();
   return timer.Seconds();
 }
 
-void RunDataset(const Dataset& ds, double scale) {
+// Appends one JSON record per query to *json (opened by main when --json was
+// given; null otherwise).
+void RunDataset(const Dataset& ds, double scale, std::FILE* json,
+                bool* json_first) {
   std::printf("\n%s (scale %.2f): %.1f MB, %lld elements, max depth %d\n",
               ds.name.c_str(), scale,
               static_cast<double>(ds.xml.size()) / 1e6,
@@ -129,6 +141,23 @@ void RunDataset(const Dataset& ds, double scale) {
                   static_cast<long long>(spex.results),
                   static_cast<long long>(nfa_results));
     }
+    if (json != nullptr) {
+      const double events =
+          static_cast<double>(ds.gen.events > 0 ? ds.gen.events : 1);
+      std::fprintf(
+          json,
+          "%s  {\"benchmark\": \"fig14/%s/class%d\", \"query\": \"%s\", "
+          "\"events_per_sec\": %.1f, \"bytes_per_event\": %.2f, "
+          "\"peak_formula_nodes\": %lld, \"dom_seconds\": %.4f, "
+          "\"nfa_seconds\": %.4f, \"results\": %lld}",
+          *json_first ? "" : ",\n", ds.name.c_str(), qc.id, qc.query.c_str(),
+          events / spex.seconds,
+          static_cast<double>(ds.xml.size()) / events,
+          static_cast<long long>(spex.stats.max_formula_nodes), dom_s,
+          nfa_results < 0 ? -1.0 : nfa_s,
+          static_cast<long long>(spex.results));
+      *json_first = false;
+    }
   }
 }
 
@@ -142,6 +171,18 @@ int main(int argc, char** argv) {
   double scale = bench::FlagValue(argc, argv, "scale", 1.0);
   uint64_t seed = static_cast<uint64_t>(
       bench::FlagValue(argc, argv, "seed", 42));
+  std::FILE* json = nullptr;
+  bool json_first = true;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = std::fopen(argv[i + 1], "w");
+      if (json == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i + 1]);
+        return 1;
+      }
+      std::fprintf(json, "[\n");
+    }
+  }
 
   std::printf("== Fig. 14 reproduction: processor comparison ==\n");
   std::printf("SPEX = this library (streamed); DOM = in-memory baseline "
@@ -161,7 +202,7 @@ int main(int argc, char** argv) {
       {3, "_*._"},
       {4, "_*.country[province].religions"},
   };
-  RunDataset(mondial, scale);
+  RunDataset(mondial, scale, json, &json_first);
 
   Dataset wordnet;
   wordnet.name = "WordNet-like";
@@ -176,7 +217,12 @@ int main(int argc, char** argv) {
       {3, "_*._"},
       {4, "_*.Noun[wordForm].gloss"},
   };
-  RunDataset(wordnet, scale);
+  RunDataset(wordnet, scale, json, &json_first);
+
+  if (json != nullptr) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+  }
 
   std::printf("\npeak RSS: %.1f MB\n", bench::PeakRssMb());
   std::printf("\nPaper reference (Fig. 14, absolute 2002 numbers not "

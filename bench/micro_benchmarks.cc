@@ -2,8 +2,72 @@
 // per-construct engine throughput, formula operations, DOM construction and
 // the query compiler.  Not a paper figure — these guard the constants behind
 // the §V asymptotics.
+//
+// With `--json <path>` the binary instead runs a fixed engine-workload suite
+// (label-heavy DMOZ-like streams among them) and writes machine-readable
+// records {benchmark, events_per_sec, bytes_per_event, peak_formula_nodes,
+// allocs_per_event, results} — the perf-trajectory format committed as
+// BENCH_PR<n>.json.  Heap allocations are counted through the overridden
+// global operator new below, so the records also guard the zero-allocation
+// steady-state claim for the network routing path.
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Global allocation counting.  Every heap allocation in the process bumps the
+// counter; the JSON harness samples it around the engine feed loop to report
+// allocations per document message.  Counters are atomic because
+// google-benchmark may allocate from helper threads.
+
+static std::atomic<int64_t> g_alloc_count{0};
+
+// The replacement operators pair malloc with free correctly; GCC flags the
+// mix of new-expression and free-based implementation anyway.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align), size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 #include "baseline/dom_evaluator.h"
 #include "baseline/nfa_evaluator.h"
@@ -186,6 +250,193 @@ void BM_FormulaSimplify(benchmark::State& state) {
 BENCHMARK(BM_FormulaSimplify);
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// JSON workload suite (--json <path>).
+
+namespace benchjson {
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* query;
+  // Fills the event stream; called once, outside all timing.
+  std::vector<StreamEvent> (*generate)();
+};
+
+std::vector<StreamEvent> DmozStructure() {
+  return GenerateToVector(
+      [](EventSink* s) { GenerateDmozLike(42, 0.05, /*content=*/false, s); });
+}
+
+std::vector<StreamEvent> DmozContent() {
+  return GenerateToVector(
+      [](EventSink* s) { GenerateDmozLike(42, 0.02, /*content=*/true, s); });
+}
+
+std::vector<StreamEvent> Mondial() {
+  return GenerateToVector(
+      [](EventSink* s) { GenerateMondialLike(42, 1.0, s); });
+}
+
+std::vector<StreamEvent> Wordnet() {
+  return GenerateToVector(
+      [](EventSink* s) { GenerateWordnetLike(42, 0.25, s); });
+}
+
+// The workload grid: DMOZ-like streams are the label-heavy ones the perf
+// trajectory tracks (flat, millions of short-label elements at full scale).
+const Workload kWorkloads[] = {
+    {"dmoz_child_chain", "RDF.Topic.Title", DmozStructure},
+    {"dmoz_no_match", "RDF.Topic.absent", DmozStructure},
+    {"dmoz_descendant", "_*.editor", DmozStructure},
+    {"dmoz_qualifier_past", "_*.Topic[editor].newsGroup", DmozStructure},
+    {"dmoz_content_links", "RDF.Topic.link", DmozContent},
+    {"mondial_qualifier", "_*.country[province].name", Mondial},
+    {"mondial_nested", "_*._", Mondial},
+    {"wordnet_qualifier", "_*.Noun[wordForm].gloss", Wordnet},
+};
+
+int64_t SerializedBytes(const std::vector<StreamEvent>& events) {
+  int64_t bytes = 0;
+  for (const StreamEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        bytes += static_cast<int64_t>(e.name.size()) + 2;
+        break;
+      case EventKind::kEndElement:
+        bytes += static_cast<int64_t>(e.name.size()) + 3;
+        break;
+      case EventKind::kText:
+        bytes += static_cast<int64_t>(e.text.size());
+        break;
+      default:
+        break;
+    }
+  }
+  return bytes;
+}
+
+struct Record {
+  std::string name;
+  double events_per_sec = 0;
+  double bytes_per_event = 0;
+  int64_t peak_formula_nodes = 0;
+  double allocs_per_event = 0;
+  int64_t results = 0;
+};
+
+Record RunWorkload(const Workload& w) {
+  ExprPtr query = MustParseRpeq(w.query);
+  std::vector<StreamEvent> events = w.generate();
+  const int64_t n = static_cast<int64_t>(events.size());
+  Record rec;
+  rec.name = w.name;
+  rec.bytes_per_event =
+      static_cast<double>(SerializedBytes(events)) / static_cast<double>(n);
+
+  // Stamp interned label symbols once, as XmlParser does at parse time in
+  // the production configuration; the engines share the table through
+  // EngineOptions::symbols.
+  SymbolTable symbols;
+  for (StreamEvent& e : events) {
+    if (e.IsElement()) e.label = symbols.Intern(e.name);
+  }
+  EngineOptions options;
+  options.symbols = &symbols;
+
+  // Warm-up run: faults in the event vector and fills allocator caches so
+  // the measured runs see steady state.
+  {
+    CountingResultSink sink;
+    SpexEngine engine(*query, &sink, options);
+    for (const StreamEvent& e : events) engine.OnEvent(e);
+    rec.results = sink.results();
+  }
+
+  // Allocation-counting run: samples the global counter around the feed loop
+  // only (engine construction excluded), i.e. the per-message routing cost.
+  {
+    CountingResultSink sink;
+    SpexEngine engine(*query, &sink, options);
+    const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (const StreamEvent& e : events) engine.OnEvent(e);
+    const int64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    rec.allocs_per_event =
+        static_cast<double>(after - before) / static_cast<double>(n);
+    rec.peak_formula_nodes = engine.ComputeStats().max_formula_nodes;
+  }
+
+  // Timed runs: best of `reps`, each over the full stream.
+  double best = 1e100;
+  const int reps = 3;
+  for (int r = 0; r < reps; ++r) {
+    CountingResultSink sink;
+    SpexEngine engine(*query, &sink, options);
+    auto start = std::chrono::steady_clock::now();
+    for (const StreamEvent& e : events) engine.OnEvent(e);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    if (secs < best) best = secs;
+  }
+  rec.events_per_sec = static_cast<double>(n) / best;
+  return rec;
+}
+
+int RunJsonBenchmarks(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(f, "[\n");
+  bool first = true;
+  for (const Workload& w : kWorkloads) {
+    Record rec = RunWorkload(w);
+    std::fprintf(stderr, "%-24s %12.0f ev/s  %6.1f B/ev  %5lld peak-nodes  "
+                 "%8.4f allocs/ev  %lld results\n",
+                 rec.name.c_str(), rec.events_per_sec, rec.bytes_per_event,
+                 static_cast<long long>(rec.peak_formula_nodes),
+                 rec.allocs_per_event, static_cast<long long>(rec.results));
+    std::fprintf(
+        f,
+        "%s  {\"benchmark\": \"%s\", \"events_per_sec\": %.1f, "
+        "\"bytes_per_event\": %.2f, \"peak_formula_nodes\": %lld, "
+        "\"allocs_per_event\": %.4f, \"results\": %lld}",
+        first ? "" : ",\n", rec.name.c_str(), rec.events_per_sec,
+        rec.bytes_per_event, static_cast<long long>(rec.peak_formula_nodes),
+        rec.allocs_per_event, static_cast<long long>(rec.results));
+    first = false;
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  return 0;
+}
+
+}  // namespace
+}  // namespace benchjson
 }  // namespace spex
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> passthrough;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (json_path != nullptr) {
+    return spex::benchjson::RunJsonBenchmarks(json_path);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -105,12 +105,39 @@ std::vector<int> PathNfa::InitialStates() const {
   return states;
 }
 
+void PathNfa::ResolveSymbols(SymbolTable* table) {
+  for (State& s : states_) {
+    for (Edge& e : s.edges) {
+      if (!e.epsilon && !e.wildcard) e.symbol = table->Intern(e.label);
+    }
+  }
+}
+
 std::vector<int> PathNfa::Step(const std::vector<int>& states,
                                const std::string& label) const {
   std::vector<int> next;
   for (int s : states) {
     for (const Edge& e : states_[s].edges) {
       if (!e.epsilon && (e.wildcard || e.label == label)) {
+        next.push_back(e.to);
+      }
+    }
+  }
+  std::sort(next.begin(), next.end());
+  next.erase(std::unique(next.begin(), next.end()), next.end());
+  Closure(&next);
+  return next;
+}
+
+std::vector<int> PathNfa::Step(const std::vector<int>& states,
+                               const StreamEvent& event) const {
+  if (event.label == kNoSymbol) return Step(states, event.name);
+  std::vector<int> next;
+  for (int s : states) {
+    for (const Edge& e : states_[s].edges) {
+      if (e.epsilon) continue;
+      if (e.wildcard || (e.symbol != kNoSymbol ? e.symbol == event.label
+                                               : e.label == event.name)) {
         next.push_back(e.to);
       }
     }
@@ -137,7 +164,7 @@ void NfaStreamEvaluator::OnEvent(const StreamEvent& event) {
       stack_.clear();
       break;
     case EventKind::kStartElement: {
-      std::vector<int> next = nfa_->Step(stack_.back(), event.name);
+      std::vector<int> next = nfa_->Step(stack_.back(), event);
       if (nfa_->Accepts(next)) ++match_count_;
       stack_.push_back(std::move(next));
       break;
@@ -167,7 +194,7 @@ NfaResult NfaEvaluate(const Expr& query,
         stack.clear();
         break;
       case EventKind::kStartElement: {
-        std::vector<int> next = nfa.Step(stack.back(), e.name);
+        std::vector<int> next = nfa.Step(stack.back(), e);
         if (nfa.Accepts(next)) result.matches.push_back(ordinal);
         stack.push_back(std::move(next));
         ++ordinal;

@@ -30,12 +30,22 @@ class PathNfa {
   int start_state() const { return start_; }
   int accept_state() const { return accept_; }
 
+  // Interns every label edge through `table` so Step can compare interned
+  // events by symbol (the same table must stamp the stream, e.g. via
+  // XmlParserOptions::symbols) — keeps the baseline like-for-like with the
+  // SPEX engine's integer label tests in differential runs.
+  void ResolveSymbols(SymbolTable* table);
+
   // The epsilon-closure of {start}.
   std::vector<int> InitialStates() const;
   // epsilon-closure of all states reachable from `states` by an edge whose
   // label matches `label`.
   std::vector<int> Step(const std::vector<int>& states,
                         const std::string& label) const;
+  // As above, but for a start-element event: when both the edge and the
+  // event carry symbols the match is one integer compare.
+  std::vector<int> Step(const std::vector<int>& states,
+                        const StreamEvent& event) const;
   bool Accepts(const std::vector<int>& states) const;
 
  private:
@@ -43,6 +53,7 @@ class PathNfa {
     bool epsilon = true;
     bool wildcard = false;
     std::string label;
+    Symbol symbol = kNoSymbol;  // set by ResolveSymbols
     int to = -1;
   };
   struct State {

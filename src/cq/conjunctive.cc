@@ -397,7 +397,12 @@ ConjunctiveEngine::~ConjunctiveEngine() = default;
 
 void ConjunctiveEngine::OnEvent(const StreamEvent& event) {
   if (!ok()) return;
-  network_.Deliver(input_node_, 0, Message::Document(event));
+  // Zero-copy delivery, exactly as SpexEngine::OnEvent.
+  Message m = Message::DocumentRef(event);
+  if (m.symbol == kNoSymbol && event.kind == EventKind::kStartElement) {
+    m.symbol = context_->symbol_table()->Intern(event.name);
+  }
+  network_.Deliver(input_node_, 0, std::move(m));
   if (event.kind == EventKind::kEndDocument) {
     for (OutputTransducer* ou : outputs_) ou->Flush();
   }

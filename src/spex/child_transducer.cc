@@ -9,14 +9,19 @@ ChildTransducer::ChildTransducer(std::string label, bool wildcard,
     : Transducer("CH(" + (wildcard ? std::string("_") : label) + ")"),
       label_(std::move(label)),
       wildcard_(wildcard),
+      symbol_(wildcard ? kNoSymbol : context->symbol_table()->Intern(label_)),
       context_(context) {}
 
 bool ChildTransducer::Matches(const Message& m) const {
   // <$> is never matched by a label: the document root is not an element.
-  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+  if (!m.is_document() || m.event_kind != EventKind::kStartElement) {
     return false;
   }
-  return wildcard_ || m.event.name == label_;
+  if (wildcard_) return true;
+  // Interned events take the integer fast path; hand-built events (symbol 0)
+  // fall back to the string compare.
+  return m.symbol != kNoSymbol ? m.symbol == symbol_
+                               : m.event().name == label_;
 }
 
 void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {

@@ -9,13 +9,16 @@ ClosureTransducer::ClosureTransducer(std::string label, bool wildcard,
     : Transducer("CL(" + (wildcard ? std::string("_") : label) + ")"),
       label_(std::move(label)),
       wildcard_(wildcard),
+      symbol_(wildcard ? kNoSymbol : context->symbol_table()->Intern(label_)),
       context_(context) {}
 
 bool ClosureTransducer::Matches(const Message& m) const {
-  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+  if (!m.is_document() || m.event_kind != EventKind::kStartElement) {
     return false;
   }
-  return wildcard_ || m.event.name == label_;
+  if (wildcard_) return true;
+  return m.symbol != kNoSymbol ? m.symbol == symbol_
+                               : m.event().name == label_;
 }
 
 void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {

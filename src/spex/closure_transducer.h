@@ -33,6 +33,7 @@ class ClosureTransducer : public Transducer {
 
   std::string label_;
   bool wildcard_;
+  Symbol symbol_;  // label_ interned at construction; one compare per event
   RunContext* context_;
   State state_ = State::kWaiting;
   std::vector<DepthSymbol> depth_;

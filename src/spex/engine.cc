@@ -42,8 +42,16 @@ SpexEngine::~SpexEngine() = default;
 
 void SpexEngine::OnEvent(const StreamEvent& event) {
   ++events_processed_;
-  compiled_.network.Deliver(compiled_.input_node, 0,
-                            Message::Document(event));
+  // Zero-copy delivery: the message borrows `event`, which outlives the
+  // synchronous delivery round (no transducer keeps a document message
+  // queued across rounds — see DESIGN.md "Hot path & memory discipline").
+  // Events not stamped by a parser are interned here so the label
+  // transducers always take the integer fast path.
+  Message m = Message::DocumentRef(event);
+  if (m.symbol == kNoSymbol && event.kind == EventKind::kStartElement) {
+    m.symbol = context_->symbol_table()->Intern(event.name);
+  }
+  compiled_.network.Deliver(compiled_.input_node, 0, std::move(m));
   if (event.kind == EventKind::kEndDocument) {
     compiled_.output->Flush();
   }
@@ -121,7 +129,9 @@ std::vector<std::string> EvaluateXml(const std::string& query_text,
   ExprPtr query = MustParseRpeq(query_text);
   SerializingResultSink sink;
   SpexEngine engine(*query, &sink);
-  XmlParser parser(&engine);
+  XmlParserOptions parser_options;
+  parser_options.symbols = engine.symbol_table();
+  XmlParser parser(&engine, parser_options);
   if (!parser.Parse(xml)) {
     std::fprintf(stderr, "EvaluateXml: XML error: %s\n",
                  parser.error().c_str());

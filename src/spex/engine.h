@@ -28,12 +28,26 @@ namespace spex {
 
 // Aggregate resource accounting over a run (validates the §V bounds).
 struct RunStats {
-  int network_degree = 0;  // number of transducers (Def. 3 degree + IN + OU)
+  // Number of transducers in the compiled network (Def. 3 degree + IN + OU).
+  int network_degree = 0;
+  // Document messages fed through OnEvent so far.
   int64_t events_processed = 0;
-  int64_t max_depth_stack = 0;      // max over transducers
-  int64_t max_condition_stack = 0;  // max over transducers
-  int64_t max_formula_nodes = 0;    // largest formula handled anywhere
-  int64_t total_messages = 0;       // sum of per-transducer messages_in
+  // Peak depth-stack entries over all transducers; bounded by the document
+  // depth d (§V: space O(d) per transducer).
+  int64_t max_depth_stack = 0;
+  // Peak condition-stack entries over all transducers; also O(d).
+  int64_t max_condition_stack = 0;
+  // Largest formula (distinct DAG nodes, the factored size of Remark V.1)
+  // handled by any transducer.  Because formula nodes come from a pooled
+  // arena bounded by the count of live nodes (see formula.h), this is also
+  // the engine's formula-memory high-water mark per message; on streams
+  // with bounded depth and qualifier nesting it stays bounded no matter how
+  // long the stream runs (the end-of-round variable GC retires bindings, and
+  // eager PruneFalse keeps the stacks' formulas trimmed).
+  int64_t max_formula_nodes = 0;
+  // Sum of per-transducer messages_in: total message deliveries, the
+  // paper's O(degree * stream) message bound.
+  int64_t total_messages = 0;
   OutputStats output;
 
   std::string ToString() const;
@@ -61,6 +75,10 @@ class SpexEngine : public EventSink {
 
   Network& network() { return compiled_.network; }
   RunContext& context() { return *context_; }
+  // The run's label symbols.  A parser configured with this table stamps
+  // events so OnEvent skips interning entirely (see EvaluateXml); events
+  // arriving unstamped are interned on entry.
+  SymbolTable* symbol_table() { return context_->symbol_table(); }
 
   // Test hook: the rule trace of node `node_id` (only populated when
   // options.record_traces was set).

@@ -1,24 +1,97 @@
 #include "spex/formula.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 namespace spex {
 
-namespace internal {
+using internal::FormulaNode;
 
-struct FormulaNode {
-  enum class Op : uint8_t { kVar, kAnd, kOr };
+namespace {
 
-  Op op = Op::kVar;
-  VarId var = 0;
-  std::shared_ptr<const FormulaNode> left;
-  std::shared_ptr<const FormulaNode> right;
+// Thread-local node pool: chunked storage plus a free list threaded through
+// the `left` pointers of dead nodes.  Memory usage is bounded by the peak
+// number of simultaneously live nodes (RunStats.max_formula_nodes tracks the
+// per-message peak); chunks are never returned until thread exit, which is
+// exactly the end-of-round reclamation discipline the engine wants — freeing
+// a formula is O(dead nodes) pointer pushes, building one is O(1) pops.
+class FormulaPool {
+ public:
+  FormulaNode* New() {
+    ++live_;
+    if (free_list_ != nullptr) {
+      FormulaNode* n = free_list_;
+      free_list_ = const_cast<FormulaNode*>(n->left);
+      n->op = FormulaNode::Op::kVar;
+      n->refs = 1;
+      n->var = 0;
+      n->left = nullptr;
+      n->right = nullptr;
+      return n;
+    }
+    if (chunks_.empty() || next_in_chunk_ == kChunkNodes) {
+      chunks_.push_back(std::make_unique<FormulaNode[]>(kChunkNodes));
+      next_in_chunk_ = 0;
+    }
+    FormulaNode* n = &chunks_.back()[next_in_chunk_++];
+    n->refs = 1;
+    return n;
+  }
+
+  void Free(FormulaNode* n) {
+    n->left = free_list_;
+    free_list_ = n;
+    --live_;
+  }
+
+  uint64_t NextEpoch() { return ++epoch_; }
+  int64_t live() const { return live_; }
+  std::vector<const FormulaNode*>& scratch() { return scratch_; }
+
+ private:
+  static constexpr size_t kChunkNodes = 1024;
+
+  std::vector<std::unique_ptr<FormulaNode[]>> chunks_;
+  size_t next_in_chunk_ = 0;
+  FormulaNode* free_list_ = nullptr;
+  int64_t live_ = 0;
+  uint64_t epoch_ = 0;
+  // Reused stack for iterative release (deep OR chains would overflow the
+  // call stack if freed recursively).
+  std::vector<const FormulaNode*> scratch_;
 };
 
-}  // namespace internal
+FormulaPool& Pool() {
+  static thread_local FormulaPool pool;
+  return pool;
+}
 
-using internal::FormulaNode;
+inline void RefNode(const FormulaNode* n) {
+  if (n != nullptr) ++n->refs;
+}
+
+}  // namespace
+
+namespace internal {
+
+void ReleaseFormulaNode(const FormulaNode* node) {
+  FormulaPool& pool = Pool();
+  std::vector<const FormulaNode*>& stack = pool.scratch();
+  stack.push_back(node);
+  while (!stack.empty()) {
+    const FormulaNode* dead = stack.back();
+    stack.pop_back();
+    if (dead->op != FormulaNode::Op::kVar) {
+      if (--dead->left->refs == 0) stack.push_back(dead->left);
+      if (--dead->right->refs == 0) stack.push_back(dead->right);
+    }
+    pool.Free(const_cast<FormulaNode*>(dead));
+  }
+}
+
+}  // namespace internal
 
 std::string VarName(VarId id) {
   return "co" + std::to_string(VarQualifier(id)) + "_" +
@@ -39,10 +112,10 @@ Formula Formula::True() { return Formula(true); }
 Formula Formula::False() { return Formula(false); }
 
 Formula Formula::Var(VarId var) {
-  auto node = std::make_shared<FormulaNode>();
+  FormulaNode* node = Pool().New();
   node->op = FormulaNode::Op::kVar;
   node->var = var;
-  return Formula(std::shared_ptr<const FormulaNode>(std::move(node)));
+  return Formula(node);
 }
 
 Formula Formula::And(const Formula& a, const Formula& b) {
@@ -50,11 +123,13 @@ Formula Formula::And(const Formula& a, const Formula& b) {
   if (a.is_true()) return b;
   if (b.is_true()) return a;
   if (a.node_ == b.node_) return a;
-  auto node = std::make_shared<FormulaNode>();
+  FormulaNode* node = Pool().New();
   node->op = FormulaNode::Op::kAnd;
   node->left = a.node_;
   node->right = b.node_;
-  return Formula(std::shared_ptr<const FormulaNode>(std::move(node)));
+  RefNode(a.node_);
+  RefNode(b.node_);
+  return Formula(node);
 }
 
 Formula Formula::Or(const Formula& a, const Formula& b) {
@@ -62,30 +137,33 @@ Formula Formula::Or(const Formula& a, const Formula& b) {
   if (a.is_false()) return b;
   if (b.is_false()) return a;
   if (a.node_ == b.node_) return a;
-  auto node = std::make_shared<FormulaNode>();
+  FormulaNode* node = Pool().New();
   node->op = FormulaNode::Op::kOr;
   node->left = a.node_;
   node->right = b.node_;
-  return Formula(std::shared_ptr<const FormulaNode>(std::move(node)));
+  RefNode(a.node_);
+  RefNode(b.node_);
+  return Formula(node);
 }
+
+int64_t Formula::LiveNodeCount() { return Pool().live(); }
 
 namespace {
 
 Truth EvaluateRec(const FormulaNode* n, const Assignment& assignment,
-                  std::unordered_map<const FormulaNode*, Truth>* memo) {
-  auto it = memo->find(n);
-  if (it != memo->end()) return it->second;
+                  uint64_t epoch) {
+  if (n->mark == epoch) return n->cached;
   Truth result = Truth::kUnknown;
   switch (n->op) {
     case FormulaNode::Op::kVar:
       result = assignment.Get(n->var);
       break;
     case FormulaNode::Op::kAnd: {
-      Truth l = EvaluateRec(n->left.get(), assignment, memo);
+      Truth l = EvaluateRec(n->left, assignment, epoch);
       if (l == Truth::kFalse) {
         result = Truth::kFalse;
       } else {
-        Truth r = EvaluateRec(n->right.get(), assignment, memo);
+        Truth r = EvaluateRec(n->right, assignment, epoch);
         if (r == Truth::kFalse) {
           result = Truth::kFalse;
         } else if (l == Truth::kTrue && r == Truth::kTrue) {
@@ -97,11 +175,11 @@ Truth EvaluateRec(const FormulaNode* n, const Assignment& assignment,
       break;
     }
     case FormulaNode::Op::kOr: {
-      Truth l = EvaluateRec(n->left.get(), assignment, memo);
+      Truth l = EvaluateRec(n->left, assignment, epoch);
       if (l == Truth::kTrue) {
         result = Truth::kTrue;
       } else {
-        Truth r = EvaluateRec(n->right.get(), assignment, memo);
+        Truth r = EvaluateRec(n->right, assignment, epoch);
         if (r == Truth::kTrue) {
           result = Truth::kTrue;
         } else if (l == Truth::kFalse && r == Truth::kFalse) {
@@ -113,14 +191,30 @@ Truth EvaluateRec(const FormulaNode* n, const Assignment& assignment,
       break;
     }
   }
-  memo->emplace(n, result);
+  n->mark = epoch;
+  n->cached = result;
   return result;
 }
 
-Formula SimplifyRec(const std::shared_ptr<const FormulaNode>& n,
-                    const Assignment& assignment, bool prune_false_only,
+// True if rewriting under `assignment` would change the formula: some
+// reachable variable is bound false (prune_false_only) or bound at all.
+// Marks visited nodes so shared subtrees are checked once.
+bool AnyBoundRec(const FormulaNode* n, const Assignment& assignment,
+                 bool prune_false_only, uint64_t epoch) {
+  if (n->mark == epoch) return false;
+  n->mark = epoch;
+  if (n->op == FormulaNode::Op::kVar) {
+    Truth t = assignment.Get(n->var);
+    return prune_false_only ? t == Truth::kFalse : t != Truth::kUnknown;
+  }
+  return AnyBoundRec(n->left, assignment, prune_false_only, epoch) ||
+         AnyBoundRec(n->right, assignment, prune_false_only, epoch);
+}
+
+Formula SimplifyRec(const FormulaNode* n, const Assignment& assignment,
+                    bool prune_false_only,
                     std::unordered_map<const FormulaNode*, Formula>* memo) {
-  auto it = memo->find(n.get());
+  auto it = memo->find(n);
   if (it != memo->end()) return it->second;
   Formula result;
   switch (n->op) {
@@ -149,33 +243,35 @@ Formula SimplifyRec(const std::shared_ptr<const FormulaNode>& n,
           SimplifyRec(n->right, assignment, prune_false_only, memo));
       break;
   }
-  memo->emplace(n.get(), result);
+  memo->emplace(n, result);
   return result;
 }
 
-void CollectVarsRec(const FormulaNode* n,
-                    std::unordered_set<const FormulaNode*>* seen,
-                    std::unordered_set<VarId>* var_seen,
+void CollectVarsRec(const FormulaNode* n, uint64_t epoch,
                     std::vector<VarId>* out) {
-  if (!seen->insert(n).second) return;
-  switch (n->op) {
-    case FormulaNode::Op::kVar:
-      if (var_seen->insert(n->var).second) out->push_back(n->var);
-      break;
-    default:
-      CollectVarsRec(n->left.get(), seen, var_seen, out);
-      CollectVarsRec(n->right.get(), seen, var_seen, out);
-      break;
+  if (n->mark == epoch) return;
+  n->mark = epoch;
+  if (n->op == FormulaNode::Op::kVar) {
+    // First-occurrence order with linear dedup: formulas reference few
+    // distinct variables, so a scan beats a heap-allocated set.
+    if (std::find(out->begin(), out->end(), n->var) == out->end()) {
+      out->push_back(n->var);
+    }
+    return;
   }
+  CollectVarsRec(n->left, epoch, out);
+  CollectVarsRec(n->right, epoch, out);
 }
 
-void CountNodesRec(const FormulaNode* n,
-                   std::unordered_set<const FormulaNode*>* seen) {
-  if (!seen->insert(n).second) return;
+int64_t CountNodesRec(const FormulaNode* n, uint64_t epoch) {
+  if (n->mark == epoch) return 0;
+  n->mark = epoch;
+  int64_t count = 1;
   if (n->op != FormulaNode::Op::kVar) {
-    CountNodesRec(n->left.get(), seen);
-    CountNodesRec(n->right.get(), seen);
+    count += CountNodesRec(n->left, epoch);
+    count += CountNodesRec(n->right, epoch);
   }
+  return count;
 }
 
 // Returns the number of literal references of the full DNF expansion, capped.
@@ -197,15 +293,15 @@ DnfSize DnfRec(const FormulaNode* n, int64_t cap,
       out = {1, 1};
       break;
     case FormulaNode::Op::kOr: {
-      DnfSize l = DnfRec(n->left.get(), cap, memo);
-      DnfSize r = DnfRec(n->right.get(), cap, memo);
+      DnfSize l = DnfRec(n->left, cap, memo);
+      DnfSize r = DnfRec(n->right, cap, memo);
       out.terms = std::min<int64_t>(cap + 1, l.terms + r.terms);
       out.literals = std::min<int64_t>(cap + 1, l.literals + r.literals);
       break;
     }
     case FormulaNode::Op::kAnd: {
-      DnfSize l = DnfRec(n->left.get(), cap, memo);
-      DnfSize r = DnfRec(n->right.get(), cap, memo);
+      DnfSize l = DnfRec(n->left, cap, memo);
+      DnfSize r = DnfRec(n->right, cap, memo);
       // saturating multiply-accumulate
       auto sat_mul = [cap](int64_t a, int64_t b) {
         if (a == 0 || b == 0) return int64_t{0};
@@ -230,16 +326,16 @@ void ToStringRec(const FormulaNode* n, FormulaNode::Op parent,
       *out += VarName(n->var);
       break;
     case FormulaNode::Op::kAnd:
-      ToStringRec(n->left.get(), FormulaNode::Op::kAnd, out);
+      ToStringRec(n->left, FormulaNode::Op::kAnd, out);
       *out += "&";
-      ToStringRec(n->right.get(), FormulaNode::Op::kAnd, out);
+      ToStringRec(n->right, FormulaNode::Op::kAnd, out);
       break;
     case FormulaNode::Op::kOr: {
       bool parens = parent == FormulaNode::Op::kAnd;
       if (parens) *out += "(";
-      ToStringRec(n->left.get(), FormulaNode::Op::kOr, out);
+      ToStringRec(n->left, FormulaNode::Op::kOr, out);
       *out += "|";
-      ToStringRec(n->right.get(), FormulaNode::Op::kOr, out);
+      ToStringRec(n->right, FormulaNode::Op::kOr, out);
       if (parens) *out += ")";
       break;
     }
@@ -250,18 +346,27 @@ void ToStringRec(const FormulaNode* n, FormulaNode::Op parent,
 
 Truth Formula::Evaluate(const Assignment& assignment) const {
   if (node_ == nullptr) return const_value_ ? Truth::kTrue : Truth::kFalse;
-  std::unordered_map<const FormulaNode*, Truth> memo;
-  return EvaluateRec(node_.get(), assignment, &memo);
+  return EvaluateRec(node_, assignment, Pool().NextEpoch());
 }
 
 Formula Formula::Simplify(const Assignment& assignment) const {
   if (node_ == nullptr) return *this;
+  if (assignment.empty() ||
+      !AnyBoundRec(node_, assignment, /*prune_false_only=*/false,
+                   Pool().NextEpoch())) {
+    return *this;  // nothing to fold: share the existing DAG
+  }
   std::unordered_map<const FormulaNode*, Formula> memo;
   return SimplifyRec(node_, assignment, /*prune_false_only=*/false, &memo);
 }
 
 Formula Formula::PruneFalse(const Assignment& assignment) const {
   if (node_ == nullptr) return *this;
+  if (assignment.empty() ||
+      !AnyBoundRec(node_, assignment, /*prune_false_only=*/true,
+                   Pool().NextEpoch())) {
+    return *this;  // no false variable reachable: share the existing DAG
+  }
   std::unordered_map<const FormulaNode*, Formula> memo;
   return SimplifyRec(node_, assignment, /*prune_false_only=*/true, &memo);
 }
@@ -269,9 +374,7 @@ Formula Formula::PruneFalse(const Assignment& assignment) const {
 std::vector<VarId> Formula::Variables() const {
   std::vector<VarId> out;
   if (node_ == nullptr) return out;
-  std::unordered_set<const FormulaNode*> seen;
-  std::unordered_set<VarId> var_seen;
-  CollectVarsRec(node_.get(), &seen, &var_seen, &out);
+  CollectVarsRec(node_, Pool().NextEpoch(), &out);
   return out;
 }
 
@@ -286,22 +389,20 @@ std::vector<VarId> Formula::VariablesOfQualifier(uint32_t qualifier_id) const {
 
 int64_t Formula::NodeCount() const {
   if (node_ == nullptr) return 0;
-  std::unordered_set<const FormulaNode*> seen;
-  CountNodesRec(node_.get(), &seen);
-  return static_cast<int64_t>(seen.size());
+  return CountNodesRec(node_, Pool().NextEpoch());
 }
 
 int64_t Formula::DnfLiteralCount(int64_t cap) const {
   if (node_ == nullptr) return 0;
   std::unordered_map<const FormulaNode*, DnfSize> memo;
-  return DnfRec(node_.get(), cap, &memo).literals;
+  return DnfRec(node_, cap, &memo).literals;
 }
 
 std::string Formula::ToString() const {
   if (is_true()) return "true";
   if (is_false()) return "false";
   std::string out;
-  ToStringRec(node_.get(), FormulaNode::Op::kOr, &out);
+  ToStringRec(node_, FormulaNode::Op::kOr, &out);
   return out;
 }
 

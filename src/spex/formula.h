@@ -11,14 +11,23 @@
 // 12), so sharing keeps the per-entry cost O(1) — this is exactly the
 // factored representation of Remark V.1.  A flattened DNF size (the paper's
 // sigma under full expansion) can be computed for the ablation experiment E7.
+//
+// Memory discipline (see DESIGN.md "Hot path & memory discipline"): nodes
+// are allocated from a thread-local pool (chunked, with a free list) and
+// carry an intrusive non-atomic refcount, so copying a Formula is two plain
+// stores and building And/Or never touches the global allocator in steady
+// state.  Evaluate/NodeCount/Variables walk the DAG with an epoch mark baked
+// into each node instead of per-call hash sets.  The pool is thread-local:
+// a Formula must not be shared across threads (the engine is single-threaded
+// per run by design, §III "one message in the network at a time").
 
 #ifndef SPEX_SPEX_FORMULA_H_
 #define SPEX_SPEX_FORMULA_H_
 
 #include <cstdint>
-#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace spex {
@@ -59,21 +68,75 @@ class Assignment {
   void Erase(VarId var) { values_.erase(var); }
   size_t size() const { return values_.size(); }
   void Clear() { values_.clear(); }
+  bool empty() const { return values_.empty(); }
 
  private:
   std::unordered_map<VarId, bool> values_;
 };
 
 namespace internal {
-struct FormulaNode;
+
+// One DAG node.  Lives in the thread-local pool (formula.cc); the struct is
+// defined here only so Formula's copy/destroy fast paths inline — a Message
+// is destroyed at every tape hop, and an out-of-line destructor call per hop
+// dominated profiles.
+struct FormulaNode {
+  enum class Op : uint8_t { kVar, kAnd, kOr };
+
+  Op op = Op::kVar;
+  // Evaluate() memo, valid only while `mark` equals the walk's epoch.
+  mutable Truth cached = Truth::kUnknown;
+  // Intrusive refcount.  Non-atomic: formulas live in a thread-local pool
+  // and must not cross threads (engine runs are single-threaded).
+  mutable uint32_t refs = 0;
+  VarId var = 0;
+  const FormulaNode* left = nullptr;
+  const FormulaNode* right = nullptr;
+  // Epoch stamp: DAG walks (Evaluate, NodeCount, Variables, change
+  // pre-checks) mark visited nodes with a fresh epoch instead of building a
+  // per-call hash set, so the hot read paths never allocate.
+  mutable uint64_t mark = 0;
+};
+
+// Returns `node` (whose refcount has just reached zero) and every child it
+// held the last reference to back to the thread-local pool.
+void ReleaseFormulaNode(const FormulaNode* node);
+
 }  // namespace internal
 
 // An immutable boolean formula over condition variables.  Cheap to copy
-// (shared_ptr handle).  `true` and `false` are represented without nodes.
+// (intrusive refcount bump).  `true` and `false` are represented without
+// nodes.
 class Formula {
  public:
   // Constructs the constant `true` (the formula the input transducer sends).
   Formula() = default;
+
+  Formula(const Formula& other) noexcept
+      : node_(other.node_), const_value_(other.const_value_) {
+    if (node_ != nullptr) ++node_->refs;
+  }
+  Formula& operator=(const Formula& other) {
+    if (this != &other) {
+      if (other.node_ != nullptr) ++other.node_->refs;
+      Drop();
+      node_ = other.node_;
+      const_value_ = other.const_value_;
+    }
+    return *this;
+  }
+  Formula(Formula&& other) noexcept
+      : node_(std::exchange(other.node_, nullptr)),
+        const_value_(std::exchange(other.const_value_, true)) {}
+  Formula& operator=(Formula&& other) noexcept {
+    if (this != &other) {
+      Drop();
+      node_ = std::exchange(other.node_, nullptr);
+      const_value_ = std::exchange(other.const_value_, true);
+    }
+    return *this;
+  }
+  ~Formula() { Drop(); }
 
   static Formula True();
   static Formula False();
@@ -122,12 +185,22 @@ class Formula {
   // Renders e.g. "(co0_1|co0_2)&co1_0", "true".
   std::string ToString() const;
 
+  // Nodes currently alive in this thread's formula pool.  A leak guard for
+  // tests: after every engine on the thread is destroyed this returns 0.
+  static int64_t LiveNodeCount();
+
  private:
-  explicit Formula(std::shared_ptr<const internal::FormulaNode> node)
-      : node_(std::move(node)) {}
+  // Takes ownership of one reference on `node`.
+  explicit Formula(const internal::FormulaNode* node) : node_(node) {}
   explicit Formula(bool constant) : const_value_(constant) {}
 
-  std::shared_ptr<const internal::FormulaNode> node_;
+  void Drop() {
+    if (node_ != nullptr && --node_->refs == 0) {
+      internal::ReleaseFormulaNode(node_);
+    }
+  }
+
+  const internal::FormulaNode* node_ = nullptr;
   bool const_value_ = true;  // meaningful only when node_ == nullptr
 };
 

@@ -8,7 +8,7 @@ void InputTransducer::OnMessage(int port, Message message, Emitter* out) {
   (void)port;
   CountIn(message);
   if (!activated_ && message.is_document() &&
-      message.event.kind == EventKind::kStartDocument) {
+      message.event_kind == EventKind::kStartDocument) {
     Fire(1);
     activated_ = true;
     EmitTo(out, 0, Message::Activation(Formula::True()));

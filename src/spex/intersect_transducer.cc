@@ -33,7 +33,7 @@ void IntersectTransducer::Drain(Emitter* out) {
     // determinations, then the document message.
     bool has_formula[2] = {false, false};
     Formula formulas[2];
-    Message document = Message::Document(StreamEvent::StartDocument());
+    Message document;  // overwritten by side 0's document message below
     for (int side = 0; side < 2; ++side) {
       for (;;) {
         Message m = std::move(queues_[side].front());
@@ -42,7 +42,7 @@ void IntersectTransducer::Drain(Emitter* out) {
           if (side == 0) {
             document = std::move(m);
           } else {
-            assert(document.event == m.event);
+            assert(document.SameDocumentAs(m));
           }
           break;
         }

@@ -5,7 +5,8 @@ namespace spex {
 std::string Message::ToString() const {
   switch (kind) {
     case MessageKind::kDocument:
-      return event.ToString();
+      return payload != nullptr ? payload->ToString()
+                                : StreamEvent{event_kind, {}, {}}.ToString();
     case MessageKind::kActivation:
       return "[" + formula.ToString() + "]";
     case MessageKind::kDetermination:

@@ -8,11 +8,24 @@
 //     message,
 //   * condition determination messages {c,v} — announce the value v of a
 //     condition variable c.
+//
+// Hot-path layout (see DESIGN.md "Hot path & memory discipline"): a document
+// message carries only the cheap core — kind, the event's kind, and its
+// interned label symbol — plus a borrowed pointer to the StreamEvent for the
+// cold fields (name/text strings, needed only by the output transducer when
+// it materializes results).  The engine delivers each stream event with
+// Message::DocumentRef: the event outlives the synchronous delivery round
+// ("one message in the network at a time", §III), so no copy and no
+// allocation happens anywhere on the routing path, however large the
+// network's fan-out.  Message::Document keeps ownership semantics for
+// hand-built messages in tests (the event is moved into shared storage).
 
 #ifndef SPEX_SPEX_MESSAGE_H_
 #define SPEX_SPEX_MESSAGE_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "spex/formula.h"
 #include "xml/stream_event.h"
@@ -27,15 +40,38 @@ enum class MessageKind : uint8_t {
 
 struct Message {
   MessageKind kind = MessageKind::kDocument;
-  StreamEvent event;   // kDocument
+  EventKind event_kind = EventKind::kStartDocument;  // kDocument
+  Symbol symbol = kNoSymbol;  // kDocument: interned element label
+  // kDocument: the full event.  `payload` is always valid for a document
+  // message; `owned` keeps it alive only when the message owns its event
+  // (Message::Document) — on the engine's zero-copy path (DocumentRef) the
+  // caller guarantees the event outlives the delivery round and `owned`
+  // stays empty, so copying a Message at a fan-out point copies no string.
+  const StreamEvent* payload = nullptr;
+  std::shared_ptr<const StreamEvent> owned;
   Formula formula;     // kActivation
   VarId var = 0;       // kDetermination
   bool value = false;  // kDetermination
 
+  // Owning document message: for hand-built streams (tests, examples).
   static Message Document(StreamEvent event) {
     Message m;
     m.kind = MessageKind::kDocument;
-    m.event = std::move(event);
+    m.event_kind = event.kind;
+    m.symbol = event.label;
+    m.owned = std::make_shared<const StreamEvent>(std::move(event));
+    m.payload = m.owned.get();
+    return m;
+  }
+  // Borrowing document message: the caller keeps `event` alive until the
+  // delivery round completes (true for the engine, which holds the event on
+  // its stack for the whole synchronous Deliver cascade).
+  static Message DocumentRef(const StreamEvent& event) {
+    Message m;
+    m.kind = MessageKind::kDocument;
+    m.event_kind = event.kind;
+    m.symbol = event.label;
+    m.payload = &event;
     return m;
   }
   static Message Activation(Formula formula) {
@@ -56,18 +92,28 @@ struct Message {
   bool is_activation() const { return kind == MessageKind::kActivation; }
   bool is_determination() const { return kind == MessageKind::kDetermination; }
 
+  // The event of a document message.  Only valid when is_document().
+  const StreamEvent& event() const { return *payload; }
+
   // True for <a> and <$> (messages that open a tree level).
   bool is_open() const {
-    return is_document() && (event.kind == EventKind::kStartElement ||
-                             event.kind == EventKind::kStartDocument);
+    return is_document() && (event_kind == EventKind::kStartElement ||
+                             event_kind == EventKind::kStartDocument);
   }
   // True for </a> and </$>.
   bool is_close() const {
-    return is_document() && (event.kind == EventKind::kEndElement ||
-                             event.kind == EventKind::kEndDocument);
+    return is_document() && (event_kind == EventKind::kEndElement ||
+                             event_kind == EventKind::kEndDocument);
   }
   bool is_text() const {
-    return is_document() && event.kind == EventKind::kText;
+    return is_document() && event_kind == EventKind::kText;
+  }
+
+  // True when `other` is the same document message (same position in the
+  // round): used by join/intersect to check the two ports stay in lockstep.
+  bool SameDocumentAs(const Message& other) const {
+    return is_document() && other.is_document() &&
+           event_kind == other.event_kind && symbol == other.symbol;
   }
 
   // Paper notation: "[f]", "{co0_1,true}", "<a>".

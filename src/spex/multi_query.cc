@@ -99,7 +99,13 @@ void MultiQueryEngine::Finalize() {
 
 void MultiQueryEngine::OnEvent(const StreamEvent& event) {
   assert(finalized_ && "Finalize() before feeding events");
-  network_.Deliver(input_node_, 0, Message::Document(event));
+  // Zero-copy delivery, exactly as SpexEngine::OnEvent: the shared trie
+  // network fans one borrowed document message out to every query.
+  Message m = Message::DocumentRef(event);
+  if (m.symbol == kNoSymbol && event.kind == EventKind::kStartElement) {
+    m.symbol = context_->symbol_table()->Intern(event.name);
+  }
+  network_.Deliver(input_node_, 0, std::move(m));
   if (event.kind == EventKind::kEndDocument) {
     for (RegisteredQuery& q : queries_) {
       if (q.output != nullptr) q.output->Flush();

@@ -9,13 +9,16 @@ FollowingTransducer::FollowingTransducer(std::string label, bool wildcard,
     : Transducer("FO(" + (wildcard ? std::string("_") : label) + ")"),
       label_(std::move(label)),
       wildcard_(wildcard),
+      symbol_(wildcard ? kNoSymbol : context->symbol_table()->Intern(label_)),
       context_(context) {}
 
 bool FollowingTransducer::Matches(const Message& m) const {
-  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+  if (!m.is_document() || m.event_kind != EventKind::kStartElement) {
     return false;
   }
-  return wildcard_ || m.event.name == label_;
+  if (wildcard_) return true;
+  return m.symbol != kNoSymbol ? m.symbol == symbol_
+                               : m.event().name == label_;
 }
 
 void FollowingTransducer::OnMessage(int port, Message message, Emitter* out) {
@@ -103,15 +106,18 @@ PrecedingTransducer::PrecedingTransducer(std::string label, bool wildcard,
     : Transducer("PR(" + (wildcard ? std::string("_") : label) + ")"),
       label_(std::move(label)),
       wildcard_(wildcard),
+      symbol_(wildcard ? kNoSymbol : context->symbol_table()->Intern(label_)),
       qualifier_id_(qualifier_id),
       context_(context),
       evidence_mode_(evidence_mode) {}
 
 bool PrecedingTransducer::Matches(const Message& m) const {
-  if (!m.is_document() || m.event.kind != EventKind::kStartElement) {
+  if (!m.is_document() || m.event_kind != EventKind::kStartElement) {
     return false;
   }
-  return wildcard_ || m.event.name == label_;
+  if (wildcard_) return true;
+  return m.symbol != kNoSymbol ? m.symbol == symbol_
+                               : m.event().name == label_;
 }
 
 void PrecedingTransducer::SatisfyClosed(const Formula& formula,

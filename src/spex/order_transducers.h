@@ -43,6 +43,7 @@ class FollowingTransducer : public Transducer {
 
   std::string label_;
   bool wildcard_;
+  Symbol symbol_;  // label_ interned at construction; one compare per event
   RunContext* context_;
   // Depth stack; levels carrying a pending activation hold its formula,
   // which is armed (merged into armed_) when the level closes.
@@ -84,6 +85,7 @@ class PrecedingTransducer : public Transducer {
 
   std::string label_;
   bool wildcard_;
+  Symbol symbol_;  // label_ interned at construction; one compare per event
   uint32_t qualifier_id_;
   RunContext* context_;
   struct Speculation {

@@ -105,7 +105,7 @@ void OutputTransducer::OnMessage(int port, Message message, Emitter* out) {
       return;
     case MessageKind::kDocument:
       Fire(3);
-      HandleDocument(message.event);
+      HandleDocument(message.event());
       FinishMessage();
       return;
   }

@@ -38,7 +38,7 @@ void JoinTransducer::Drain(Emitter* out) {
         const bool r_doc = r.is_document();
         if (l_doc && r_doc) {  // (1): the same message arrived on both tapes
           Fire(1);
-          assert(l.event == r.event);
+          assert(l.SameDocumentAs(r));
           EmitTo(out, 0, std::move(l));
           left.pop_front();
           right.pop_front();
@@ -84,7 +84,7 @@ void JoinTransducer::Drain(Emitter* out) {
         if (r.is_document()) {  // (12): emit the document message once
           Fire(12);
           assert(!left.empty() && left.front().is_document());
-          assert(left.front().event == r.event);
+          assert(left.front().SameDocumentAs(r));
           EmitTo(out, 0, std::move(r));
           left.pop_front();
           right.pop_front();
@@ -102,7 +102,7 @@ void JoinTransducer::Drain(Emitter* out) {
         if (l.is_document()) {  // (15)
           Fire(15);
           assert(!right.empty() && right.front().is_document());
-          assert(right.front().event == l.event);
+          assert(right.front().SameDocumentAs(l));
           EmitTo(out, 0, std::move(l));
           left.pop_front();
           right.pop_front();

@@ -141,6 +141,12 @@ enum class OutputOrder : uint8_t {
 
 // Run-wide configuration shared by all transducers of a network.
 struct EngineOptions {
+  // Optional external symbol table, shared with other processors (baselines
+  // in differential benches, multiple engines over one stream).  When null
+  // the run owns a private table (RunContext::symbol_table()).  Events
+  // delivered to the network must carry labels interned by *this* table (or
+  // kNoSymbol, which falls back to string comparison).
+  SymbolTable* symbols = nullptr;
   // If true, transducers rewrite the formulas stored on their condition
   // stacks when a determination message passes (the paper's update(c,v,beta),
   // e.g. Fig. 2 rule 13); if false they evaluate lazily at the output
@@ -169,6 +175,15 @@ struct RunContext {
   // conditions), so retired bindings may still be referenced and must not
   // be erased.
   bool allow_variable_gc = true;
+  // Interned label symbols for this run.  Label-testing transducers resolve
+  // their predicate to a Symbol at construction time through this table, so
+  // the per-event test is one integer compare.
+  SymbolTable* symbol_table() {
+    return options.symbols != nullptr ? options.symbols : &owned_symbols_;
+  }
+
+ private:
+  SymbolTable owned_symbols_;
 };
 
 // Shared depth-stack marker symbols (Gamma_depth in the paper).

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "xml/symbol_table.h"
+
 namespace spex {
 
 // Kind of a document message.
@@ -30,10 +32,18 @@ const char* EventKindName(EventKind kind);
 
 // One document message.  For element events `name` holds the label; for text
 // events `text` holds the character data; the unused field is empty.
+//
+// `label` is the interned symbol for `name`, stamped by XmlParser when it was
+// given a SymbolTable (see EvaluateXml / XmlParserOptions::symbols).  Events
+// built by hand carry kNoSymbol and every consumer falls back to comparing
+// `name`.  Equality deliberately ignores `label`: two events with the same
+// text are the same document message regardless of which table (if any)
+// interned them.
 struct StreamEvent {
   EventKind kind = EventKind::kStartDocument;
   std::string name;
   std::string text;
+  Symbol label = kNoSymbol;
 
   static StreamEvent StartDocument() { return {EventKind::kStartDocument, {}, {}}; }
   static StreamEvent EndDocument() { return {EventKind::kEndDocument, {}, {}}; }

@@ -1,0 +1,80 @@
+// Label interning (hot-path discipline, see DESIGN.md).
+//
+// Element labels repeat constantly in an XML stream — a DMOZ-like document
+// has millions of elements but a handful of distinct tag names.  The parser
+// interns every label once into a run-owned SymbolTable and stamps the dense
+// uint32 Symbol onto the StreamEvent, so every label test downstream (child /
+// closure / self-axis transducers, the NFA baseline) is a single integer
+// compare instead of a std::string compare.
+//
+// Symbol 0 (kNoSymbol) is reserved for "not interned": events built by hand
+// in tests carry it, and every consumer keeps a string-compare fallback for
+// that case.  Symbols are only meaningful relative to the table that issued
+// them; the engine owns one table per run (RunContext::symbol_table()).
+
+#ifndef SPEX_XML_SYMBOL_TABLE_H_
+#define SPEX_XML_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace spex {
+
+// Dense interned label id.  0 means "no symbol assigned".
+using Symbol = uint32_t;
+
+inline constexpr Symbol kNoSymbol = 0;
+
+class SymbolTable {
+ public:
+  SymbolTable() { names_.emplace_back(); }  // index 0 = kNoSymbol
+
+  // Returns the symbol for `name`, interning it on first sight.  Interning
+  // is stable: the same string always maps to the same symbol.
+  Symbol Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    Symbol sym = static_cast<Symbol>(names_.size());
+    names_.emplace_back(name);
+    index_.emplace(names_.back(), sym);  // key is an owned copy
+    return sym;
+  }
+
+  // Returns the symbol for `name` if already interned, else kNoSymbol.
+  Symbol Lookup(std::string_view name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? kNoSymbol : it->second;
+  }
+
+  // The label text for a symbol issued by this table ("" for kNoSymbol).
+  const std::string& Name(Symbol sym) const { return names_[sym]; }
+
+  // Number of distinct interned labels, excluding the reserved slot 0.
+  size_t size() const { return names_.size() - 1; }
+
+ private:
+  // Transparent hash/eq so Lookup/Intern take string_view without building a
+  // temporary std::string on the hit path (C++20 heterogeneous lookup).
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol, Hash, Eq> index_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_XML_SYMBOL_TABLE_H_

@@ -71,12 +71,20 @@ bool XmlParser::EmitStartElement() {
       static_cast<int>(open_elements_.size()) >= options_.max_depth) {
     return Fail("maximum depth exceeded");
   }
-  sink_->OnEvent(StreamEvent::StartElement(tag_name_));
+  const Symbol sym = options_.symbols != nullptr
+                         ? options_.symbols->Intern(tag_name_)
+                         : kNoSymbol;
+  StreamEvent start = StreamEvent::StartElement(tag_name_);
+  start.label = sym;
+  sink_->OnEvent(start);
   if (options_.expose_attributes && !EmitAttributes()) return false;
   if (tag_self_closing_) {
-    sink_->OnEvent(StreamEvent::EndElement(tag_name_));
+    StreamEvent end = StreamEvent::EndElement(tag_name_);
+    end.label = sym;
+    sink_->OnEvent(end);
   } else {
     open_elements_.push_back(tag_name_);
+    open_symbols_.push_back(sym);
   }
   tag_name_.clear();
   tag_rest_.clear();
@@ -142,9 +150,17 @@ bool XmlParser::EmitAttributes() {
     std::string decoded;
     decoded.swap(text_);
     text_.swap(value);
-    sink_->OnEvent(StreamEvent::StartElement("@" + name));
+    std::string attr_label = "@" + name;
+    const Symbol sym = options_.symbols != nullptr
+                           ? options_.symbols->Intern(attr_label)
+                           : kNoSymbol;
+    StreamEvent start = StreamEvent::StartElement(attr_label);
+    start.label = sym;
+    sink_->OnEvent(start);
     if (!decoded.empty()) sink_->OnEvent(StreamEvent::Text(decoded));
-    sink_->OnEvent(StreamEvent::EndElement("@" + name));
+    StreamEvent end = StreamEvent::EndElement(std::move(attr_label));
+    end.label = sym;
+    sink_->OnEvent(end);
   }
 }
 
@@ -157,7 +173,10 @@ bool XmlParser::EmitEndElement(const std::string& name) {
                 open_elements_.back() + ">");
   }
   open_elements_.pop_back();
-  sink_->OnEvent(StreamEvent::EndElement(name));
+  StreamEvent end = StreamEvent::EndElement(name);
+  end.label = open_symbols_.back();  // resolved at the matching start tag
+  open_symbols_.pop_back();
+  sink_->OnEvent(end);
   return true;
 }
 

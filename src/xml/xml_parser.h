@@ -47,6 +47,13 @@ struct XmlParserOptions {
   // If true, the parser emits kStartDocument before the first message and
   // kEndDocument when Finish() is called.
   bool emit_document_events = true;
+  // Optional symbol table: element labels (and @-attribute names) are
+  // interned once per distinct tag and stamped onto the emitted events'
+  // `label` field — end tags reuse the symbol resolved at the matching start
+  // tag, so they never touch the table.  Null leaves labels unstamped
+  // (kNoSymbol).  The table must outlive the parser; consumers that compare
+  // symbols (the SPEX engine) must be given the same table.
+  SymbolTable* symbols = nullptr;
 };
 
 class XmlParser {
@@ -128,6 +135,7 @@ class XmlParser {
   char pi_prev_ = '\0';
   int doctype_depth_ = 0;
   std::vector<std::string> open_elements_;
+  std::vector<Symbol> open_symbols_;  // parallel to open_elements_
   int64_t bytes_consumed_ = 0;
 };
 

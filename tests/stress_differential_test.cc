@@ -111,5 +111,51 @@ TEST_P(StressDifferentialTest, FullLanguageAgreesWithOracleInAllModes) {
 INSTANTIATE_TEST_SUITE_P(Seeds, StressDifferentialTest,
                          ::testing::Range(0, 40));
 
+// Long-stream memory discipline: a deep recursive query over >= 100k
+// document messages must keep the per-message formula high-water mark
+// bounded by the document's structure (depth x qualifier instances), not by
+// stream length — the §V space claim, and the regression guard for the
+// pooled-formula/zero-copy routing hot path (DESIGN.md "Hot path & memory
+// discipline").
+TEST(StressLongStreamTest, DeepRecursiveQueryKeepsFormulaMemoryBounded) {
+  const int64_t live_before = Formula::LiveNodeCount();
+  RandomTreeOptions opts;
+  opts.max_depth = 14;
+  opts.max_children = 4;
+  opts.max_elements = 60000;  // >= 100k messages incl. end tags
+  opts.labels = {"a", "b", "c"};
+  opts.root_label = "a";
+  std::vector<StreamEvent> events = GenerateToVector(
+      [&](EventSink* s) { GenerateRandomTree(7, opts, s); });
+
+  // Nested qualifiers under a descendant closure: every element spawns
+  // qualifier instances whose conditions resolve only when subtrees close.
+  // The document is fed several times (each pass is a complete document) to
+  // push the stream past 100k messages.
+  const int kPasses =
+      static_cast<int>(100000 / events.size()) + 1;
+  ExprPtr query = MustParseRpeq("_*.a[b[c].c].b");
+  CountingResultSink sink;
+  {
+    SpexEngine engine(*query, &sink);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const StreamEvent& e : events) engine.OnEvent(e);
+    }
+    RunStats stats = engine.ComputeStats();
+    ASSERT_GE(stats.events_processed, 100000);
+    EXPECT_EQ(stats.events_processed,
+              kPasses * static_cast<int64_t>(events.size()));
+    // The peak formula size must track depth/branching, not the ~100k+
+    // stream length.  The generous constant still fails immediately if
+    // formulas (or the assignment GC) start leaking per-message state.
+    EXPECT_GT(stats.max_formula_nodes, 0);
+    EXPECT_LT(stats.max_formula_nodes, 2000);
+    EXPECT_GT(sink.results(), 0);
+  }
+  // Destroying the engine returns every pooled formula node: no leaks
+  // across a long run.
+  EXPECT_EQ(Formula::LiveNodeCount(), live_before);
+}
+
 }  // namespace
 }  // namespace spex

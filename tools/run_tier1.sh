@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): configure, build and run the full test suite
+# exactly the way the driver does.  Usage:
+#
+#   tools/run_tier1.sh           # default preset (RelWithDebInfo, build/)
+#   tools/run_tier1.sh asan      # address+UB sanitizer preset (build-asan/)
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+preset="${1:-default}"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset"
