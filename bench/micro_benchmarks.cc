@@ -326,6 +326,20 @@ struct Record {
   int64_t results = 0;
 };
 
+// Observe level applied to every workload engine (--observe=off|counters|
+// full); BENCH_PR2.json pairs an off run against a full run to price the
+// observability layer.
+ObserveLevel g_observe = ObserveLevel::kOff;
+
+const char* ObserveName() {
+  switch (g_observe) {
+    case ObserveLevel::kOff: return "off";
+    case ObserveLevel::kCounters: return "counters";
+    case ObserveLevel::kFull: return "full";
+  }
+  return "?";
+}
+
 Record RunWorkload(const Workload& w) {
   ExprPtr query = MustParseRpeq(w.query);
   std::vector<StreamEvent> events = w.generate();
@@ -344,6 +358,7 @@ Record RunWorkload(const Workload& w) {
   }
   EngineOptions options;
   options.symbols = &symbols;
+  options.observe = g_observe;
 
   // Warm-up run: faults in the event vector and fills allocator caches so
   // the measured runs see steady state.
@@ -395,16 +410,19 @@ int RunJsonBenchmarks(const char* path) {
   for (const Workload& w : kWorkloads) {
     Record rec = RunWorkload(w);
     std::fprintf(stderr, "%-24s %12.0f ev/s  %6.1f B/ev  %5lld peak-nodes  "
-                 "%8.4f allocs/ev  %lld results\n",
+                 "%8.4f allocs/ev  %lld results  [observe=%s]\n",
                  rec.name.c_str(), rec.events_per_sec, rec.bytes_per_event,
                  static_cast<long long>(rec.peak_formula_nodes),
-                 rec.allocs_per_event, static_cast<long long>(rec.results));
+                 rec.allocs_per_event, static_cast<long long>(rec.results),
+                 ObserveName());
     std::fprintf(
         f,
-        "%s  {\"benchmark\": \"%s\", \"events_per_sec\": %.1f, "
+        "%s  {\"benchmark\": \"%s\", \"observe\": \"%s\", "
+        "\"events_per_sec\": %.1f, "
         "\"bytes_per_event\": %.2f, \"peak_formula_nodes\": %lld, "
         "\"allocs_per_event\": %.4f, \"results\": %lld}",
-        first ? "" : ",\n", rec.name.c_str(), rec.events_per_sec,
+        first ? "" : ",\n", rec.name.c_str(), ObserveName(),
+        rec.events_per_sec,
         rec.bytes_per_event, static_cast<long long>(rec.peak_formula_nodes),
         rec.allocs_per_event, static_cast<long long>(rec.results));
     first = false;
@@ -424,6 +442,12 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--observe=", 10) == 0) {
+      if (!spex::ParseObserveLevel(argv[i] + 10,
+                                   &spex::benchjson::g_observe)) {
+        std::fprintf(stderr, "bad --observe level: %s\n", argv[i] + 10);
+        return 1;
+      }
     } else {
       passthrough.push_back(argv[i]);
     }

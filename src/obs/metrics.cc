@@ -1,0 +1,297 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace spex {
+namespace obs {
+
+namespace {
+
+// Prometheus label values escape backslash, double quote and newline.
+std::string EscapePromLabel(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderPromLabels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    out += key;
+    out += "=\"";
+    out += EscapePromLabel(value);
+    out += '"';
+    first = false;
+  }
+  out += '}';
+  return out;
+}
+
+// As RenderPromLabels but with an extra label appended (histogram le).
+std::string RenderPromLabelsWith(const Labels& labels, std::string_view key,
+                                 std::string_view value) {
+  Labels extended = labels;
+  extended.emplace_back(std::string(key), std::string(value));
+  return RenderPromLabels(extended);
+}
+
+}  // namespace
+
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int64_t Histogram::BucketUpperBound(int i) {
+  if (i <= 0) return 0;
+  if (i >= 63) return INT64_MAX;
+  return (int64_t{1} << i) - 1;
+}
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricRegistry::Entry& MetricRegistry::NewEntry(std::string name, Labels labels,
+                                                MetricType type) {
+  entries_.push_back(std::make_unique<Entry>());
+  Entry& e = *entries_.back();
+  e.name = std::move(name);
+  e.labels = std::move(labels);
+  e.type = type;
+  return e;
+}
+
+Counter* MetricRegistry::AddCounter(std::string name, Labels labels) {
+  Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kCounter);
+  e.counter = std::make_unique<Counter>();
+  return e.counter.get();
+}
+
+Gauge* MetricRegistry::AddGauge(std::string name, Labels labels) {
+  Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kGauge);
+  e.gauge = std::make_unique<Gauge>();
+  return e.gauge.get();
+}
+
+Histogram* MetricRegistry::AddHistogram(std::string name, Labels labels) {
+  Entry& e =
+      NewEntry(std::move(name), std::move(labels), MetricType::kHistogram);
+  e.histogram = std::make_unique<Histogram>();
+  return e.histogram.get();
+}
+
+void MetricRegistry::AddCallbackGauge(std::string name, Labels labels,
+                                      std::function<int64_t()> read) {
+  Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kGauge);
+  e.callback = std::move(read);
+}
+
+MetricsSnapshot MetricRegistry::Collect() const {
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample s;
+    s.name = entry->name;
+    s.labels = entry->labels;
+    s.type = entry->type;
+    switch (entry->type) {
+      case MetricType::kCounter:
+        s.value = entry->counter->value();
+        s.max = s.value;
+        break;
+      case MetricType::kGauge:
+        if (entry->callback) {
+          s.value = entry->callback();
+          s.max = s.value;
+        } else {
+          s.value = entry->gauge->value();
+          s.max = entry->gauge->max();
+        }
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        s.count = h.count();
+        s.sum = h.sum();
+        s.max = h.max();
+        int last = -1;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          if (h.bucket(i) != 0) last = i;
+        }
+        s.buckets.reserve(static_cast<size_t>(last + 1));
+        for (int i = 0; i <= last; ++i) s.buckets.push_back(h.bucket(i));
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+const MetricSample* MetricsSnapshot::Find(std::string_view name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::Value(std::string_view name) const {
+  const MetricSample* s = Find(name);
+  return s != nullptr ? s->value : 0;
+}
+
+int64_t MetricsSnapshot::SumAll(std::string_view name) const {
+  int64_t total = 0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name) total += s.value;
+  }
+  return total;
+}
+
+int64_t MetricsSnapshot::MaxAll(std::string_view name) const {
+  int64_t best = 0;
+  for (const MetricSample& s : samples) {
+    if (s.name == name && s.value > best) best = s.value;
+  }
+  return best;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  std::vector<std::string_view> typed;  // families with an emitted # TYPE
+  for (const MetricSample& s : samples) {
+    bool seen = false;
+    for (std::string_view t : typed) {
+      if (t == s.name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      out += "# TYPE " + s.name + " " + MetricTypeName(s.type) + "\n";
+      typed.push_back(s.name);
+    }
+    if (s.type == MetricType::kHistogram) {
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < s.buckets.size(); ++i) {
+        cumulative += s.buckets[i];
+        out += s.name + "_bucket" +
+               RenderPromLabelsWith(
+                   s.labels, "le",
+                   std::to_string(
+                       Histogram::BucketUpperBound(static_cast<int>(i)))) +
+               " " + std::to_string(cumulative) + "\n";
+      }
+      out += s.name + "_bucket" +
+             RenderPromLabelsWith(s.labels, "le", "+Inf") + " " +
+             std::to_string(s.count) + "\n";
+      out += s.name + "_sum" + RenderPromLabels(s.labels) + " " +
+             std::to_string(s.sum) + "\n";
+      out += s.name + "_count" + RenderPromLabels(s.labels) + " " +
+             std::to_string(s.count) + "\n";
+    } else {
+      out += s.name + RenderPromLabels(s.labels) + " " +
+             std::to_string(s.value) + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\": [\n";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  {\"name\": \"" + EscapeJson(s.name) + "\", \"type\": \"" +
+           MetricTypeName(s.type) + "\"";
+    if (!s.labels.empty()) {
+      out += ", \"labels\": {";
+      bool first_label = true;
+      for (const auto& [key, value] : s.labels) {
+        if (!first_label) out += ", ";
+        out += "\"" + EscapeJson(key) + "\": \"" + EscapeJson(value) + "\"";
+        first_label = false;
+      }
+      out += "}";
+    }
+    if (s.type == MetricType::kHistogram) {
+      out += ", \"count\": " + std::to_string(s.count) +
+             ", \"sum\": " + std::to_string(s.sum) +
+             ", \"max\": " + std::to_string(s.max) + ", \"buckets\": [";
+      for (size_t i = 0; i < s.buckets.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "{\"le\": " +
+               std::to_string(
+                   Histogram::BucketUpperBound(static_cast<int>(i))) +
+               ", \"count\": " + std::to_string(s.buckets[i]) + "}";
+      }
+      out += "]";
+    } else {
+      out += ", \"value\": " + std::to_string(s.value);
+      if (s.type == MetricType::kGauge && s.max != s.value) {
+        out += ", \"max\": " + std::to_string(s.max);
+      }
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spex

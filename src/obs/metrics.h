@@ -1,0 +1,183 @@
+// Live metrics registry for streaming runs.
+//
+// The registry holds cheap, incrementally-maintained instruments that the
+// engine's hot path can publish into and that tools can scrape at any point
+// of a run — unlike SpexEngine::ComputeStats(), which is a post-hoc network
+// scan, a snapshot here is consistent *mid-stream* ("one message in the
+// network at a time" means every scrape lands on a message boundary).
+//
+// Three instrument kinds:
+//   * Counter    — monotone int64, Increment() is one add.
+//   * Gauge      — settable int64 with a high-water mark.
+//   * Histogram  — fixed-bucket base-2 histogram: Observe() is a bit_width,
+//                  one add and two compares; no floats, no allocation.
+//
+// Additionally the registry accepts *callback gauges*: pull-style metrics
+// evaluated at Collect() time.  The SPEX engines use them to expose the
+// per-transducer TransducerStats (messages in/out, stack peaks) that the
+// transducers already maintain unconditionally — publication then costs the
+// hot path nothing at all, and the §V resource bounds stay scrapeable even
+// with observation off.
+//
+// Threading: like the engine itself (§III, one message in the network at a
+// time), the registry is single-threaded per run.  Handles returned by the
+// Add* functions are owned by the registry and stable for its lifetime.
+
+#ifndef SPEX_OBS_METRICS_H_
+#define SPEX_OBS_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spex {
+namespace obs {
+
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_ = value;
+    if (value > max_) max_ = value;
+  }
+  void Add(int64_t delta) { Set(value_ + delta); }
+  int64_t value() const { return value_; }
+  // High-water mark over all Set/Add calls (and the initial 0).
+  int64_t max() const { return max_; }
+
+ private:
+  int64_t value_ = 0;
+  int64_t max_ = 0;
+};
+
+// Base-2 histogram: bucket k counts observations v with bit_width(v) == k,
+// i.e. 2^(k-1) <= v <= 2^k - 1; bucket 0 counts v <= 0.  64 buckets cover
+// the whole int64 range, so Observe never branches on range.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(int64_t value) {
+    const int bucket =
+        value <= 0
+            ? 0
+            : std::min(kBuckets - 1,
+                       static_cast<int>(
+                           std::bit_width(static_cast<uint64_t>(value))));
+    ++buckets_[static_cast<size_t>(bucket)];
+    ++count_;
+    sum_ += value;
+    if (value > max_) max_ = value;
+  }
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  int64_t max() const { return max_; }
+  int64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  // Inclusive upper bound of bucket i (0, 1, 3, 7, ..., 2^i - 1).
+  static int64_t BucketUpperBound(int i);
+
+ private:
+  std::array<int64_t, kBuckets> buckets_{};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t max_ = 0;
+};
+
+enum class MetricType : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* MetricTypeName(MetricType type);
+
+// Label set rendered as {key="value",...}; kept sorted-insertion-order as
+// registered.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// One metric read at Collect() time.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricType type = MetricType::kGauge;
+  int64_t value = 0;  // counter / gauge current value
+  int64_t max = 0;    // gauge high-water; histogram max observation
+  // Histogram only: per-bucket counts (trimmed to the last non-empty
+  // bucket), total count and sum.
+  std::vector<int64_t> buckets;
+  int64_t count = 0;
+  int64_t sum = 0;
+};
+
+// A point-in-time view of a registry, plus exporters.
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  // First sample named `name` (any labels), or nullptr.
+  const MetricSample* Find(std::string_view name) const;
+  // Value of the first sample named `name`, or 0.
+  int64_t Value(std::string_view name) const;
+  // Sum / max of `value` over every sample named `name` (0 if none).
+  int64_t SumAll(std::string_view name) const;
+  int64_t MaxAll(std::string_view name) const;
+
+  // Prometheus text exposition format (one # TYPE line per family;
+  // histograms expand to _bucket{le=...}/_sum/_count).
+  std::string ToPrometheusText() const;
+  // JSON: {"metrics":[{"name":...,"type":...,"labels":{...},...}, ...]}.
+  std::string ToJson() const;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* AddCounter(std::string name, Labels labels = {});
+  Gauge* AddGauge(std::string name, Labels labels = {});
+  Histogram* AddHistogram(std::string name, Labels labels = {});
+  // Pull-style gauge: `read` is invoked at every Collect().  Whatever state
+  // the callback captures must outlive all Collect() calls.
+  void AddCallbackGauge(std::string name, Labels labels,
+                        std::function<int64_t()> read);
+
+  size_t size() const { return entries_.size(); }
+  MetricsSnapshot Collect() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Labels labels;
+    MetricType type = MetricType::kGauge;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<int64_t()> callback;
+  };
+
+  Entry& NewEntry(std::string name, Labels labels, MetricType type);
+
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+// JSON string escaping shared by the exporters (quotes, backslash, control
+// characters).
+std::string EscapeJson(std::string_view s);
+
+}  // namespace obs
+}  // namespace spex
+
+#endif  // SPEX_OBS_METRICS_H_

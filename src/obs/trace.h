@@ -1,0 +1,102 @@
+// Bounded trace recorder with Chrome trace-event export.
+//
+// Captures per-event and per-transducer spans of a streaming run into a
+// fixed-capacity ring buffer (old spans are overwritten, so memory stays
+// bounded however long the stream runs — the same discipline as the engine
+// itself) and exports them as Chrome trace-event JSON, loadable in
+// chrome://tracing and Perfetto.
+//
+// Track model: pid is always 1; each tid is one track.  The SPEX engine maps
+// tid 0 to the document stream (one span per document message, covering the
+// whole synchronous delivery round) and tid i+1 to network node i (one span
+// per message delivery, naturally nested inside the enclosing round because
+// delivery is depth-first).  Track display names are registered with
+// SetTrackName and exported as thread_name metadata.
+//
+// Span names are interned once (InternName) so recording a span is a ring
+// store plus two clock reads — cheap enough for observe=full, and entirely
+// absent from the build's hot path when no recorder is attached.
+
+#ifndef SPEX_OBS_TRACE_H_
+#define SPEX_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace spex {
+namespace obs {
+
+class TraceRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  // One recorded trace event.  `dur_or_value_ns` is the duration for spans
+  // ('X') and the sampled value for counter events ('C').
+  struct Event {
+    char phase = 'X';  // 'X' complete span, 'C' counter sample, 'i' instant
+    int32_t tid = 0;
+    int32_t name_id = 0;
+    int64_t ts_ns = 0;
+    int64_t dur_or_value_ns = 0;
+  };
+
+  explicit TraceRecorder(size_t capacity = kDefaultCapacity);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Nanoseconds since recorder construction (monotonic).
+  int64_t NowNs() const;
+
+  // Interns `name`, returning a stable id for Record* calls.
+  int InternName(std::string_view name);
+  const std::string& name(int id) const { return names_[static_cast<size_t>(id)]; }
+
+  // Display name for track `tid` (thread_name metadata in the export).
+  void SetTrackName(int tid, std::string_view name);
+
+  void RecordSpan(int tid, int name_id, int64_t start_ns, int64_t end_ns) {
+    Push({'X', tid, name_id, start_ns, end_ns - start_ns});
+  }
+  void RecordCounter(int name_id, int64_t ts_ns, int64_t value) {
+    Push({'C', 0, name_id, ts_ns, value});
+  }
+  void RecordInstant(int tid, int name_id, int64_t ts_ns) {
+    Push({'i', tid, name_id, ts_ns, 0});
+  }
+
+  // Events currently held, oldest first.
+  std::vector<Event> Events() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  // Total events ever recorded; `recorded() - size()` were overwritten.
+  int64_t recorded() const { return recorded_; }
+  int64_t dropped() const { return recorded_ - static_cast<int64_t>(size()); }
+
+  // Chrome trace-event JSON ({"traceEvents": [...], ...}); timestamps in
+  // fractional microseconds, events in chronological order, one thread_name
+  // metadata record per registered track.
+  std::string ToChromeJson() const;
+
+ private:
+  void Push(Event e) {
+    ring_[static_cast<size_t>(recorded_) % capacity_] = e;
+    ++recorded_;
+  }
+
+  std::chrono::steady_clock::time_point origin_;
+  size_t capacity_;
+  std::vector<Event> ring_;
+  int64_t recorded_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::pair<int, std::string>> track_names_;
+};
+
+}  // namespace obs
+}  // namespace spex
+
+#endif  // SPEX_OBS_TRACE_H_

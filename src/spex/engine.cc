@@ -36,6 +36,27 @@ SpexEngine::SpexEngine(const Expr& query, ResultSink* sink,
       compiled_.network.node(i)->set_trace(traces_.back().get());
     }
   }
+  if (options.observe != ObserveLevel::kOff) {
+    obs_ = std::make_unique<EngineObservability>(
+        context_.get(), &compiled_.network, options.trace_capacity);
+  }
+  // Pull collectors over state the components maintain unconditionally —
+  // registered at every observe level so the registry (and ComputeStats,
+  // which reads it) always reflects the §V bounds.
+  RegisterNetworkCollectors(&context_->metrics, &compiled_.network);
+  RegisterOutputCollectors(&context_->metrics, compiled_.output, {});
+  RegisterContextCollectors(&context_->metrics, context_.get());
+  context_->metrics.AddCallbackGauge(
+      "spex_engine_events", {},
+      [counter = &events_processed_] { return *counter; });
+  progress_enabled_ = context_->options.progress.enabled();
+  if (progress_enabled_) {
+    next_progress_events_ = options.progress.every_events;
+    next_progress_bytes_ = options.progress.every_bytes;
+  }
+  observed_path_ = obs_ != nullptr || progress_enabled_;
+  run_start_ = std::chrono::steady_clock::now();
+  last_watermark_time_ = run_start_;
 }
 
 SpexEngine::~SpexEngine() = default;
@@ -51,7 +72,12 @@ void SpexEngine::OnEvent(const StreamEvent& event) {
   if (m.symbol == kNoSymbol && event.kind == EventKind::kStartElement) {
     m.symbol = context_->symbol_table()->Intern(event.name);
   }
-  compiled_.network.Deliver(compiled_.input_node, 0, std::move(m));
+  // Observability costs this one branch when disabled (DESIGN.md §7).
+  if (!observed_path_) [[likely]] {
+    compiled_.network.Deliver(compiled_.input_node, 0, std::move(m));
+  } else {
+    OnEventObserved(event, std::move(m));
+  }
   if (event.kind == EventKind::kEndDocument) {
     compiled_.output->Flush();
   }
@@ -67,20 +93,80 @@ void SpexEngine::OnEvent(const StreamEvent& event) {
   }
 }
 
-RunStats SpexEngine::ComputeStats() const {
-  RunStats stats;
-  stats.network_degree = compiled_.network.node_count();
-  stats.events_processed = events_processed_;
-  for (int i = 0; i < compiled_.network.node_count(); ++i) {
-    const TransducerStats& t = compiled_.network.node(i)->stats();
-    stats.max_depth_stack = std::max(stats.max_depth_stack, t.depth_stack_peak);
-    stats.max_condition_stack =
-        std::max(stats.max_condition_stack, t.condition_stack_peak);
-    stats.max_formula_nodes =
-        std::max(stats.max_formula_nodes, t.formula_nodes_peak);
-    stats.total_messages += t.messages_in;
+void SpexEngine::OnEventObserved(const StreamEvent& event, Message message) {
+  if (obs_ != nullptr) {
+    obs_->ObserveDelivery(event.kind, events_processed_, [&] {
+      compiled_.network.Deliver(compiled_.input_node, 0, std::move(message));
+    });
+  } else {
+    compiled_.network.Deliver(compiled_.input_node, 0, std::move(message));
   }
-  stats.output = compiled_.output->output_stats();
+  if (progress_enabled_) MaybeEmitProgress();
+}
+
+void SpexEngine::MaybeEmitProgress() {
+  const ProgressOptions& progress = context_->options.progress;
+  bool due = false;
+  if (progress.every_events > 0 && events_processed_ >= next_progress_events_) {
+    due = true;
+    next_progress_events_ += progress.every_events;
+  }
+  if (!due && progress.every_bytes > 0 && progress_bytes_source_) {
+    const int64_t bytes = progress_bytes_source_();
+    if (bytes >= next_progress_bytes_) {
+      due = true;
+      next_progress_bytes_ = bytes + progress.every_bytes;
+    }
+  }
+  if (due && progress.callback) progress.callback(CurrentWatermark());
+}
+
+Watermark SpexEngine::CurrentWatermark() const {
+  Watermark w;
+  w.events = events_processed_;
+  w.bytes = progress_bytes_source_ ? progress_bytes_source_() : 0;
+  const auto now = std::chrono::steady_clock::now();
+  w.elapsed_sec = std::chrono::duration<double>(now - run_start_).count();
+  const double window =
+      std::chrono::duration<double>(now - last_watermark_time_).count();
+  if (window > 0) {
+    w.events_per_sec =
+        static_cast<double>(events_processed_ - last_watermark_events_) /
+        window;
+  }
+  last_watermark_time_ = now;
+  last_watermark_events_ = events_processed_;
+  w.results = result_count();
+  w.pending_fragments = compiled_.output->pending_candidates();
+  w.buffered_events = compiled_.output->buffered_events();
+  w.buffered_events_peak = compiled_.output->output_stats().buffered_events_peak;
+  w.live_formula_nodes = Formula::GetPoolStats().live;
+  w.live_condition_vars = static_cast<int64_t>(context_->assignment.size());
+  return w;
+}
+
+RunStats SpexEngine::ComputeStats() const {
+  // Folded from the registry's pull collectors (registered at every observe
+  // level), so the §V aggregate view and any metrics export agree by
+  // construction: total_messages == sum(spex_transducer_messages_in) etc.
+  const obs::MetricsSnapshot snap = context_->metrics.Collect();
+  RunStats stats;
+  stats.network_degree =
+      static_cast<int>(snap.Value("spex_network_transducers"));
+  stats.events_processed = snap.Value("spex_engine_events");
+  stats.max_depth_stack = snap.MaxAll("spex_transducer_depth_stack_peak");
+  stats.max_condition_stack =
+      snap.MaxAll("spex_transducer_condition_stack_peak");
+  stats.max_formula_nodes = snap.MaxAll("spex_transducer_formula_nodes_peak");
+  stats.total_messages = snap.SumAll("spex_transducer_messages_in");
+  stats.output.candidates_created = snap.Value("spex_output_candidates_created");
+  stats.output.candidates_dropped = snap.Value("spex_output_candidates_dropped");
+  stats.output.candidates_emitted = snap.Value("spex_output_candidates_emitted");
+  stats.output.streamed_events = snap.Value("spex_output_streamed_events");
+  stats.output.buffered_events_peak =
+      snap.Value("spex_output_buffered_events_peak");
+  stats.output.open_candidates_peak =
+      snap.Value("spex_output_open_candidates_peak");
   return stats;
 }
 

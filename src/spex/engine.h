@@ -14,6 +14,8 @@
 #ifndef SPEX_SPEX_ENGINE_H_
 #define SPEX_SPEX_ENGINE_H_
 
+#include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +23,7 @@
 #include "rpeq/ast.h"
 #include "spex/compiler.h"
 #include "spex/network.h"
+#include "spex/observe.h"
 #include "spex/output_transducer.h"
 #include "xml/stream_event.h"
 
@@ -70,8 +73,36 @@ class SpexEngine : public EventSink {
   // Number of results emitted so far.
   int64_t result_count() const { return compiled_.output->result_count(); }
 
-  // Resource accounting.
+  // Resource accounting.  Reads the observability registry (which exposes
+  // the per-transducer stats at every observe level) and folds it into the
+  // aggregate §V view; callable at any point of the stream.
   RunStats ComputeStats() const;
+
+  // The run's live metrics registry (see obs/metrics.h).  Pull collectors
+  // over the network/output/formula-pool state are registered at every
+  // observe level; push instruments (spex_events_total, histograms) exist
+  // only when options.observe != kOff.
+  obs::MetricRegistry& metrics() { return context_->metrics; }
+  const obs::MetricRegistry& metrics() const { return context_->metrics; }
+
+  // Span recorder of an observe=full run; null otherwise.  Export with
+  // trace_recorder()->ToChromeJson() (chrome://tracing / Perfetto).
+  const obs::TraceRecorder* trace_recorder() const {
+    return obs_ != nullptr ? obs_->trace_recorder() : nullptr;
+  }
+
+  // Progress watermarks.  Configured callbacks (EngineOptions::progress)
+  // fire from OnEvent every N events / M bytes; CurrentWatermark() computes
+  // the same report on demand (examples/stream_monitor polls it).  The
+  // reported rate is measured since the previous watermark (from either
+  // path).  `bytes` is 0 unless a byte source was attached.
+  Watermark CurrentWatermark() const;
+  // Attaches the stream-byte source used by Watermark::bytes and the
+  // every_bytes trigger — typically [&parser] { return parser.bytes_consumed(); }.
+  // The callable must outlive the engine's last OnEvent/CurrentWatermark.
+  void set_progress_bytes_source(std::function<int64_t()> source) {
+    progress_bytes_source_ = std::move(source);
+  }
 
   Network& network() { return compiled_.network; }
   RunContext& context() { return *context_; }
@@ -87,10 +118,28 @@ class SpexEngine : public EventSink {
   const TransducerTrace* trace(const std::string& name) const;
 
  private:
+  // Cold path of OnEvent: delivery wrapped in metric/trace publication plus
+  // watermark triggering.  Entered only when observation or progress is on.
+  void OnEventObserved(const StreamEvent& event, Message message);
+  void MaybeEmitProgress();
+
   std::unique_ptr<RunContext> context_;
   CompiledNetwork compiled_;
   std::vector<std::unique_ptr<TransducerTrace>> traces_;
+  std::unique_ptr<EngineObservability> obs_;  // non-null iff observe != kOff
   int64_t events_processed_ = 0;
+  // True when OnEvent must take the observed path (observe != kOff or
+  // progress enabled): the disabled hot path tests exactly this one flag.
+  bool observed_path_ = false;
+  bool progress_enabled_ = false;
+  std::function<int64_t()> progress_bytes_source_;
+  int64_t next_progress_events_ = 0;
+  int64_t next_progress_bytes_ = 0;
+  std::chrono::steady_clock::time_point run_start_{};
+  // Rate baseline of the previous watermark (mutable: CurrentWatermark is
+  // logically const but advances the rate window).
+  mutable std::chrono::steady_clock::time_point last_watermark_time_{};
+  mutable int64_t last_watermark_events_ = 0;
 };
 
 // ---------------------------------------------------------------------------

@@ -20,7 +20,8 @@ namespace {
 class FormulaPool {
  public:
   FormulaNode* New() {
-    ++live_;
+    ++allocated_total_;
+    if (++live_ > live_high_water_) live_high_water_ = live_;
     if (free_list_ != nullptr) {
       FormulaNode* n = free_list_;
       free_list_ = const_cast<FormulaNode*>(n->left);
@@ -48,6 +49,8 @@ class FormulaPool {
 
   uint64_t NextEpoch() { return ++epoch_; }
   int64_t live() const { return live_; }
+  int64_t live_high_water() const { return live_high_water_; }
+  int64_t allocated_total() const { return allocated_total_; }
   std::vector<const FormulaNode*>& scratch() { return scratch_; }
 
  private:
@@ -57,6 +60,8 @@ class FormulaPool {
   size_t next_in_chunk_ = 0;
   FormulaNode* free_list_ = nullptr;
   int64_t live_ = 0;
+  int64_t live_high_water_ = 0;
+  int64_t allocated_total_ = 0;
   uint64_t epoch_ = 0;
   // Reused stack for iterative release (deep OR chains would overflow the
   // call stack if freed recursively).
@@ -147,6 +152,11 @@ Formula Formula::Or(const Formula& a, const Formula& b) {
 }
 
 int64_t Formula::LiveNodeCount() { return Pool().live(); }
+
+Formula::PoolStats Formula::GetPoolStats() {
+  const FormulaPool& pool = Pool();
+  return {pool.live(), pool.live_high_water(), pool.allocated_total()};
+}
 
 namespace {
 

@@ -189,6 +189,17 @@ class Formula {
   // tests: after every engine on the thread is destroyed this returns 0.
   static int64_t LiveNodeCount();
 
+  // Accounting over this thread's formula pool (shared by all engines on
+  // the thread): pool occupancy, its high-water mark, and total node
+  // allocations ever made (the churn rate the observability registry
+  // exposes as a per-run delta).
+  struct PoolStats {
+    int64_t live = 0;
+    int64_t live_high_water = 0;
+    int64_t allocated_total = 0;
+  };
+  static PoolStats GetPoolStats();
+
  private:
   // Takes ownership of one reference on `node`.
   explicit Formula(const internal::FormulaNode* node) : node_(node) {}

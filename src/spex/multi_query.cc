@@ -95,17 +95,38 @@ void MultiQueryEngine::Finalize() {
   int t0 = builder.AddInput();
   input_node_ = builder.input_node();
   CompileTrie(&root_, t0, &builder);
+  if (context_->options.observe != ObserveLevel::kOff) {
+    obs_ = std::make_unique<EngineObservability>(
+        context_.get(), &network_, context_->options.trace_capacity);
+  }
+  RegisterNetworkCollectors(&context_->metrics, &network_);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i].output == nullptr) continue;
+    RegisterOutputCollectors(&context_->metrics, queries_[i].output,
+                             {{"query", std::to_string(i)}});
+  }
+  RegisterContextCollectors(&context_->metrics, context_.get());
+  context_->metrics.AddCallbackGauge(
+      "spex_engine_events", {},
+      [counter = &events_processed_] { return *counter; });
 }
 
 void MultiQueryEngine::OnEvent(const StreamEvent& event) {
   assert(finalized_ && "Finalize() before feeding events");
+  ++events_processed_;
   // Zero-copy delivery, exactly as SpexEngine::OnEvent: the shared trie
   // network fans one borrowed document message out to every query.
   Message m = Message::DocumentRef(event);
   if (m.symbol == kNoSymbol && event.kind == EventKind::kStartElement) {
     m.symbol = context_->symbol_table()->Intern(event.name);
   }
-  network_.Deliver(input_node_, 0, std::move(m));
+  if (obs_ == nullptr) [[likely]] {
+    network_.Deliver(input_node_, 0, std::move(m));
+  } else {
+    obs_->ObserveDelivery(event.kind, events_processed_, [&] {
+      network_.Deliver(input_node_, 0, std::move(m));
+    });
+  }
   if (event.kind == EventKind::kEndDocument) {
     for (RegisteredQuery& q : queries_) {
       if (q.output != nullptr) q.output->Flush();

@@ -62,6 +62,17 @@ class MultiQueryEngine : public EventSink {
   Network& network() { return network_; }
   RunContext& context() { return *context_; }
 
+  // Shared-run metrics registry; populated at Finalize() with pull
+  // collectors over the trie network plus per-query output collectors
+  // (labelled query=<id>).  See obs/metrics.h.
+  obs::MetricRegistry& metrics() { return context_->metrics; }
+  const obs::MetricRegistry& metrics() const { return context_->metrics; }
+  // Span recorder of an observe=full run; null otherwise.
+  const obs::TraceRecorder* trace_recorder() const {
+    return obs_ != nullptr ? obs_->trace_recorder() : nullptr;
+  }
+  int64_t events_processed() const { return events_processed_; }
+
  private:
   struct TrieNode {
     // Child steps keyed by their canonical text (structural equality).
@@ -84,6 +95,8 @@ class MultiQueryEngine : public EventSink {
   Network network_;
   TrieNode root_;
   std::vector<RegisteredQuery> queries_;
+  std::unique_ptr<EngineObservability> obs_;  // non-null iff observe != kOff
+  int64_t events_processed_ = 0;
   int input_node_ = -1;
   int naive_degree_ = 0;
   bool finalized_ = false;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace spex {
 
 int Network::AddNode(std::unique_ptr<Transducer> transducer) {
@@ -36,9 +38,26 @@ void Network::SetConsumer(int tape, int node, int in_port) {
   nodes_[node].in_tapes[in_port] = tape;
 }
 
+void Network::SetTraceRecorder(obs::TraceRecorder* recorder) {
+  trace_recorder_ = recorder;
+  if (recorder != nullptr) {
+    kind_name_ids_[0] = recorder->InternName("document");
+    kind_name_ids_[1] = recorder->InternName("activation");
+    kind_name_ids_[2] = recorder->InternName("determination");
+  }
+}
+
 void Network::Deliver(int node, int in_port, Message message) {
   NodeEmitter emitter(this, node);
+  if (trace_recorder_ == nullptr) [[likely]] {
+    nodes_[node].transducer->OnMessage(in_port, std::move(message), &emitter);
+    return;
+  }
+  const int name_id = kind_name_ids_[static_cast<int>(message.kind)];
+  const int64_t start = trace_recorder_->NowNs();
   nodes_[node].transducer->OnMessage(in_port, std::move(message), &emitter);
+  trace_recorder_->RecordSpan(node + 1, name_id, start,
+                              trace_recorder_->NowNs());
 }
 
 void Network::NodeEmitter::Emit(int port, Message message) {

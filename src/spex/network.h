@@ -19,6 +19,10 @@
 
 namespace spex {
 
+namespace obs {
+class TraceRecorder;
+}
+
 class Network {
  public:
   Network() = default;
@@ -41,6 +45,13 @@ class Network {
 
   // Injects a message at node `node` input port 0 and runs it to quiescence.
   void Deliver(int node, int in_port, Message message);
+
+  // Attaches a span recorder (observe=full): every message delivery records
+  // a span on track node+1, named after the message kind.  Because delivery
+  // is synchronous and depth-first, a delivery's span covers all downstream
+  // work it triggered — the Chrome trace reads as a flame graph of the
+  // network.  Null detaches; when detached Deliver pays one branch.
+  void SetTraceRecorder(obs::TraceRecorder* recorder);
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int tape_count() const { return static_cast<int>(tapes_.size()); }
@@ -89,6 +100,9 @@ class Network {
 
   std::vector<Node> nodes_;
   std::vector<Tape> tapes_;
+  obs::TraceRecorder* trace_recorder_ = nullptr;
+  // Interned span names, one per MessageKind.
+  int kind_name_ids_[3] = {0, 0, 0};
 };
 
 }  // namespace spex

@@ -1,0 +1,140 @@
+#include "spex/observe.h"
+
+#include <cstdio>
+
+#include "spex/network.h"
+#include "spex/output_transducer.h"
+#include "spex/transducer.h"
+
+namespace spex {
+
+bool ParseObserveLevel(std::string_view text, ObserveLevel* out) {
+  if (text == "off") {
+    *out = ObserveLevel::kOff;
+  } else if (text == "counters") {
+    *out = ObserveLevel::kCounters;
+  } else if (text == "full") {
+    *out = ObserveLevel::kFull;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string Watermark::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof buf,
+      "events=%lld bytes=%lld elapsed=%.2fs rate=%.0fev/s results=%lld "
+      "pending_fragments=%lld buffered_events=%lld buffered_peak=%lld "
+      "formula_nodes=%lld live_vars=%lld",
+      static_cast<long long>(events), static_cast<long long>(bytes),
+      elapsed_sec, events_per_sec, static_cast<long long>(results),
+      static_cast<long long>(pending_fragments),
+      static_cast<long long>(buffered_events),
+      static_cast<long long>(buffered_events_peak),
+      static_cast<long long>(live_formula_nodes),
+      static_cast<long long>(live_condition_vars));
+  return buf;
+}
+
+EngineObservability::EngineObservability(RunContext* context, Network* network,
+                                         size_t trace_capacity)
+    : context_(context) {
+  obs::MetricRegistry* registry = &context->metrics;
+  observer_.events_total = registry->AddCounter("spex_events_total");
+  observer_.output_decision_delay =
+      registry->AddHistogram("spex_output_decision_delay_events");
+  if (context->options.observe == ObserveLevel::kFull) {
+    trace_ = std::make_unique<obs::TraceRecorder>(trace_capacity);
+    observer_.event_latency_ns =
+        registry->AddHistogram("spex_event_latency_ns");
+    observer_.trace = trace_.get();
+    observer_.trace_buffered_name =
+        trace_->InternName("output_buffered_events");
+    for (int k = 0; k < 5; ++k) {
+      event_name_ids_[k] =
+          trace_->InternName(EventKindName(static_cast<EventKind>(k)));
+    }
+    trace_->SetTrackName(0, "stream");
+    for (int i = 0; i < network->node_count(); ++i) {
+      trace_->SetTrackName(i + 1, network->node(i)->name());
+    }
+    network->SetTraceRecorder(trace_.get());
+  }
+  context->observer = &observer_;
+}
+
+EngineObservability::~EngineObservability() { context_->observer = nullptr; }
+
+void RegisterNetworkCollectors(obs::MetricRegistry* registry,
+                               Network* network) {
+  registry->AddCallbackGauge(
+      "spex_network_transducers", {},
+      [network] { return static_cast<int64_t>(network->node_count()); });
+  for (int i = 0; i < network->node_count(); ++i) {
+    Transducer* node = network->node(i);
+    const obs::Labels labels = {{"node", std::to_string(i)},
+                                {"transducer", node->name()}};
+    registry->AddCallbackGauge("spex_transducer_messages_in", labels,
+                               [node] { return node->stats().messages_in; });
+    registry->AddCallbackGauge("spex_transducer_messages_out", labels,
+                               [node] { return node->stats().messages_out; });
+    registry->AddCallbackGauge(
+        "spex_transducer_depth_stack_peak", labels,
+        [node] { return node->stats().depth_stack_peak; });
+    registry->AddCallbackGauge(
+        "spex_transducer_condition_stack_peak", labels,
+        [node] { return node->stats().condition_stack_peak; });
+    registry->AddCallbackGauge(
+        "spex_transducer_formula_nodes_peak", labels,
+        [node] { return node->stats().formula_nodes_peak; });
+  }
+}
+
+void RegisterOutputCollectors(obs::MetricRegistry* registry,
+                              OutputTransducer* output, obs::Labels labels) {
+  registry->AddCallbackGauge(
+      "spex_output_candidates_created", labels,
+      [output] { return output->output_stats().candidates_created; });
+  registry->AddCallbackGauge(
+      "spex_output_candidates_dropped", labels,
+      [output] { return output->output_stats().candidates_dropped; });
+  registry->AddCallbackGauge(
+      "spex_output_candidates_emitted", labels,
+      [output] { return output->output_stats().candidates_emitted; });
+  registry->AddCallbackGauge(
+      "spex_output_streamed_events", labels,
+      [output] { return output->output_stats().streamed_events; });
+  registry->AddCallbackGauge("spex_output_buffered_events", labels,
+                             [output] { return output->buffered_events(); });
+  registry->AddCallbackGauge(
+      "spex_output_buffered_events_peak", labels,
+      [output] { return output->output_stats().buffered_events_peak; });
+  registry->AddCallbackGauge(
+      "spex_output_open_candidates_peak", labels,
+      [output] { return output->output_stats().open_candidates_peak; });
+  registry->AddCallbackGauge(
+      "spex_output_pending_candidates", std::move(labels),
+      [output] { return output->pending_candidates(); });
+}
+
+void RegisterContextCollectors(obs::MetricRegistry* registry,
+                               RunContext* context) {
+  registry->AddCallbackGauge("spex_assignment_live_vars", {}, [context] {
+    return static_cast<int64_t>(context->assignment.size());
+  });
+  registry->AddCallbackGauge("spex_formula_live_nodes", {},
+                             [] { return Formula::GetPoolStats().live; });
+  registry->AddCallbackGauge(
+      "spex_formula_pool_high_water", {},
+      [] { return Formula::GetPoolStats().live_high_water; });
+  // Churn since registration: the pool is thread-local and shared by every
+  // engine on the thread, so expose a per-run delta.
+  const int64_t baseline = Formula::GetPoolStats().allocated_total;
+  registry->AddCallbackGauge("spex_formula_pool_allocs", {}, [baseline] {
+    return Formula::GetPoolStats().allocated_total - baseline;
+  });
+}
+
+}  // namespace spex

@@ -116,6 +116,9 @@ void OutputTransducer::StartCandidate(Formula formula) {
   c.id = output_stats_.candidates_created;
   c.formula = formula.Simplify(context_->assignment);
   c.decided = c.formula.Evaluate(context_->assignment);
+  if (context_->observer != nullptr) {
+    c.created_at_event = context_->observer->event_index;
+  }
   queue_.push_back(std::move(c));
   CandidateIt it = std::prev(queue_.end());
   open_.push_back(it);
@@ -145,6 +148,7 @@ void OutputTransducer::ForgetOpen(const Candidate* candidate) {
 
 void OutputTransducer::BeginStreaming(Candidate* candidate) {
   assert(!candidate->streaming);
+  NoteDecision(*candidate);
   sink_->OnResultBegin(candidate->id);
   for (const StreamEvent& e : candidate->buffer) {
     sink_->OnReplayedResultEvent(candidate->id, e);
@@ -157,6 +161,7 @@ void OutputTransducer::BeginStreaming(Candidate* candidate) {
 
 void OutputTransducer::DropCandidate(CandidateIt it) {
   assert(!it->streaming);
+  NoteDecision(*it);
   buffered_events_ -= static_cast<int64_t>(it->buffer.size());
   ++output_stats_.candidates_dropped;
   if (!it->complete) ForgetOpen(&*it);
@@ -302,6 +307,23 @@ void OutputTransducer::Flush() {
 void OutputTransducer::NoteBuffered() {
   output_stats_.buffered_events_peak =
       std::max(output_stats_.buffered_events_peak, buffered_events_);
+  obs::RunObserver* observer = context_->observer;
+  if (observer != nullptr && observer->trace != nullptr &&
+      buffered_events_ != last_traced_buffered_) {
+    // Occupancy counter track (observe=full): sampled only on change so the
+    // ring holds the interesting transitions, not one sample per event.
+    observer->trace->RecordCounter(observer->trace_buffered_name,
+                                   observer->trace->NowNs(), buffered_events_);
+    last_traced_buffered_ = buffered_events_;
+  }
+}
+
+void OutputTransducer::NoteDecision(const Candidate& candidate) {
+  obs::RunObserver* observer = context_->observer;
+  if (observer != nullptr && observer->output_decision_delay != nullptr) {
+    observer->output_decision_delay->Observe(observer->event_index -
+                                             candidate.created_at_event);
+  }
 }
 
 }  // namespace spex

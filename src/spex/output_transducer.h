@@ -130,6 +130,12 @@ class OutputTransducer : public Transducer {
   const OutputStats& output_stats() const { return output_stats_; }
   int64_t result_count() const { return output_stats_.candidates_emitted; }
 
+  // Live occupancy, scraped by the observability registry mid-stream.
+  int64_t buffered_events() const { return buffered_events_; }
+  int64_t pending_candidates() const {
+    return static_cast<int64_t>(queue_.size());
+  }
+
  private:
   struct Candidate {
     int64_t id = 0;  // Begin/End bracket identifier handed to the sink
@@ -139,6 +145,9 @@ class OutputTransducer : public Transducer {
     int open_depth = 0;      // >0 while the fragment's subtree is open
     bool complete = false;
     bool streaming = false;  // Begin sent; events go straight to the sink
+    // Document message index at creation (observe != off only): the
+    // decision-delay histogram measures fragment buffering delay from here.
+    int64_t created_at_event = 0;
   };
   using CandidateIt = std::list<Candidate>::iterator;
 
@@ -158,6 +167,9 @@ class OutputTransducer : public Transducer {
   void FinishCandidate(CandidateIt it);
   void ForgetOpen(const Candidate* candidate);
   void NoteBuffered();
+  // Publishes the buffering delay of a just-decided candidate into the
+  // run's decision-delay histogram (no-op when observation is off).
+  void NoteDecision(const Candidate& candidate);
 
   ResultSink* sink_;
   RunContext* context_;
@@ -172,6 +184,8 @@ class OutputTransducer : public Transducer {
   bool has_pending_activation_ = false;
   OutputStats output_stats_;
   int64_t buffered_events_ = 0;
+  // Last occupancy written to the trace counter track (observe=full).
+  int64_t last_traced_buffered_ = 0;
 };
 
 }  // namespace spex

@@ -12,10 +12,13 @@
 #ifndef SPEX_SPEX_SPEX_H_
 #define SPEX_SPEX_SPEX_H_
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rpeq/ast.h"
 #include "rpeq/parser.h"
 #include "rpeq/xpath.h"
 #include "spex/compiler.h"
+#include "spex/observe.h"
 #include "spex/engine.h"
 #include "spex/formula.h"
 #include "spex/message.h"

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "spex/message.h"
+#include "spex/observe.h"
 
 namespace spex {
 
@@ -156,6 +157,13 @@ struct EngineOptions {
   bool record_traces = false;
   // Output transducer emission policy, see OutputOrder.
   OutputOrder output_order = OutputOrder::kDocumentStart;
+  // How much the run publishes into RunContext::metrics (see observe.h for
+  // the per-level cost contract).  kOff costs one branch per event.
+  ObserveLevel observe = ObserveLevel::kOff;
+  // Ring-buffer capacity (in trace events) of the observe=full recorder.
+  size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
+  // Progress watermark publication (engine only; see observe.h).
+  ProgressOptions progress;
 };
 
 // State shared by the transducers of one network instance.
@@ -175,6 +183,14 @@ struct RunContext {
   // conditions), so retired bindings may still be referenced and must not
   // be erased.
   bool allow_variable_gc = true;
+  // Live metrics registry of this run (see obs/metrics.h).  The engines
+  // register pull collectors over the per-transducer stats at every observe
+  // level; push instruments are added only when options.observe != kOff.
+  obs::MetricRegistry metrics;
+  // Per-run push-metric handles, owned by the engine's EngineObservability.
+  // Null when options.observe == kOff: hot-path publishers (the output
+  // transducer) test this single pointer and otherwise do nothing.
+  obs::RunObserver* observer = nullptr;
   // Interned label symbols for this run.  Label-testing transducers resolve
   // their predicate to a Symbol at construction time through this table, so
   // the per-event test is one integer compare.

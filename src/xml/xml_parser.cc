@@ -1,7 +1,10 @@
 #include "xml/xml_parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
+
+#include "obs/metrics.h"
 
 namespace spex {
 
@@ -17,7 +20,22 @@ bool AllWhitespace(const std::string& s) {
 }  // namespace
 
 XmlParser::XmlParser(EventSink* sink, XmlParserOptions options)
-    : sink_(sink), options_(options) {}
+    : sink_(sink), options_(options) {
+  if (options_.metrics != nullptr) {
+    options_.metrics->AddCallbackGauge("spex_parser_bytes_consumed", {},
+                                       [this] { return bytes_consumed_; });
+    options_.metrics->AddCallbackGauge("spex_parser_events", {},
+                                       [this] { return events_emitted_; });
+    options_.metrics->AddCallbackGauge(
+        "spex_parser_max_depth", {},
+        [this] { return static_cast<int64_t>(max_depth_); });
+  }
+}
+
+void XmlParser::Emit(const StreamEvent& event) {
+  ++events_emitted_;
+  sink_->OnEvent(event);
+}
 
 bool XmlParser::IsSpace(char c) {
   return c == ' ' || c == '\t' || c == '\n' || c == '\r';
@@ -45,7 +63,7 @@ void XmlParser::EmitStartDocumentIfNeeded() {
   if (!document_started_) {
     document_started_ = true;
     if (options_.emit_document_events) {
-      sink_->OnEvent(StreamEvent::StartDocument());
+      Emit(StreamEvent::StartDocument());
     }
   }
 }
@@ -55,7 +73,7 @@ void XmlParser::FlushText() {
   if (!(options_.skip_whitespace_text && AllWhitespace(text_))) {
     if (!open_elements_.empty()) {  // text outside the root is ignored
       EmitStartDocumentIfNeeded();
-      sink_->OnEvent(StreamEvent::Text(text_));
+      Emit(StreamEvent::Text(text_));
     }
   }
   text_.clear();
@@ -71,17 +89,20 @@ bool XmlParser::EmitStartElement() {
       static_cast<int>(open_elements_.size()) >= options_.max_depth) {
     return Fail("maximum depth exceeded");
   }
+  // The element being opened counts even when self-closing.
+  max_depth_ =
+      std::max(max_depth_, static_cast<int>(open_elements_.size()) + 1);
   const Symbol sym = options_.symbols != nullptr
                          ? options_.symbols->Intern(tag_name_)
                          : kNoSymbol;
   StreamEvent start = StreamEvent::StartElement(tag_name_);
   start.label = sym;
-  sink_->OnEvent(start);
+  Emit(start);
   if (options_.expose_attributes && !EmitAttributes()) return false;
   if (tag_self_closing_) {
     StreamEvent end = StreamEvent::EndElement(tag_name_);
     end.label = sym;
-    sink_->OnEvent(end);
+    Emit(end);
   } else {
     open_elements_.push_back(tag_name_);
     open_symbols_.push_back(sym);
@@ -156,11 +177,11 @@ bool XmlParser::EmitAttributes() {
                            : kNoSymbol;
     StreamEvent start = StreamEvent::StartElement(attr_label);
     start.label = sym;
-    sink_->OnEvent(start);
-    if (!decoded.empty()) sink_->OnEvent(StreamEvent::Text(decoded));
+    Emit(start);
+    if (!decoded.empty()) Emit(StreamEvent::Text(decoded));
     StreamEvent end = StreamEvent::EndElement(std::move(attr_label));
     end.label = sym;
-    sink_->OnEvent(end);
+    Emit(end);
   }
 }
 
@@ -176,7 +197,7 @@ bool XmlParser::EmitEndElement(const std::string& name) {
   StreamEvent end = StreamEvent::EndElement(name);
   end.label = open_symbols_.back();  // resolved at the matching start tag
   open_symbols_.pop_back();
-  sink_->OnEvent(end);
+  Emit(end);
   return true;
 }
 
@@ -428,7 +449,7 @@ bool XmlParser::Finish() {
   }
   EmitStartDocumentIfNeeded();
   if (options_.emit_document_events) {
-    sink_->OnEvent(StreamEvent::EndDocument());
+    Emit(StreamEvent::EndDocument());
   }
   return true;
 }

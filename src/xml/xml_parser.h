@@ -30,6 +30,10 @@
 
 namespace spex {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 // Tunable limits protecting against pathological inputs.
 struct XmlParserOptions {
   // If true, text consisting only of whitespace between elements is dropped.
@@ -54,6 +58,11 @@ struct XmlParserOptions {
   // (kNoSymbol).  The table must outlive the parser; consumers that compare
   // symbols (the SPEX engine) must be given the same table.
   SymbolTable* symbols = nullptr;
+  // Optional metrics registry (typically SpexEngine::metrics()): the parser
+  // registers pull gauges spex_parser_bytes_consumed, spex_parser_events and
+  // spex_parser_max_depth over its always-maintained counters.  The registry
+  // must outlive the parser's last Collect().
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 class XmlParser {
@@ -79,8 +88,12 @@ class XmlParser {
 
   // Number of bytes consumed so far.
   int64_t bytes_consumed() const { return bytes_consumed_; }
+  // Number of document messages emitted to the sink so far.
+  int64_t events_emitted() const { return events_emitted_; }
   // Current element nesting depth.
   int depth() const { return static_cast<int>(open_elements_.size()); }
+  // Peak element nesting depth seen so far (the paper's d of §V).
+  int max_depth() const { return max_depth_; }
 
  private:
   enum class State : uint8_t {
@@ -97,6 +110,9 @@ class XmlParser {
   };
 
   bool Fail(const std::string& message);
+  // Counting funnel in front of the sink: every document message passes
+  // through here so events_emitted() stays exact.
+  void Emit(const StreamEvent& event);
   void EmitStartDocumentIfNeeded();
   void FlushText();
   bool EmitStartElement();
@@ -137,6 +153,8 @@ class XmlParser {
   std::vector<std::string> open_elements_;
   std::vector<Symbol> open_symbols_;  // parallel to open_elements_
   int64_t bytes_consumed_ = 0;
+  int64_t events_emitted_ = 0;
+  int max_depth_ = 0;
 };
 
 // Parses a complete document into a vector of events.  Returns true on

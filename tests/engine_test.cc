@@ -253,5 +253,28 @@ TEST(EngineTest, DeterminationOrderInterleavedBracketsAreConsistent) {
   EXPECT_EQ(strict[0], "<i><y></y><k></k></i>");
 }
 
+TEST(EngineTest, ObserveOffLeavesRegistryCountersUntouched) {
+  // The default (observe=off) run registers only pull collectors over state
+  // the engine maintains anyway: no push counter or histogram may exist in
+  // the registry, and no trace recorder is attached — the per-event cost of
+  // the subsystem is the single observed-path branch.
+  ExprPtr q = MustParseRpeq("_*.a[c].c");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  for (const StreamEvent& e : Events(kPaperDoc)) engine.OnEvent(e);
+  EXPECT_EQ(engine.trace_recorder(), nullptr);
+  obs::MetricsSnapshot snap = engine.metrics().Collect();
+  for (const obs::MetricSample& s : snap.samples) {
+    EXPECT_NE(s.type, obs::MetricType::kCounter) << s.name;
+    EXPECT_NE(s.type, obs::MetricType::kHistogram) << s.name;
+  }
+  // ComputeStats still works: it reads the pull collectors.
+  RunStats stats = engine.ComputeStats();
+  EXPECT_GT(stats.total_messages, 0);
+  EXPECT_EQ(stats.events_processed,
+            static_cast<int64_t>(Events(kPaperDoc).size()));
+  EXPECT_EQ(snap.SumAll("spex_transducer_messages_in"), stats.total_messages);
+}
+
 }  // namespace
 }  // namespace spex

@@ -1,0 +1,609 @@
+// Tests of the observability subsystem: instrument semantics (counter /
+// gauge / base-2 histogram), registry snapshots and exposition formats,
+// the bounded trace recorder, and the engine integration (mid-stream
+// snapshot consistency, Chrome-trace round-trip with proper span nesting,
+// per-transducer message counts summing to the §V total).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "rpeq/parser.h"
+#include "spex/engine.h"
+#include "spex/multi_query.h"
+#include "xml/xml_parser.h"
+
+namespace spex {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricRegistry;
+using obs::MetricSample;
+using obs::MetricsSnapshot;
+using obs::MetricType;
+using obs::TraceRecorder;
+
+// ---------------------------------------------------------------------------
+// A minimal strict JSON parser, enough to round-trip the exporters' output.
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            // Keep the escape verbatim; the tests never depend on it.
+            *out += "\\u";
+            *out += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return true;
+    }
+    // Number.
+    size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::kNumber;
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+JsonValue MustParseJson(const std::string& text) {
+  JsonValue value;
+  JsonReader reader(text);
+  EXPECT_TRUE(reader.Parse(&value)) << "invalid JSON: " << text.substr(0, 400);
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Instrument semantics.
+
+TEST(MetricsTest, CounterIsMonotone) {
+  MetricRegistry registry;
+  Counter* c = registry.AddCounter("events");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42);
+  MetricsSnapshot snap = registry.Collect();
+  ASSERT_EQ(snap.samples.size(), 1u);
+  EXPECT_EQ(snap.samples[0].type, MetricType::kCounter);
+  EXPECT_EQ(snap.Value("events"), 42);
+}
+
+TEST(MetricsTest, GaugeTracksHighWater) {
+  MetricRegistry registry;
+  Gauge* g = registry.AddGauge("occupancy");
+  g->Set(7);
+  g->Add(5);   // 12, new high water
+  g->Add(-9);  // 3
+  EXPECT_EQ(g->value(), 3);
+  EXPECT_EQ(g->max(), 12);
+  MetricsSnapshot snap = registry.Collect();
+  EXPECT_EQ(snap.Value("occupancy"), 3);
+  EXPECT_EQ(snap.samples[0].max, 12);
+}
+
+TEST(MetricsTest, HistogramBase2Buckets) {
+  Histogram h;
+  h.Observe(0);  // bucket 0
+  h.Observe(-5); // bucket 0
+  h.Observe(1);  // bucket 1 (bit_width 1)
+  h.Observe(2);  // bucket 2
+  h.Observe(3);  // bucket 2
+  h.Observe(4);  // bucket 3
+  h.Observe(7);  // bucket 3
+  h.Observe(8);  // bucket 4
+  EXPECT_EQ(h.bucket(0), 2);
+  EXPECT_EQ(h.bucket(1), 1);
+  EXPECT_EQ(h.bucket(2), 2);
+  EXPECT_EQ(h.bucket(3), 2);
+  EXPECT_EQ(h.bucket(4), 1);
+  EXPECT_EQ(h.count(), 8);
+  EXPECT_EQ(h.sum(), 0 - 5 + 1 + 2 + 3 + 4 + 7 + 8);
+  EXPECT_EQ(h.max(), 8);
+  // Bucket i holds values in (BucketUpperBound(i-1), BucketUpperBound(i)].
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(3), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023);
+}
+
+TEST(MetricsTest, HistogramExtremeValuesStayInRange) {
+  Histogram h;
+  h.Observe(INT64_MAX);
+  h.Observe(INT64_MIN);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1);
+}
+
+TEST(MetricsTest, CallbackGaugeReadsAtCollectTime) {
+  MetricRegistry registry;
+  int64_t live = 3;
+  registry.AddCallbackGauge("live_nodes", {}, [&live] { return live; });
+  EXPECT_EQ(registry.Collect().Value("live_nodes"), 3);
+  live = 99;
+  EXPECT_EQ(registry.Collect().Value("live_nodes"), 99);
+}
+
+TEST(MetricsTest, SnapshotAggregatesAcrossLabels) {
+  MetricRegistry registry;
+  registry.AddGauge("messages", {{"node", "0"}})->Set(10);
+  registry.AddGauge("messages", {{"node", "1"}})->Set(32);
+  registry.AddGauge("other")->Set(1000);
+  MetricsSnapshot snap = registry.Collect();
+  EXPECT_EQ(snap.SumAll("messages"), 42);
+  EXPECT_EQ(snap.MaxAll("messages"), 32);
+  EXPECT_EQ(snap.Value("messages"), 10);  // first registered
+  ASSERT_NE(snap.Find("messages"), nullptr);
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+  EXPECT_EQ(snap.SumAll("missing"), 0);
+}
+
+TEST(MetricsTest, PrometheusExposition) {
+  MetricRegistry registry;
+  registry.AddCounter("spex_events_total")->Increment(25);
+  registry.AddGauge("spex_messages", {{"node", "0"}, {"transducer", "IN"}})
+      ->Set(50);
+  Histogram* h = registry.AddHistogram("spex_delay");
+  h->Observe(0);
+  h->Observe(2);
+  std::string text = registry.Collect().ToPrometheusText();
+  EXPECT_NE(text.find("# TYPE spex_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("spex_events_total 25"), std::string::npos);
+  EXPECT_NE(text.find("spex_messages{node=\"0\",transducer=\"IN\"} 50"),
+            std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(text.find("spex_delay_bucket{le=\"0\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("spex_delay_bucket{le=\"3\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("spex_delay_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("spex_delay_count 2"), std::string::npos);
+  EXPECT_NE(text.find("spex_delay_sum 2"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonExpositionRoundTrips) {
+  MetricRegistry registry;
+  registry.AddCounter("c")->Increment(7);
+  registry.AddGauge("g", {{"k", "va\"lue"}})->Set(-3);
+  registry.AddHistogram("h")->Observe(5);
+  JsonValue root = MustParseJson(registry.Collect().ToJson());
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  const JsonValue* metrics = root.Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->kind, JsonValue::kArray);
+  ASSERT_EQ(metrics->array.size(), 3u);
+  const JsonValue& counter = metrics->array[0];
+  EXPECT_EQ(counter.Get("name")->str, "c");
+  EXPECT_EQ(counter.Get("type")->str, "counter");
+  EXPECT_EQ(counter.Get("value")->number, 7);
+  const JsonValue& gauge = metrics->array[1];
+  EXPECT_EQ(gauge.Get("labels")->Get("k")->str, "va\"lue");  // escape survived
+  EXPECT_EQ(gauge.Get("value")->number, -3);
+  const JsonValue& histogram = metrics->array[2];
+  EXPECT_EQ(histogram.Get("type")->str, "histogram");
+  EXPECT_EQ(histogram.Get("count")->number, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trace recorder.
+
+TEST(TraceTest, RingOverwritesOldestSpans) {
+  TraceRecorder recorder(/*capacity=*/8);
+  int name = recorder.InternName("span");
+  for (int i = 0; i < 20; ++i) {
+    recorder.RecordSpan(0, name, /*start_ns=*/i * 10, /*end_ns=*/i * 10 + 5);
+  }
+  EXPECT_EQ(recorder.size(), 8u);
+  EXPECT_EQ(recorder.recorded(), 20);
+  EXPECT_EQ(recorder.dropped(), 12);
+  std::vector<TraceRecorder::Event> events = recorder.Events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(events.front().ts_ns, 120);  // span #12 is the oldest survivor
+  EXPECT_EQ(events.back().ts_ns, 190);
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const auto& a, const auto& b) { return a.ts_ns < b.ts_ns; }));
+}
+
+TEST(TraceTest, ChromeJsonHasTracksAndSpans) {
+  TraceRecorder recorder(16);
+  recorder.SetTrackName(0, "stream");
+  recorder.SetTrackName(1, "CH(a)");
+  int doc = recorder.InternName("document");
+  recorder.RecordSpan(0, doc, 1000, 5000);
+  recorder.RecordSpan(1, doc, 2000, 3000);
+  recorder.RecordCounter(recorder.InternName("buffered"), 2500, 3);
+  JsonValue root = MustParseJson(recorder.ToChromeJson());
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::kArray);
+  int metadata = 0, spans = 0, counters = 0;
+  for (const JsonValue& e : events->array) {
+    ASSERT_NE(e.Get("ph"), nullptr);
+    const std::string& ph = e.Get("ph")->str;
+    EXPECT_EQ(e.Get("pid")->number, 1);
+    if (ph == "M") {
+      ++metadata;
+    } else if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.Get("dur")->number, 0);
+    } else if (ph == "C") {
+      ++counters;
+    }
+  }
+  EXPECT_EQ(metadata, 2);
+  EXPECT_EQ(spans, 2);
+  EXPECT_EQ(counters, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration.
+
+std::vector<StreamEvent> Events(const std::string& xml) {
+  std::vector<StreamEvent> events;
+  std::string error;
+  EXPECT_TRUE(ParseXmlToEvents(xml, &events, &error)) << error;
+  return events;
+}
+
+constexpr char kDoc[] =
+    "<lib><book><author>A</author><title>T1</title></book>"
+    "<book><title>T2</title></book>"
+    "<book><author>B</author><title>T3</title></book></lib>";
+
+TEST(ObsEngineTest, MidStreamSnapshotIsConsistent) {
+  ExprPtr query = MustParseRpeq("_*.book[author].title");
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kCounters;
+  SpexEngine engine(*query, &sink, options);
+  std::vector<StreamEvent> events = Events(kDoc);
+  const size_t half = events.size() / 2;
+  for (size_t i = 0; i < half; ++i) engine.OnEvent(events[i]);
+
+  // A mid-stream scrape must agree with the engine's own accounting.
+  MetricsSnapshot snap = engine.metrics().Collect();
+  EXPECT_EQ(snap.Value("spex_engine_events"), static_cast<int64_t>(half));
+  EXPECT_EQ(snap.Value("spex_events_total"), static_cast<int64_t>(half));
+  RunStats stats = engine.ComputeStats();
+  EXPECT_EQ(snap.SumAll("spex_transducer_messages_in"), stats.total_messages);
+  EXPECT_GT(stats.total_messages, 0);
+
+  for (size_t i = half; i < events.size(); ++i) engine.OnEvent(events[i]);
+  snap = engine.metrics().Collect();
+  EXPECT_EQ(snap.Value("spex_engine_events"),
+            static_cast<int64_t>(events.size()));
+  EXPECT_EQ(snap.SumAll("spex_transducer_messages_in"),
+            engine.ComputeStats().total_messages);
+  EXPECT_EQ(sink.results(), 2);
+}
+
+TEST(ObsEngineTest, PerTransducerMessagesSumToTotal) {
+  // The acceptance criterion behind `spexquery --metrics=json`: the
+  // per-transducer message counts must sum to RunStats::total_messages.
+  ExprPtr query = MustParseRpeq("_*.book[author].title");
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kFull;
+  SpexEngine engine(*query, &sink, options);
+  for (const StreamEvent& e : Events(kDoc)) engine.OnEvent(e);
+  MetricsSnapshot snap = engine.metrics().Collect();
+  RunStats stats = engine.ComputeStats();
+  int64_t sum = 0;
+  int labelled = 0;
+  for (const MetricSample& s : snap.samples) {
+    if (s.name != "spex_transducer_messages_in") continue;
+    sum += s.value;
+    ++labelled;
+  }
+  EXPECT_EQ(labelled, stats.network_degree);
+  EXPECT_EQ(sum, stats.total_messages);
+  // The stream-side event counter agrees too.
+  EXPECT_EQ(snap.Value("spex_events_total"), stats.events_processed);
+}
+
+TEST(ObsEngineTest, DecisionDelayHistogramCountsEveryCandidate) {
+  ExprPtr query = MustParseRpeq("_*.book[author].title");
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kCounters;
+  SpexEngine engine(*query, &sink, options);
+  for (const StreamEvent& e : Events(kDoc)) engine.OnEvent(e);
+  MetricsSnapshot snap = engine.metrics().Collect();
+  const MetricSample* delay = snap.Find("spex_output_decision_delay_events");
+  ASSERT_NE(delay, nullptr);
+  EXPECT_EQ(delay->type, MetricType::kHistogram);
+  // Every candidate is decided exactly once (streamed or dropped).
+  EXPECT_EQ(delay->count,
+            engine.ComputeStats().output.candidates_created);
+  EXPECT_GT(delay->count, 0);
+}
+
+// The golden trace round-trip: record a real run at observe=full, export
+// Chrome trace JSON, parse it back and check the spans form a proper
+// nesting — node-track spans must sit inside a stream-track (tid 0) span,
+// because message delivery is synchronous and depth-first.
+TEST(ObsEngineTest, TraceRoundTripsAsNestedChromeJson) {
+  ExprPtr query = MustParseRpeq("_*.book[author].title");
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kFull;
+  SpexEngine engine(*query, &sink, options);
+  for (const StreamEvent& e : Events(kDoc)) engine.OnEvent(e);
+
+  const TraceRecorder* recorder = engine.trace_recorder();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_GT(recorder->recorded(), 0);
+  EXPECT_EQ(recorder->dropped(), 0);  // small doc, nothing overwritten
+
+  JsonValue root = MustParseJson(recorder->ToChromeJson());
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  struct Span {
+    int tid;
+    double ts, dur;
+  };
+  std::vector<Span> spans;
+  bool has_stream_track_name = false;
+  for (const JsonValue& e : events->array) {
+    const std::string& ph = e.Get("ph")->str;
+    if (ph == "M" && e.Get("args") != nullptr &&
+        e.Get("args")->Get("name") != nullptr &&
+        e.Get("args")->Get("name")->str == "stream") {
+      has_stream_track_name = true;
+    }
+    if (ph != "X") continue;
+    spans.push_back({static_cast<int>(e.Get("tid")->number),
+                     e.Get("ts")->number, e.Get("dur")->number});
+  }
+  EXPECT_TRUE(has_stream_track_name);
+  ASSERT_FALSE(spans.empty());
+
+  // One tid-0 span per document message, in chronological order.
+  std::vector<Span> stream;
+  for (const Span& s : spans) {
+    if (s.tid == 0) stream.push_back(s);
+  }
+  ASSERT_EQ(stream.size(), Events(kDoc).size());
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GE(stream[i].ts, stream[i - 1].ts + stream[i - 1].dur);
+  }
+  // Every node span is contained in exactly one stream span.
+  for (const Span& s : spans) {
+    if (s.tid == 0) continue;
+    int containers = 0;
+    for (const Span& outer : stream) {
+      if (outer.ts <= s.ts && s.ts + s.dur <= outer.ts + outer.dur) {
+        ++containers;
+      }
+    }
+    EXPECT_EQ(containers, 1) << "span on tid " << s.tid << " at " << s.ts;
+  }
+}
+
+TEST(ObsEngineTest, TraceRingStaysBoundedOnLongStreams) {
+  ExprPtr query = MustParseRpeq("a.b");
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kFull;
+  options.trace_capacity = 64;
+  SpexEngine engine(*query, &sink, options);
+  engine.OnEvent(StreamEvent::StartDocument());
+  engine.OnEvent(StreamEvent::StartElement("a"));
+  for (int i = 0; i < 500; ++i) {
+    engine.OnEvent(StreamEvent::StartElement("b"));
+    engine.OnEvent(StreamEvent::EndElement("b"));
+  }
+  engine.OnEvent(StreamEvent::EndElement("a"));
+  engine.OnEvent(StreamEvent::EndDocument());
+  const TraceRecorder* recorder = engine.trace_recorder();
+  ASSERT_NE(recorder, nullptr);
+  EXPECT_EQ(recorder->size(), 64u);
+  EXPECT_GT(recorder->dropped(), 0);
+  EXPECT_EQ(sink.results(), 500);
+}
+
+TEST(ObsEngineTest, ParserPublishesIntoEngineRegistry) {
+  ExprPtr query = MustParseRpeq("_*.title");
+  CountingResultSink sink;
+  SpexEngine engine(*query, &sink);  // observe off: pull gauges still work
+  XmlParserOptions parser_options;
+  parser_options.symbols = engine.symbol_table();
+  parser_options.metrics = &engine.metrics();
+  XmlParser parser(&engine, parser_options);
+  ASSERT_TRUE(parser.Parse(kDoc));
+  MetricsSnapshot snap = engine.metrics().Collect();
+  EXPECT_EQ(snap.Value("spex_parser_bytes_consumed"),
+            static_cast<int64_t>(std::string(kDoc).size()));
+  EXPECT_EQ(snap.Value("spex_parser_events"),
+            snap.Value("spex_engine_events"));
+  EXPECT_EQ(snap.Value("spex_parser_max_depth"), 3);  // lib/book/title
+}
+
+TEST(ObsEngineTest, WatermarkReportsProgress) {
+  ExprPtr query = MustParseRpeq("_*.book[author].title");
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kCounters;
+  std::vector<Watermark> seen;
+  options.progress.every_events = 5;
+  options.progress.callback = [&seen](const Watermark& w) {
+    seen.push_back(w);
+  };
+  SpexEngine engine(*query, &sink, options);
+  std::vector<StreamEvent> events = Events(kDoc);
+  for (const StreamEvent& e : events) engine.OnEvent(e);
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.size(), events.size() / 5);
+  EXPECT_EQ(seen[0].events, 5);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].events, seen[i - 1].events + 5);
+  }
+  Watermark final_mark = engine.CurrentWatermark();
+  EXPECT_EQ(final_mark.events, static_cast<int64_t>(events.size()));
+  EXPECT_EQ(final_mark.results, 2);
+  EXPECT_EQ(final_mark.pending_fragments, 0);
+  EXPECT_FALSE(final_mark.ToString().empty());
+}
+
+TEST(ObsEngineTest, MultiQueryRegistryLabelsPerQueryOutputs) {
+  MultiQueryEngine mq;
+  CountingResultSink sink_a, sink_b;
+  mq.AddQuery("_*.book[author].title", &sink_a);
+  mq.AddQuery("_*.book[author].author", &sink_b);
+  mq.Finalize();
+  for (const StreamEvent& e : Events(kDoc)) mq.OnEvent(e);
+  MetricsSnapshot snap = mq.metrics().Collect();
+  EXPECT_EQ(snap.Value("spex_engine_events"), mq.events_processed());
+  // One labelled family instance per query output.
+  int outputs = 0;
+  for (const MetricSample& s : snap.samples) {
+    if (s.name != "spex_output_candidates_emitted") continue;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "query");
+    ++outputs;
+  }
+  EXPECT_EQ(outputs, 2);
+  EXPECT_EQ(snap.SumAll("spex_output_candidates_emitted"),
+            sink_a.results() + sink_b.results());
+  EXPECT_GT(snap.SumAll("spex_transducer_messages_in"), 0);
+}
+
+}  // namespace
+}  // namespace spex

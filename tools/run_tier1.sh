@@ -14,3 +14,16 @@ preset="${1:-default}"
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset"
+
+# Observability smoke: the metrics exposition must be produced (and be
+# non-trivial) on a real query over the bundled example document.
+binary_dir="build"
+if [ "$preset" = "asan" ]; then binary_dir="build-asan"; fi
+metrics_out="$("$binary_dir/tools/spexquery" --count --metrics=json \
+  '_*.book[author].title' examples/data/catalog.xml 2>&1 >/dev/null)"
+echo "$metrics_out" | grep -q '"spex_transducer_messages_in"' || {
+  echo "tier1: spexquery --metrics=json smoke failed:" >&2
+  echo "$metrics_out" >&2
+  exit 1
+}
+echo "tier1: metrics smoke OK"

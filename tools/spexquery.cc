@@ -8,13 +8,24 @@
 //                                     memory on nested results)
 //   spexquery --network ...           print the compiled network and exit
 //   spexquery --dot ...               print the network as Graphviz DOT
+//   spexquery --observe=LEVEL ...     off|counters|full (default: the
+//                                     weakest level the other flags need)
+//   spexquery --metrics=json|prom ... dump the metrics registry to stderr
+//                                     after the run
+//   spexquery --trace-out=FILE ...    write a Chrome trace-event JSON of the
+//                                     run (implies --observe=full); load in
+//                                     chrome://tracing or Perfetto
+//   spexquery --progress[=N] ...      print a progress watermark to stderr
+//                                     every N events (default 100000)
 //
 // Examples:
 //   spexquery '_*.book[author].title' catalog.xml
 //   spexquery --xpath '//country[province]/name' mondial.xml
 //   generator | spexquery --count 'feed.tick[alert].price'
+//   spexquery --count --metrics=prom --trace-out=run.json Q huge.xml
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,13 +45,22 @@ struct Options {
   bool show_network = false;
   bool dot = false;
   spex::OutputOrder order = spex::OutputOrder::kDocumentStart;
+  spex::ObserveLevel observe = spex::ObserveLevel::kOff;
+  bool observe_set = false;        // explicit --observe=...
+  std::string metrics_format;      // "", "json" or "prom"
+  std::string trace_out;           // empty = no trace
+  int64_t progress_every = 0;      // 0 = no progress reports
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: spexquery [--xpath] [--count] [--stats] "
                "[--order=doc|det]\n"
-               "                 [--network] [--dot] QUERY [FILE]\n");
+               "                 [--network] [--dot] "
+               "[--observe=off|counters|full]\n"
+               "                 [--metrics=json|prom] [--trace-out=FILE] "
+               "[--progress[=N]]\n"
+               "                 QUERY [FILE]\n");
   return 2;
 }
 
@@ -97,6 +117,22 @@ int main(int argc, char** argv) {
       opts.order = spex::OutputOrder::kDetermination;
     } else if (arg == "--order=doc") {
       opts.order = spex::OutputOrder::kDocumentStart;
+    } else if (arg.rfind("--observe=", 0) == 0) {
+      if (!spex::ParseObserveLevel(arg.substr(10), &opts.observe)) {
+        std::fprintf(stderr, "bad observe level in %s\n", arg.c_str());
+        return Usage();
+      }
+      opts.observe_set = true;
+    } else if (arg == "--metrics=json" || arg == "--metrics=prom") {
+      opts.metrics_format = arg.substr(10);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      opts.trace_out = arg.substr(12);
+      if (opts.trace_out.empty()) return Usage();
+    } else if (arg == "--progress") {
+      opts.progress_every = 100000;
+    } else if (arg.rfind("--progress=", 0) == 0) {
+      opts.progress_every = std::atoll(arg.c_str() + 11);
+      if (opts.progress_every <= 0) return Usage();
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage();
@@ -126,6 +162,26 @@ int main(int argc, char** argv) {
 
   spex::EngineOptions engine_options;
   engine_options.output_order = opts.order;
+  // --trace-out needs full observation; --metrics/--progress only counters.
+  // An explicit --observe wins (but tracing is unavailable below full).
+  if (!opts.observe_set) {
+    if (!opts.trace_out.empty()) {
+      opts.observe = spex::ObserveLevel::kFull;
+    } else if (!opts.metrics_format.empty() || opts.progress_every > 0) {
+      opts.observe = spex::ObserveLevel::kCounters;
+    }
+  }
+  if (!opts.trace_out.empty() && opts.observe != spex::ObserveLevel::kFull) {
+    std::fprintf(stderr, "--trace-out requires --observe=full\n");
+    return 2;
+  }
+  engine_options.observe = opts.observe;
+  if (opts.progress_every > 0) {
+    engine_options.progress.every_events = opts.progress_every;
+    engine_options.progress.callback = [](const spex::Watermark& w) {
+      std::fprintf(stderr, "progress: %s\n", w.ToString().c_str());
+    };
+  }
 
   if (opts.show_network || opts.dot) {
     spex::CountingResultSink sink;
@@ -148,7 +204,11 @@ int main(int argc, char** argv) {
       opts.count_only ? static_cast<spex::ResultSink*>(&counter)
                       : static_cast<spex::ResultSink*>(&printer);
   spex::SpexEngine engine(*parsed.expr, sink, engine_options);
-  spex::XmlParser parser(&engine);
+  spex::XmlParserOptions parser_options;
+  parser_options.symbols = engine.symbol_table();
+  parser_options.metrics = &engine.metrics();
+  spex::XmlParser parser(&engine, parser_options);
+  engine.set_progress_bytes_source([&parser] { return parser.bytes_consumed(); });
 
   bool ok = true;
   if (opts.file.empty()) {
@@ -190,6 +250,28 @@ int main(int argc, char** argv) {
   }
   if (opts.stats) {
     std::fprintf(stderr, "%s\n", engine.ComputeStats().ToString().c_str());
+  }
+  if (!opts.metrics_format.empty()) {
+    const spex::obs::MetricsSnapshot snapshot = engine.metrics().Collect();
+    const std::string text = opts.metrics_format == "json"
+                                 ? snapshot.ToJson()
+                                 : snapshot.ToPrometheusText();
+    std::fputs(text.c_str(), stderr);
+  }
+  if (!opts.trace_out.empty()) {
+    const spex::obs::TraceRecorder* recorder = engine.trace_recorder();
+    std::ofstream trace_file(opts.trace_out, std::ios::binary);
+    if (!trace_file || recorder == nullptr) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
+    trace_file << recorder->ToChromeJson();
+    if (!trace_file.flush()) {
+      std::fprintf(stderr, "error writing trace to %s\n",
+                   opts.trace_out.c_str());
+      return 1;
+    }
   }
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "xml/content_model.h"
 #include "xml/xml_parser.h"
 
@@ -69,7 +70,12 @@ int main(int argc, char** argv) {
   }
 
   spex::StreamingValidator validator(&schema, options);
-  spex::XmlParser parser(&validator);
+  // The parser publishes its byte/event/depth gauges into this registry;
+  // the summary line below reads them back from a snapshot.
+  spex::obs::MetricRegistry registry;
+  spex::XmlParserOptions parser_options;
+  parser_options.metrics = &registry;
+  spex::XmlParser parser(&validator, parser_options);
   bool ok = true;
   std::string chunk(1 << 16, '\0');
   if (file.empty()) {
@@ -91,17 +97,34 @@ int main(int argc, char** argv) {
       if (!ok) break;
     }
   }
+  const bool fed_ok = ok;
   if (ok) ok = parser.Finish();
   if (!ok) {
-    std::fprintf(stderr, "XML error: %s\n", parser.error().c_str());
+    // A document that fed cleanly but fails Finish() ended mid-stream
+    // (inside markup, or with elements still open): report it as truncation
+    // rather than a generic well-formedness error.
+    if (fed_ok) {
+      std::fprintf(stderr,
+                   "truncated document: %s (consumed %lld bytes, depth %d "
+                   "still open)\n",
+                   parser.error().c_str(),
+                   static_cast<long long>(parser.bytes_consumed()),
+                   parser.depth());
+    } else {
+      std::fprintf(stderr, "XML error: %s\n", parser.error().c_str());
+    }
     return 1;
   }
   if (!validator.valid()) {
     std::fprintf(stderr, "invalid: %s\n", validator.error().c_str());
     return 1;
   }
-  std::printf("valid (%lld elements, max depth %d)\n",
-              static_cast<long long>(validator.elements_checked()),
-              validator.max_depth());
+  const spex::obs::MetricsSnapshot snapshot = registry.Collect();
+  std::printf(
+      "valid (%lld bytes, %lld events, %lld elements, max depth %lld)\n",
+      static_cast<long long>(snapshot.Value("spex_parser_bytes_consumed")),
+      static_cast<long long>(snapshot.Value("spex_parser_events")),
+      static_cast<long long>(validator.elements_checked()),
+      static_cast<long long>(snapshot.Value("spex_parser_max_depth")));
   return 0;
 }
