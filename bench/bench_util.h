@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -84,6 +85,60 @@ inline SpexRun RunSpex(const Expr& query,
 inline void PrintRule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Run metadata for machine-readable benchmark outputs (the BENCH_*.json
+// perf-trajectory files): without a commit and build preset attached, a
+// committed number cannot be attributed to a code state later.
+
+// Short commit sha of the working tree, or "unknown" (no git, not a repo).
+inline std::string GitShortSha() {
+  std::string sha;
+  if (std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) sha.assign(buf);
+    ::pclose(p);
+  }
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+// Current UTC time, ISO-8601 (e.g. "2026-08-06T12:00:00Z").
+inline std::string UtcTimestamp() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+// Build preset the binary was compiled under (NDEBUG is what distinguishes
+// Release/RelWithDebInfo from Debug here — benchmark numbers from an
+// assert-enabled build are not comparable).
+inline const char* BuildPreset() {
+#ifdef NDEBUG
+  return "Release";
+#else
+  return "Debug";
+#endif
+}
+
+// The "meta" object of a --json run: tool name, commit, date, preset, and
+// the run's observe/profile mode.
+inline std::string MetaJson(const std::string& tool,
+                            const std::string& observe) {
+  std::string out = "{";
+  out += "\"tool\": \"" + tool + "\"";
+  out += ", \"git_sha\": \"" + GitShortSha() + "\"";
+  out += ", \"date\": \"" + UtcTimestamp() + "\"";
+  out += ", \"preset\": \"" + std::string(BuildPreset()) + "\"";
+  out += ", \"observe\": \"" + observe + "\"";
+  out += "}";
+  return out;
 }
 
 // Parses "--scale=<double>" and "--seed=<int>" style flags.

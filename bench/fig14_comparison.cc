@@ -180,7 +180,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "cannot open %s\n", argv[i + 1]);
         return 1;
       }
-      std::fprintf(json, "[\n");
+      std::fprintf(json, "{\n  \"meta\": %s,\n  \"records\": [\n",
+                   bench::MetaJson("fig14_comparison", "off").c_str());
     }
   }
 
@@ -220,7 +221,7 @@ int main(int argc, char** argv) {
   RunDataset(wordnet, scale, json, &json_first);
 
   if (json != nullptr) {
-    std::fprintf(json, "\n]\n");
+    std::fprintf(json, "\n]}\n");
     std::fclose(json);
   }
 

@@ -71,6 +71,7 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 #include "baseline/dom_evaluator.h"
 #include "baseline/nfa_evaluator.h"
+#include "bench_util.h"
 #include "rpeq/parser.h"
 #include "spex/engine.h"
 #include "xml/dom.h"
@@ -330,8 +331,13 @@ struct Record {
 // full); BENCH_PR2.json pairs an off run against a full run to price the
 // observability layer.
 ObserveLevel g_observe = ObserveLevel::kOff;
+// --profile: attach the per-node cost profiler instead (observe stays off).
+// Recorded as the pseudo-level "profile" so BENCH_PR3.json prices the
+// EXPLAIN/PROFILE instrumentation alongside off/full.
+bool g_profile = false;
 
 const char* ObserveName() {
+  if (g_profile) return "profile";
   switch (g_observe) {
     case ObserveLevel::kOff: return "off";
     case ObserveLevel::kCounters: return "counters";
@@ -359,6 +365,7 @@ Record RunWorkload(const Workload& w) {
   EngineOptions options;
   options.symbols = &symbols;
   options.observe = g_observe;
+  options.profile = g_profile;
 
   // Warm-up run: faults in the event vector and fills allocator caches so
   // the measured runs see steady state.
@@ -405,7 +412,8 @@ int RunJsonBenchmarks(const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     return 1;
   }
-  std::fprintf(f, "[\n");
+  std::fprintf(f, "{\n  \"meta\": %s,\n  \"records\": [\n",
+               bench::MetaJson("micro_benchmarks", ObserveName()).c_str());
   bool first = true;
   for (const Workload& w : kWorkloads) {
     Record rec = RunWorkload(w);
@@ -427,7 +435,7 @@ int RunJsonBenchmarks(const char* path) {
         rec.allocs_per_event, static_cast<long long>(rec.results));
     first = false;
   }
-  std::fprintf(f, "\n]\n");
+  std::fprintf(f, "\n]}\n");
   std::fclose(f);
   return 0;
 }
@@ -448,6 +456,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bad --observe level: %s\n", argv[i] + 10);
         return 1;
       }
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      spex::benchjson::g_profile = true;
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -105,6 +105,7 @@ ExprPtr Expr::Clone() const {
   out->label = label;
   out->is_wildcard = is_wildcard;
   out->is_positive = is_positive;
+  out->span = span;
   if (left != nullptr) out->left = left->Clone();
   if (right != nullptr) out->right = right->Clone();
   return out;

@@ -31,6 +31,20 @@ enum class ExprKind : uint8_t {
   kIntersect,  // (rpeq & rpeq) : node-identity join of two paths
 };
 
+// Half-open byte range [begin, end) into the query's concrete syntax.  The
+// parser stamps one on every AST node; the compiler forwards them into the
+// network's provenance map so every transducer can name the query fragment
+// it implements (EXPLAIN/PROFILE, DESIGN.md §8).  A default-constructed span
+// (begin == end == 0) means "no source text", e.g. programmatically built
+// expressions.
+struct SourceSpan {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  bool empty() const { return begin == end; }
+  uint32_t length() const { return end - begin; }
+};
+
 struct Expr;
 using ExprPtr = std::unique_ptr<Expr>;
 
@@ -45,6 +59,10 @@ struct Expr {
   std::string label;
   bool is_wildcard = false;
   bool is_positive = false;  // closure only: `+` (true) vs `*` (false)
+  // Source range of this construct in the parsed query text (empty for
+  // programmatically built expressions).  Clone() copies it; Equals()
+  // deliberately ignores it (structural equality only).
+  SourceSpan span;
   ExprPtr left;
   ExprPtr right;
 

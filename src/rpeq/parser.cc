@@ -39,7 +39,12 @@ class Lexer {
 
   const Token& current() const { return current_; }
 
+  // End offset (exclusive) of the most recently consumed token — the
+  // parser reads it right after an Advance() to close a SourceSpan.
+  size_t consumed_end() const { return consumed_end_; }
+
   void Advance() {
+    consumed_end_ = current_.position + current_.text.size();
     while (pos_ < input_.size() &&
            std::isspace(static_cast<unsigned char>(input_[pos_]))) {
       ++pos_;
@@ -140,6 +145,7 @@ class Lexer {
   std::string_view input_;
   size_t pos_ = 0;
   Token current_{TokenKind::kEnd, "", 0};
+  size_t consumed_end_ = 0;
 };
 
 class Parser {
@@ -181,50 +187,65 @@ class Parser {
     return nullptr;
   }
 
+  // Stamps [start, end-of-last-consumed-token) on `e` — every node built by
+  // the parser carries the byte range of its concrete syntax (provenance for
+  // EXPLAIN/PROFILE).
+  ExprPtr Spanned(ExprPtr e, size_t start) {
+    if (e != nullptr) {
+      e->span.begin = static_cast<uint32_t>(start);
+      e->span.end = static_cast<uint32_t>(lexer_.consumed_end());
+    }
+    return e;
+  }
+
   ExprPtr ParseUnion() {
+    const size_t start = lexer_.current().position;
     ExprPtr left = ParseIntersect();
     if (left == nullptr) return nullptr;
     while (lexer_.current().kind == TokenKind::kPipe) {
       lexer_.Advance();
       ExprPtr right = ParseIntersect();
       if (right == nullptr) return nullptr;
-      left = MakeUnion(std::move(left), std::move(right));
+      left = Spanned(MakeUnion(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   ExprPtr ParseIntersect() {
+    const size_t start = lexer_.current().position;
     ExprPtr left = ParseConcat();
     if (left == nullptr) return nullptr;
     while (lexer_.current().kind == TokenKind::kAmp) {
       lexer_.Advance();
       ExprPtr right = ParseConcat();
       if (right == nullptr) return nullptr;
-      left = MakeIntersect(std::move(left), std::move(right));
+      left = Spanned(MakeIntersect(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   ExprPtr ParseConcat() {
+    const size_t start = lexer_.current().position;
     ExprPtr left = ParsePostfix();
     if (left == nullptr) return nullptr;
     while (lexer_.current().kind == TokenKind::kDot) {
       lexer_.Advance();
       ExprPtr right = ParsePostfix();
       if (right == nullptr) return nullptr;
-      left = MakeConcat(std::move(left), std::move(right));
+      left = Spanned(MakeConcat(std::move(left), std::move(right)), start);
     }
     return left;
   }
 
   ExprPtr ParsePostfix() {
+    const size_t start = lexer_.current().position;
     ExprPtr e = ParseAtom();
     if (e == nullptr) return nullptr;
     for (;;) {
       TokenKind k = lexer_.current().kind;
       if (k == TokenKind::kQuestion) {
         lexer_.Advance();
-        e = MakeOptional(std::move(e));
+        e = Spanned(MakeOptional(std::move(e)), start);
       } else if (k == TokenKind::kLBracket) {
         lexer_.Advance();
         ExprPtr q = ParseUnion();
@@ -233,7 +254,7 @@ class Parser {
           return SetError("expected ']' to close qualifier");
         }
         lexer_.Advance();
-        e = MakeQualified(std::move(e), std::move(q));
+        e = Spanned(MakeQualified(std::move(e), std::move(q)), start);
       } else if (k == TokenKind::kStar || k == TokenKind::kPlus) {
         // Closure binds to labels only (the paper's grammar).  A label atom
         // was already consumed as kLabel; anything else is an error.
@@ -245,7 +266,7 @@ class Parser {
         bool positive = k == TokenKind::kPlus;
         std::string label = e->label;
         lexer_.Advance();
-        e = MakeClosure(std::move(label), positive);
+        e = Spanned(MakeClosure(std::move(label), positive), start);
       } else {
         break;
       }
@@ -255,12 +276,13 @@ class Parser {
 
   ExprPtr ParseAtom() {
     const Token& t = lexer_.current();
+    const size_t start = t.position;
     switch (t.kind) {
       case TokenKind::kName:
       case TokenKind::kWildcard: {
         std::string label = t.text;
         lexer_.Advance();
-        return MakeLabel(std::move(label));
+        return Spanned(MakeLabel(std::move(label)), start);
       }
       case TokenKind::kFollowing:
       case TokenKind::kPreceding: {
@@ -274,14 +296,15 @@ class Parser {
         }
         std::string text = label.text;
         lexer_.Advance();
-        return following ? MakeFollowing(std::move(text))
-                         : MakePreceding(std::move(text));
+        return Spanned(following ? MakeFollowing(std::move(text))
+                                 : MakePreceding(std::move(text)),
+                       start);
       }
       case TokenKind::kLParen: {
         lexer_.Advance();
         if (lexer_.current().kind == TokenKind::kRParen) {
           lexer_.Advance();
-          return MakeEmpty();
+          return Spanned(MakeEmpty(), start);
         }
         ExprPtr e = ParseUnion();
         if (e == nullptr) return nullptr;

@@ -14,23 +14,33 @@ namespace spex {
 NetworkBuilder::NetworkBuilder(Network* network, RunContext* context)
     : network_(network), context_(context) {}
 
-int NetworkBuilder::AddInput() {
+void NetworkBuilder::NoteProvenance(int node, const Expr* prov) {
+  if (prov != nullptr) {
+    network_->SetProvenance(node, prov->span, prov->ToString());
+  }
+}
+
+int NetworkBuilder::AddInput(const Expr* prov) {
   input_node_ = network_->AddNode(std::make_unique<InputTransducer>());
+  NoteProvenance(input_node_, prov);
   int t0 = network_->NewTape();
   network_->SetProducer(t0, input_node_, 0);
   return t0;
 }
 
-int NetworkBuilder::AddUnary(std::unique_ptr<Transducer> t, int in_tape) {
+int NetworkBuilder::AddUnary(std::unique_ptr<Transducer> t, int in_tape,
+                             const Expr* prov) {
   int node = network_->AddNode(std::move(t));
+  NoteProvenance(node, prov);
   network_->SetConsumer(in_tape, node, 0);
   int out = network_->NewTape();
   network_->SetProducer(out, node, 0);
   return out;
 }
 
-std::pair<int, int> NetworkBuilder::AddSplit(int in_tape) {
+std::pair<int, int> NetworkBuilder::AddSplit(int in_tape, const Expr* prov) {
   int node = network_->AddNode(std::make_unique<SplitTransducer>());
+  NoteProvenance(node, prov);
   network_->SetConsumer(in_tape, node, 0);
   int t1 = network_->NewTape();
   int t2 = network_->NewTape();
@@ -39,8 +49,9 @@ std::pair<int, int> NetworkBuilder::AddSplit(int in_tape) {
   return {t1, t2};
 }
 
-int NetworkBuilder::AddJoin(int left, int right) {
+int NetworkBuilder::AddJoin(int left, int right, const Expr* prov) {
   int node = network_->AddNode(std::make_unique<JoinTransducer>());
+  NoteProvenance(node, prov);
   network_->SetConsumer(left, node, 0);
   network_->SetConsumer(right, node, 1);
   int out = network_->NewTape();
@@ -48,10 +59,12 @@ int NetworkBuilder::AddJoin(int left, int right) {
   return out;
 }
 
-OutputTransducer* NetworkBuilder::AddOutput(int in_tape, ResultSink* sink) {
+OutputTransducer* NetworkBuilder::AddOutput(int in_tape, ResultSink* sink,
+                                            const Expr* prov) {
   auto ou = std::make_unique<OutputTransducer>(sink, context_);
   OutputTransducer* raw = ou.get();
   int node = network_->AddNode(std::move(ou));
+  NoteProvenance(node, prov);
   network_->SetConsumer(in_tape, node, 0);
   return raw;
 }
@@ -66,45 +79,46 @@ int NetworkBuilder::CompileExpr(const Expr& e, int in_tape) {
       // C[label] = CH(label)
       return AddUnary(
           std::make_unique<ChildTransducer>(e.label, e.is_wildcard, context_),
-          in_tape);
+          in_tape, &e);
 
     case ExprKind::kClosure: {
       if (e.is_positive) {
         // C[label+] = CL(label)
         return AddUnary(std::make_unique<ClosureTransducer>(
                             e.label, e.is_wildcard, context_),
-                        in_tape);
+                        in_tape, &e);
       }
       // C[label*] = SP ; C[label+] ; JO   (label* == (label+ | eps))
-      auto [t1, t2] = AddSplit(in_tape);
+      auto [t1, t2] = AddSplit(in_tape, &e);
       int body = AddUnary(std::make_unique<ClosureTransducer>(
                               e.label, e.is_wildcard, context_),
-                          t1);
-      return AddJoin(t2, body);
+                          t1, &e);
+      return AddJoin(t2, body, &e);
     }
 
     case ExprKind::kOptional: {
       // C[rpeq?] = SP ; C[rpeq] ; JO
-      auto [t1, t2] = AddSplit(in_tape);
+      auto [t1, t2] = AddSplit(in_tape, &e);
       int body = CompileExpr(*e.left, t1);
-      return AddJoin(t2, body);
+      return AddJoin(t2, body, &e);
     }
 
     case ExprKind::kUnion: {
       // C[(r1|r2)] = SP ; C[r1] ; C[r2] ; JO ; UN
-      auto [t1, t2] = AddSplit(in_tape);
+      auto [t1, t2] = AddSplit(in_tape, &e);
       int left = CompileExpr(*e.left, t1);
       int right = CompileExpr(*e.right, t2);
-      int joined = AddJoin(left, right);
-      return AddUnary(std::make_unique<UnionTransducer>(), joined);
+      int joined = AddJoin(left, right, &e);
+      return AddUnary(std::make_unique<UnionTransducer>(), joined, &e);
     }
 
     case ExprKind::kIntersect: {
       // C[(r1&r2)] = SP ; C[r1] ; C[r2] ; IS — node-identity join (§I).
-      auto [t1, t2] = AddSplit(in_tape);
+      auto [t1, t2] = AddSplit(in_tape, &e);
       int left = CompileExpr(*e.left, t1);
       int right = CompileExpr(*e.right, t2);
       int node = network_->AddNode(std::make_unique<IntersectTransducer>());
+      NoteProvenance(node, &e);
       network_->SetConsumer(left, node, 0);
       network_->SetConsumer(right, node, 1);
       int out = network_->NewTape();
@@ -127,7 +141,7 @@ int NetworkBuilder::CompileExpr(const Expr& e, int in_tape) {
       context_->allow_variable_gc = false;
       return AddUnary(std::make_unique<FollowingTransducer>(
                           e.label, e.is_wildcard, context_),
-                      in_tape);
+                      in_tape, &e);
 
     case ExprKind::kPreceding:
       // <<label : PR(label) — speculative matching with future-condition
@@ -138,21 +152,23 @@ int NetworkBuilder::CompileExpr(const Expr& e, int in_tape) {
                           e.label, e.is_wildcard, next_qualifier_id_++,
                           context_,
                           /*evidence_mode=*/qualifier_body_depth_ > 0),
-                      in_tape);
+                      in_tape, &e);
   }
   return in_tape;  // unreachable
 }
 
 int NetworkBuilder::CompileQualifier(const Expr& q, int in_tape) {
   // C[[q]] = VC(q) ; SP ; C[q] ; VF(q+) ; VD ; JO  (Fig. 11, last rule)
+  // The qualifier machinery (VC/SP/VF/VD/JO) carries the body's provenance:
+  // it exists to evaluate exactly that sub-expression.
   const uint32_t qid = next_qualifier_id_++;
   // A body containing a following axis can be satisfied after the
   // instance's scope closed: defer the scope-exit invalidation to </$>.
   const bool defer = q.ContainsKind(ExprKind::kFollowing);
   int after_vc = AddUnary(
       std::make_unique<VariableCreatorTransducer>(qid, context_, defer),
-      in_tape);
-  auto [t1, t2] = AddSplit(after_vc);
+      in_tape, &q);
+  auto [t1, t2] = AddSplit(after_vc, &q);
   ++qualifier_body_depth_;
   int body = CompileExpr(q, t2);
   --qualifier_body_depth_;
@@ -160,11 +176,11 @@ int NetworkBuilder::CompileQualifier(const Expr& q, int in_tape) {
       AddUnary(std::make_unique<VariableFilterTransducer>(qid,
                                                           /*positive=*/true,
                                                           context_),
-               body);
+               body, &q);
   int determined = AddUnary(
       std::make_unique<VariableDeterminantTransducer>(qid, context_),
-      filtered);
-  return AddJoin(t1, determined);
+      filtered, &q);
+  return AddJoin(t1, determined, &q);
 }
 
 namespace {
@@ -233,10 +249,12 @@ CompiledNetwork CompileToNetwork(const Expr& expr, ResultSink* sink,
                                  RunContext* context) {
   CompiledNetwork out;
   NetworkBuilder builder(&out.network, context);
-  int t0 = builder.AddInput();
+  // IN and OU implement the query as a whole; everything in between carries
+  // the span of the sub-expression it was compiled from.
+  int t0 = builder.AddInput(&expr);
   out.input_node = builder.input_node();
   int body_out = builder.CompileExpr(expr, t0);
-  out.output = builder.AddOutput(body_out, sink);
+  out.output = builder.AddOutput(body_out, sink, &expr);
   return out;
 }
 

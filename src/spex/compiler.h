@@ -23,26 +23,32 @@ class NetworkBuilder {
   // Both pointers must outlive the builder and the built network.
   NetworkBuilder(Network* network, RunContext* context);
 
-  // Adds the input transducer; returns its output tape.
-  int AddInput();
+  // Adds the input transducer; returns its output tape.  `prov`, when
+  // given, becomes the node's query provenance (typically the whole query).
+  int AddInput(const Expr* prov = nullptr);
   int input_node() const { return input_node_; }
 
   // C[expr]: extends the network reading from `in_tape`; returns the tape
-  // carrying the construct's output.
+  // carrying the construct's output.  Every node added is stamped with the
+  // provenance of the sub-expression it implements (Expr::span).
   int CompileExpr(const Expr& expr, int in_tape);
 
   // C[[q]]: wraps `q` as a qualifier (VC ; SP ; C[q] ; VF+ ; VD ; JO).
   int CompileQualifier(const Expr& q, int in_tape);
 
   // Adds a split reading `in_tape`; returns its two output tapes.
-  std::pair<int, int> AddSplit(int in_tape);
+  std::pair<int, int> AddSplit(int in_tape, const Expr* prov = nullptr);
 
   // Attaches an output transducer (sink) to `in_tape`.
-  OutputTransducer* AddOutput(int in_tape, ResultSink* sink);
+  OutputTransducer* AddOutput(int in_tape, ResultSink* sink,
+                              const Expr* prov = nullptr);
 
  private:
-  int AddUnary(std::unique_ptr<Transducer> t, int in_tape);
-  int AddJoin(int left, int right);
+  int AddUnary(std::unique_ptr<Transducer> t, int in_tape, const Expr* prov);
+  int AddJoin(int left, int right, const Expr* prov);
+  // Stamps `prov`'s span and concrete syntax on the most recently added
+  // node (no-op when prov is null, e.g. hand-built multi-query plumbing).
+  void NoteProvenance(int node, const Expr* prov);
 
   Network* network_;
   RunContext* context_;

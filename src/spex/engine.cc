@@ -29,6 +29,12 @@ SpexEngine::SpexEngine(const Expr& query, ResultSink* sink,
     : context_(std::make_unique<RunContext>()) {
   context_->options = options;
   compiled_ = CompileToNetwork(query, sink, context_.get());
+  query_text_ = query.ToString();
+  if (options.profile) {
+    profiler_ = std::make_unique<obs::ProfileAccumulator>(
+        compiled_.network.node_count());
+    compiled_.network.SetProfiler(profiler_.get());
+  }
   if (options.record_traces) {
     traces_.reserve(compiled_.network.node_count());
     for (int i = 0; i < compiled_.network.node_count(); ++i) {
@@ -129,13 +135,17 @@ Watermark SpexEngine::CurrentWatermark() const {
   w.elapsed_sec = std::chrono::duration<double>(now - run_start_).count();
   const double window =
       std::chrono::duration<double>(now - last_watermark_time_).count();
-  if (window > 0) {
+  // A zero/near-zero window (first tick polled immediately, back-to-back
+  // polls, coarse clocks) would divide into inf or garbage rates.  Report 0
+  // and leave the baseline in place so the next poll sees the full window.
+  constexpr double kMinRateWindowSec = 1e-6;
+  if (window >= kMinRateWindowSec) {
     w.events_per_sec =
         static_cast<double>(events_processed_ - last_watermark_events_) /
         window;
+    last_watermark_time_ = now;
+    last_watermark_events_ = events_processed_;
   }
-  last_watermark_time_ = now;
-  last_watermark_events_ = events_processed_;
   w.results = result_count();
   w.pending_fragments = compiled_.output->pending_candidates();
   w.buffered_events = compiled_.output->buffered_events();
@@ -168,6 +178,14 @@ RunStats SpexEngine::ComputeStats() const {
   stats.output.open_candidates_peak =
       snap.Value("spex_output_open_candidates_peak");
   return stats;
+}
+
+obs::ProfileReport SpexEngine::Profile() const {
+  const obs::MetricsSnapshot snap = context_->metrics.Collect();
+  return BuildProfileReport(compiled_.network, query_text_, events_processed_,
+                            profiler_.get(),
+                            snap.Value("spex_formula_pool_high_water"),
+                            snap.Value("spex_formula_pool_allocs"));
 }
 
 const TransducerTrace* SpexEngine::trace(int node_id) const {

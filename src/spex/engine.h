@@ -78,6 +78,15 @@ class SpexEngine : public EventSink {
   // aggregate §V view; callable at any point of the stream.
   RunStats ComputeStats() const;
 
+  // EXPLAIN/PROFILE: per-node cost attribution with query provenance (see
+  // obs/profile.h).  Timed (self-time shares, deliveries) when
+  // options.profile was set; otherwise a static plan — provenance, predicted
+  // cost classes, and whatever message counts have accrued.  Callable at any
+  // point of the stream.  report.query defaults to the compiled expression's
+  // round-trip syntax; callers holding the original query text (whose byte
+  // offsets the spans index) may overwrite it.
+  obs::ProfileReport Profile() const;
+
   // The run's live metrics registry (see obs/metrics.h).  Pull collectors
   // over the network/output/formula-pool state are registered at every
   // observe level; push instruments (spex_events_total, histograms) exist
@@ -127,6 +136,8 @@ class SpexEngine : public EventSink {
   CompiledNetwork compiled_;
   std::vector<std::unique_ptr<TransducerTrace>> traces_;
   std::unique_ptr<EngineObservability> obs_;  // non-null iff observe != kOff
+  std::unique_ptr<obs::ProfileAccumulator> profiler_;  // iff options.profile
+  std::string query_text_;  // round-trip syntax, for ProfileReport::query
   int64_t events_processed_ = 0;
   // True when OnEvent must take the observed path (observe != kOff or
   // progress enabled): the disabled hot path tests exactly this one flag.

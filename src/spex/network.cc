@@ -1,7 +1,10 @@
 #include "spex/network.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace spex {
@@ -45,19 +48,39 @@ void Network::SetTraceRecorder(obs::TraceRecorder* recorder) {
     kind_name_ids_[1] = recorder->InternName("activation");
     kind_name_ids_[2] = recorder->InternName("determination");
   }
+  instrumented_ = trace_recorder_ != nullptr || profiler_ != nullptr;
+}
+
+void Network::SetProfiler(obs::ProfileAccumulator* profiler) {
+  profiler_ = profiler;
+  instrumented_ = trace_recorder_ != nullptr || profiler_ != nullptr;
+}
+
+void Network::SetProvenance(int node, SourceSpan span, std::string fragment) {
+  nodes_[node].provenance.span = span;
+  nodes_[node].provenance.fragment = std::move(fragment);
 }
 
 void Network::Deliver(int node, int in_port, Message message) {
   NodeEmitter emitter(this, node);
-  if (trace_recorder_ == nullptr) [[likely]] {
+  if (!instrumented_) [[likely]] {
     nodes_[node].transducer->OnMessage(in_port, std::move(message), &emitter);
     return;
   }
-  const int name_id = kind_name_ids_[static_cast<int>(message.kind)];
-  const int64_t start = trace_recorder_->NowNs();
+  // Instrumented path: one pair of clock reads shared by the trace span and
+  // the profiler bracket (the profiler only uses differences, so either
+  // clock origin works).
+  const int kind = static_cast<int>(message.kind);
+  const int64_t start = trace_recorder_ != nullptr ? trace_recorder_->NowNs()
+                                                   : profiler_->NowNs();
+  if (profiler_ != nullptr) profiler_->Enter();
   nodes_[node].transducer->OnMessage(in_port, std::move(message), &emitter);
-  trace_recorder_->RecordSpan(node + 1, name_id, start,
-                              trace_recorder_->NowNs());
+  const int64_t end = trace_recorder_ != nullptr ? trace_recorder_->NowNs()
+                                                 : profiler_->NowNs();
+  if (trace_recorder_ != nullptr) {
+    trace_recorder_->RecordSpan(node + 1, kind_name_ids_[kind], start, end);
+  }
+  if (profiler_ != nullptr) profiler_->Leave(node, start, end);
 }
 
 void Network::NodeEmitter::Emit(int port, Message message) {
@@ -79,18 +102,110 @@ Transducer* Network::FindByName(const std::string& name) {
   return nullptr;
 }
 
-std::string Network::ToDot() const {
-  std::string out = "digraph spex_network {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+namespace {
+
+// Escapes a string for use inside a double-quoted DOT label: quotes and
+// backslashes would otherwise terminate the attribute (e.g. CH("a\"b")),
+// and raw newlines are not valid inside quoted strings.
+std::string EscapeDotLabel(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Network::ToDot(const obs::ProfileReport* report) const {
+  std::string out =
+      "digraph spex_network {\n  rankdir=LR;\n  node [shape=box, "
+      "fontname=\"monospace\"];\n";
+  double max_share = 0;
+  int64_t max_edge_messages = 0;
+  if (report != nullptr) {
+    for (const obs::ProfileNode& n : report->nodes) {
+      max_share = std::max(max_share, n.time_share);
+    }
+    for (const obs::ProfileEdge& e : report->edges) {
+      max_edge_messages = std::max(max_edge_messages, e.messages);
+    }
+  }
   for (size_t i = 0; i < nodes_.size(); ++i) {
-    out += "  n" + std::to_string(i) + " [label=\"" +
-           nodes_[i].transducer->name() + "\"];\n";
+    std::string label = nodes_[i].transducer->name();
+    std::string attrs;
+    if (report != nullptr && i < report->nodes.size()) {
+      const obs::ProfileNode& n = report->nodes[i];
+      if (!n.fragment.empty()) {
+        label += "\n" + n.fragment;
+        if (n.span_begin != n.span_end) {
+          label += " @[" + std::to_string(n.span_begin) + "," +
+                   std::to_string(n.span_end) + ")";
+        }
+      }
+      if (report->timed) {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "\n%.1f%% self  %lld msgs",
+                      n.time_share * 100.0,
+                      static_cast<long long>(n.messages_in));
+        label += buf;
+        // Heat: saturation tracks the node's share of the hottest node; the
+        // hue stays in the yellow-red band so `dot -Tsvg` reads as a flame
+        // map.  Font size grows with share so hot nodes dominate visually.
+        const double rel = max_share > 0 ? n.time_share / max_share : 0;
+        std::snprintf(buf, sizeof buf,
+                      ", style=filled, fillcolor=\"%.3f %.3f 1.000\"",
+                      0.12 * (1.0 - rel), 0.15 + 0.85 * rel);
+        attrs += buf;
+        std::snprintf(buf, sizeof buf, ", fontsize=%d",
+                      10 + static_cast<int>(10.0 * rel));
+        attrs += buf;
+      }
+    }
+    out += "  n" + std::to_string(i) + " [label=\"" + EscapeDotLabel(label) +
+           "\"" + attrs + "];\n";
   }
   for (size_t t = 0; t < tapes_.size(); ++t) {
     const Tape& tape = tapes_[t];
     if (tape.producer_node == -1 || tape.consumer_node == -1) continue;
+    std::string label = "t" + std::to_string(t);
+    std::string attrs;
+    if (report != nullptr && report->timed) {
+      const obs::ProfileEdge* edge = nullptr;
+      for (const obs::ProfileEdge& e : report->edges) {
+        if (e.tape == static_cast<int>(t)) {
+          edge = &e;
+          break;
+        }
+      }
+      if (edge != nullptr) {
+        label += "\n" + std::to_string(edge->messages) + " msgs";
+        const double rel =
+            max_edge_messages > 0
+                ? static_cast<double>(edge->messages) /
+                      static_cast<double>(max_edge_messages)
+                : 0;
+        char buf[48];
+        std::snprintf(buf, sizeof buf, ", penwidth=%.2f", 1.0 + 4.0 * rel);
+        attrs += buf;
+      }
+    }
     out += "  n" + std::to_string(tape.producer_node) + " -> n" +
-           std::to_string(tape.consumer_node) + " [label=\"t" +
-           std::to_string(t) + "\"];\n";
+           std::to_string(tape.consumer_node) + " [label=\"" +
+           EscapeDotLabel(label) + "\"" + attrs + "];\n";
   }
   out += "}\n";
   return out;

@@ -15,13 +15,25 @@
 #include <string>
 #include <vector>
 
+#include "rpeq/ast.h"
 #include "spex/transducer.h"
 
 namespace spex {
 
 namespace obs {
+class ProfileAccumulator;
 class TraceRecorder;
+struct ProfileReport;
 }
+
+// Query provenance of one network node: the byte range of the rpeq
+// sub-expression this transducer implements (into the original query text)
+// plus its concrete syntax.  Recorded by the compiler; consumed by
+// EXPLAIN/PROFILE and the annotated DOT rendering.
+struct NodeProvenance {
+  SourceSpan span;
+  std::string fragment;
+};
 
 class Network {
  public:
@@ -50,13 +62,43 @@ class Network {
   // a span on track node+1, named after the message kind.  Because delivery
   // is synchronous and depth-first, a delivery's span covers all downstream
   // work it triggered — the Chrome trace reads as a flame graph of the
-  // network.  Null detaches; when detached Deliver pays one branch.
+  // network.  Null detaches; when neither a recorder nor a profiler is
+  // attached Deliver pays one branch.
   void SetTraceRecorder(obs::TraceRecorder* recorder);
+
+  // Attaches a per-node cost accumulator (--profile): every delivery is
+  // bracketed with Enter/Leave around the same timestamps the trace spans
+  // use.  Null detaches.
+  void SetProfiler(obs::ProfileAccumulator* profiler);
+
+  // Records the query provenance of `node` (see NodeProvenance).
+  void SetProvenance(int node, SourceSpan span, std::string fragment);
+  const NodeProvenance& provenance(int node) const {
+    return nodes_[node].provenance;
+  }
 
   int node_count() const { return static_cast<int>(nodes_.size()); }
   int tape_count() const { return static_cast<int>(tapes_.size()); }
   Transducer* node(int id) { return nodes_[id].transducer.get(); }
   const Transducer* node(int id) const { return nodes_[id].transducer.get(); }
+
+  // Wiring of tape `id`, for plan renderers (-1 = unset end).
+  struct TapeInfo {
+    int producer_node = -1;
+    int producer_port = -1;
+    int consumer_node = -1;
+    int consumer_port = -1;
+  };
+  TapeInfo tape_info(int id) const {
+    const Tape& t = tapes_[id];
+    return {t.producer_node, t.producer_port, t.consumer_node,
+            t.consumer_port};
+  }
+  // Number of output ports `node` has wired (1 for most, 2 for SP).
+  int out_degree(int node) const {
+    return (nodes_[node].out_tapes[0] != -1 ? 1 : 0) +
+           (nodes_[node].out_tapes[1] != -1 ? 1 : 0);
+  }
 
   // First node whose name() equals `name`, or nullptr.
   Transducer* FindByName(const std::string& name);
@@ -66,8 +108,12 @@ class Network {
 
   // Graphviz DOT rendering of the network DAG (one box per transducer, one
   // edge per tape) — paste into `dot -Tsvg` to visualize Fig. 12-style
-  // diagrams for arbitrary queries.
-  std::string ToDot() const;
+  // diagrams for arbitrary queries.  With a profile report the rendering is
+  // heat-annotated: nodes are shaded and sized by self-time share, edges
+  // weighted by message volume, and labels carry the provenance span — a
+  // flame map of the run.  Label text is DOT-escaped.
+  std::string ToDot() const { return ToDot(nullptr); }
+  std::string ToDot(const obs::ProfileReport* report) const;
 
  private:
   // Stack-allocated per delivery: the network is movable, so no component
@@ -87,6 +133,7 @@ class Network {
     // out_tapes[port] = tape id (or -1)
     int out_tapes[2] = {-1, -1};
     int in_tapes[2] = {-1, -1};
+    NodeProvenance provenance;
   };
 
   struct Tape {
@@ -101,6 +148,10 @@ class Network {
   std::vector<Node> nodes_;
   std::vector<Tape> tapes_;
   obs::TraceRecorder* trace_recorder_ = nullptr;
+  obs::ProfileAccumulator* profiler_ = nullptr;
+  // True iff a trace recorder or profiler is attached — the one predicted
+  // branch Deliver pays when observation is off.
+  bool instrumented_ = false;
   // Interned span names, one per MessageKind.
   int kind_name_ids_[3] = {0, 0, 0};
 };

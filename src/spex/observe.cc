@@ -1,5 +1,6 @@
 #include "spex/observe.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "spex/network.h"
@@ -22,6 +23,10 @@ bool ParseObserveLevel(std::string_view text, ObserveLevel* out) {
 }
 
 std::string Watermark::ToString() const {
+  // A degenerate rate window (first tick polled immediately, or a clock
+  // with coarse resolution) can leave events_per_sec inf/nan; print 0
+  // rather than garbage.
+  const double rate = std::isfinite(events_per_sec) ? events_per_sec : 0.0;
   char buf[320];
   std::snprintf(
       buf, sizeof buf,
@@ -29,7 +34,7 @@ std::string Watermark::ToString() const {
       "pending_fragments=%lld buffered_events=%lld buffered_peak=%lld "
       "formula_nodes=%lld live_vars=%lld",
       static_cast<long long>(events), static_cast<long long>(bytes),
-      elapsed_sec, events_per_sec, static_cast<long long>(results),
+      elapsed_sec, rate, static_cast<long long>(results),
       static_cast<long long>(pending_fragments),
       static_cast<long long>(buffered_events),
       static_cast<long long>(buffered_events_peak),
@@ -135,6 +140,89 @@ void RegisterContextCollectors(obs::MetricRegistry* registry,
   registry->AddCallbackGauge("spex_formula_pool_allocs", {}, [baseline] {
     return Formula::GetPoolStats().allocated_total - baseline;
   });
+}
+
+std::string PredictCostClass(std::string_view transducer_name) {
+  // §V per-message bounds by transducer family: label testers pay O(1) per
+  // message with an O(d) depth stack; formula manipulators pay time linear
+  // in the (factored) formula size; the order axes pin condition variables
+  // (no end-of-round GC); OU may buffer undecided candidates.
+  const std::string_view base =
+      transducer_name.substr(0, transducer_name.find('('));
+  if (base == "IN") return "O(1)/event source";
+  if (base == "CH" || base == "CL") return "O(1)/msg, stack O(d)";
+  if (base == "SP") return "O(1)/msg, duplicates stream";
+  if (base == "JO" || base == "UN") return "formula or-merge O(|f|)";
+  if (base == "IS" || base == "VF") return "formula and-merge O(|f|)";
+  if (base == "VC") return "stack O(d), one var per match";
+  if (base == "VD") return "O(1)/msg determinations";
+  if (base == "FO") return "formula O(|f|), pins vars";
+  if (base == "PR") return "speculative O(|f|), pins vars";
+  if (base == "OU") return "buffers undecided candidates";
+  return "unclassified";
+}
+
+obs::ProfileReport BuildProfileReport(const Network& network,
+                                      std::string query, int64_t events,
+                                      const obs::ProfileAccumulator* profiler,
+                                      int64_t formula_pool_high_water,
+                                      int64_t formula_pool_allocs) {
+  obs::ProfileReport report;
+  report.query = std::move(query);
+  report.events = events;
+  report.formula_pool_high_water = formula_pool_high_water;
+  report.formula_pool_allocs = formula_pool_allocs;
+  report.timed = profiler != nullptr;
+  report.total_self_ns = profiler != nullptr ? profiler->total_self_ns() : 0;
+  report.nodes.reserve(static_cast<size_t>(network.node_count()));
+  for (int i = 0; i < network.node_count(); ++i) {
+    const Transducer* t = network.node(i);
+    obs::ProfileNode n;
+    n.id = i;
+    n.name = t->name();
+    const NodeProvenance& prov = network.provenance(i);
+    n.fragment = prov.fragment;
+    n.span_begin = prov.span.begin;
+    n.span_end = prov.span.end;
+    n.cost_class = PredictCostClass(n.name);
+    n.messages_in = t->stats().messages_in;
+    n.messages_out = t->stats().messages_out;
+    n.depth_stack_peak = t->stats().depth_stack_peak;
+    n.condition_stack_peak = t->stats().condition_stack_peak;
+    n.formula_nodes_peak = t->stats().formula_nodes_peak;
+    if (const auto* ou = dynamic_cast<const OutputTransducer*>(t)) {
+      n.buffered_events_peak = ou->output_stats().buffered_events_peak;
+    }
+    if (profiler != nullptr) {
+      const obs::ProfileAccumulator::NodeCost& cost =
+          profiler->nodes()[static_cast<size_t>(i)];
+      n.deliveries = cost.deliveries;
+      n.self_ns = cost.self_ns;
+      n.total_ns = cost.total_ns;
+      if (report.total_self_ns > 0) {
+        n.time_share = static_cast<double>(cost.self_ns) /
+                       static_cast<double>(report.total_self_ns);
+      }
+    }
+    report.total_messages += n.messages_in;
+    report.nodes.push_back(std::move(n));
+  }
+  for (int t = 0; t < network.tape_count(); ++t) {
+    const Network::TapeInfo info = network.tape_info(t);
+    if (info.producer_node == -1 || info.consumer_node == -1) continue;
+    obs::ProfileEdge edge;
+    edge.tape = t;
+    edge.from = info.producer_node;
+    edge.to = info.consumer_node;
+    // Every producer writes each message to all of its wired ports (only SP
+    // has two, and it duplicates), so the tape's traffic is the producer's
+    // messages_out split evenly — exact, with no hot-path tape counters.
+    const int degree = network.out_degree(info.producer_node);
+    const int64_t out = network.node(info.producer_node)->stats().messages_out;
+    edge.messages = degree > 0 ? out / degree : 0;
+    report.edges.push_back(edge);
+  }
+  return report;
 }
 
 }  // namespace spex

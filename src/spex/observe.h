@@ -26,6 +26,7 @@
 
 #include "obs/metrics.h"
 #include "obs/observer.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "xml/stream_event.h"
 
@@ -138,6 +139,23 @@ void RegisterOutputCollectors(obs::MetricRegistry* registry,
 // high-water, allocation churn since registration).
 void RegisterContextCollectors(obs::MetricRegistry* registry,
                                RunContext* context);
+
+// Predicted §V cost class of a transducer, from its notation name (e.g.
+// "CH(a)" -> per-message constant with an O(d) depth stack).  Static — the
+// EXPLAIN column; actual peaks come from TransducerStats.
+std::string PredictCostClass(std::string_view transducer_name);
+
+// Builds the EXPLAIN/PROFILE attribution report (see obs/profile.h): one
+// row per node folding TransducerStats, the compiler's query provenance and
+// — when `profiler` is non-null — the accumulated self/inclusive times; one
+// edge per wired tape with its message volume (derived as the producer's
+// messages_out split over its wired ports, so no hot-path tape counters are
+// needed).  A null `profiler` yields a static EXPLAIN (timed=false).
+obs::ProfileReport BuildProfileReport(const Network& network,
+                                      std::string query, int64_t events,
+                                      const obs::ProfileAccumulator* profiler,
+                                      int64_t formula_pool_high_water,
+                                      int64_t formula_pool_allocs);
 
 }  // namespace spex
 

@@ -160,6 +160,12 @@ struct EngineOptions {
   // How much the run publishes into RunContext::metrics (see observe.h for
   // the per-level cost contract).  kOff costs one branch per event.
   ObserveLevel observe = ObserveLevel::kOff;
+  // Attach a per-node cost profiler: SpexEngine::Profile() then returns a
+  // *timed* attribution report (see obs/profile.h).  Orthogonal to
+  // `observe`; costs two clock reads per message delivery (the same hook
+  // observe=full uses for trace spans).  When false and observe != kFull,
+  // deliveries stay on the uninstrumented single-branch path.
+  bool profile = false;
   // Ring-buffer capacity (in trace events) of the observe=full recorder.
   size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
   // Progress watermark publication (engine only; see observe.h).

@@ -88,6 +88,35 @@ TEST(NetworkTest, ToDotContainsNodesAndEdges) {
   EXPECT_NE(dot.find("}"), std::string::npos);
 }
 
+TEST(NetworkTest, ToDotIsStructurallyWellFormed) {
+  ExprPtr q = MustParseRpeq("_*.a[b].c");
+  CountingResultSink sink;
+  SpexEngine engine(*q, &sink);
+  std::string error;
+  EXPECT_TRUE(CheckDotStructure(engine.network().ToDot(), &error)) << error;
+}
+
+TEST(NetworkTest, ToDotEscapesLabelCharacters) {
+  // A transducer whose name carries every character that can break a
+  // quoted DOT attribute: an embedded quote, a backslash and a newline.
+  class HostileName : public Transducer {
+   public:
+    HostileName() : Transducer("CH(a\"b\\c\nd)") {}
+    void OnMessage(int, Message, Emitter*) override {}
+  };
+  Network net;
+  int n1 = net.AddNode(std::make_unique<HostileName>());
+  int n2 = net.AddNode(std::make_unique<ProbeTransducer>());
+  int t = net.NewTape();
+  net.SetProducer(t, n1, 0);
+  net.SetConsumer(t, n2, 0);
+  const std::string dot = net.ToDot();
+  std::string error;
+  EXPECT_TRUE(CheckDotStructure(dot, &error)) << error << "\n" << dot;
+  EXPECT_NE(dot.find("\\\""), std::string::npos) << dot;  // quote escaped
+  EXPECT_NE(dot.find("\\\\"), std::string::npos) << dot;  // backslash escaped
+}
+
 TEST(InputTransducerTest, ActivatesOnceOnStartDocument) {
   InputTransducer in;
   TestEmitter e;

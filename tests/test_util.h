@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -69,6 +71,97 @@ inline std::vector<StreamEvent> MustParseEvents(const std::string& xml) {
     ADD_FAILURE() << "bad test XML: " << error;
   }
   return events;
+}
+
+// Minimal structural checker for the Graphviz DOT renderings the library
+// produces (Network::ToDot writes one statement per line, so a line-based
+// check suffices).  Verifies:
+//  * the "digraph <name> {" wrapper with a closing "}",
+//  * every statement line ends with ';',
+//  * double quotes balance on every line (respecting backslash escapes;
+//    labels must not leak raw '"' — that is what the escaping fixes),
+//  * node statements declare "n<digits>", edge statements "nA -> nB"
+//    reference only declared nodes.
+// Returns true when well-formed; fills *error otherwise.
+inline bool CheckDotStructure(const std::string& dot, std::string* error) {
+  auto fail = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    for (char c : dot) {
+      if (c == '\n') {
+        lines.push_back(line);
+        line.clear();
+      } else {
+        line += c;
+      }
+    }
+    if (!line.empty()) lines.push_back(line);
+  }
+  while (!lines.empty() && lines.back().empty()) lines.pop_back();
+  if (lines.size() < 2) return fail("too short to be a digraph");
+  if (lines.front().rfind("digraph ", 0) != 0 ||
+      lines.front().find('{') == std::string::npos) {
+    return fail("missing 'digraph <name> {' header: " + lines.front());
+  }
+  if (lines.back() != "}") return fail("missing closing '}'");
+
+  // Parses "n<digits>" starting at `pos`; returns the id or -1.
+  auto parse_node_ref = [](const std::string& line, size_t pos) {
+    if (pos >= line.size() || line[pos] != 'n') return -1;
+    size_t i = pos + 1;
+    int id = -1;
+    while (i < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i]))) {
+      id = (id < 0 ? 0 : id * 10) + (line[i] - '0');
+      ++i;
+    }
+    return id;
+  };
+
+  std::set<int> declared;
+  for (size_t k = 1; k + 1 < lines.size(); ++k) {
+    const std::string& raw = lines[k];
+    const size_t first = raw.find_first_not_of(' ');
+    if (first == std::string::npos) continue;
+    const std::string line = raw.substr(first);
+    if (line.back() != ';') {
+      return fail("statement does not end with ';': " + line);
+    }
+    int quotes = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      if (in_string && line[i] == '\\') {
+        ++i;  // escaped character inside a quoted string
+        continue;
+      }
+      if (line[i] == '"') {
+        ++quotes;
+        in_string = !in_string;
+      }
+    }
+    if (quotes % 2 != 0) return fail("unbalanced quotes: " + line);
+    const size_t arrow = line.find(" -> ");
+    if (arrow != std::string::npos) {
+      const int from = parse_node_ref(line, 0);
+      const int to = parse_node_ref(line, arrow + 4);
+      if (from < 0 || to < 0) return fail("malformed edge: " + line);
+      if (declared.count(from) == 0 || declared.count(to) == 0) {
+        return fail("edge references undeclared node: " + line);
+      }
+    } else if (line[0] == 'n' && line.size() > 1 &&
+               std::isdigit(static_cast<unsigned char>(line[1]))) {
+      const int id = parse_node_ref(line, 0);
+      if (id < 0) return fail("malformed node statement: " + line);
+      declared.insert(id);
+    }
+    // Anything else (rankdir=, node [...] defaults) just needed the
+    // terminator and quote checks above.
+  }
+  return true;
 }
 
 }  // namespace spex

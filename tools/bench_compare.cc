@@ -1,0 +1,346 @@
+// bench_compare — perf-regression gate over two BENCH_*.json files.
+//
+//   bench_compare [--threshold=0.25] [--report-only] BASELINE CANDIDATE
+//
+// Prints a per-workload throughput delta table (events_per_sec, matched on
+// the (benchmark, observe) pair) and exits non-zero when any workload
+// present in both files regressed by more than the threshold fraction.
+// --report-only prints the same table but always exits 0 (the tier-1 smoke
+// uses it: local runs are too noisy to gate on, CI machines gate for real).
+//
+// Accepted input shapes — records are collected from *anywhere* in the
+// document, so all BENCH_PR*.json generations parse:
+//   * a bare array of records (early --json runs),
+//   * {"meta": {...}, "records": [...]} (current --json runs),
+//   * {"note": ..., "observe_off": [...], "observe_full": [...]} (the
+//     committed perf-trajectory files).
+// A record is any object with "benchmark" and "events_per_sec"; a missing
+// "observe" defaults to "off" (fig14_comparison records carry none).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal strict JSON parser (no dependencies; same shape as the one the
+// tests use to round-trip exporter output).
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          case 'r': *out += '\r'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            *out += "\\u";
+            *out += text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        JsonValue value;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace_back(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return true;
+    }
+    size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->kind = JsonValue::kNumber;
+    out->number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Record extraction.
+
+struct BenchRecord {
+  std::string benchmark;
+  std::string observe = "off";
+  double events_per_sec = 0;
+  double results = 0;
+  bool has_results = false;
+};
+
+// Depth-first sweep collecting every object that looks like a benchmark
+// record, wherever it sits in the document.
+void CollectRecords(const JsonValue& v, std::vector<BenchRecord>* out) {
+  if (v.kind == JsonValue::kObject) {
+    const JsonValue* name = v.Get("benchmark");
+    const JsonValue* rate = v.Get("events_per_sec");
+    if (name != nullptr && name->kind == JsonValue::kString &&
+        rate != nullptr && rate->kind == JsonValue::kNumber) {
+      BenchRecord rec;
+      rec.benchmark = name->str;
+      rec.events_per_sec = rate->number;
+      if (const JsonValue* obs = v.Get("observe");
+          obs != nullptr && obs->kind == JsonValue::kString) {
+        rec.observe = obs->str;
+      }
+      if (const JsonValue* res = v.Get("results");
+          res != nullptr && res->kind == JsonValue::kNumber) {
+        rec.results = res->number;
+        rec.has_results = true;
+      }
+      out->push_back(std::move(rec));
+      return;  // a record holds no nested records
+    }
+    for (const auto& [key, child] : v.object) CollectRecords(child, out);
+  } else if (v.kind == JsonValue::kArray) {
+    for (const JsonValue& child : v.array) CollectRecords(child, out);
+  }
+}
+
+bool LoadRecords(const char* path, std::vector<BenchRecord>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonValue root;
+  JsonReader reader(text);
+  if (!reader.Parse(&root)) {
+    std::fprintf(stderr, "bench_compare: %s is not valid JSON\n", path);
+    return false;
+  }
+  CollectRecords(root, out);
+  if (out->empty()) {
+    std::fprintf(stderr, "bench_compare: no benchmark records in %s\n", path);
+    return false;
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--threshold=FRACTION] [--report-only] "
+               "BASELINE.json CANDIDATE.json\n"
+               "exits 1 when a workload's events_per_sec regressed by more "
+               "than FRACTION (default 0.25)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.25;
+  bool report_only = false;
+  const char* baseline_path = nullptr;
+  const char* candidate_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+      if (threshold <= 0) return Usage();
+    } else if (arg == "--report-only") {
+      report_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return Usage();
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (candidate_path == nullptr) {
+      candidate_path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path == nullptr || candidate_path == nullptr) return Usage();
+
+  std::vector<BenchRecord> baseline, candidate;
+  if (!LoadRecords(baseline_path, &baseline) ||
+      !LoadRecords(candidate_path, &candidate)) {
+    return 2;
+  }
+
+  // Key both sides on (benchmark, observe); last record wins on duplicates.
+  std::map<std::pair<std::string, std::string>, BenchRecord> base_by_key;
+  for (BenchRecord& r : baseline) {
+    base_by_key[{r.benchmark, r.observe}] = std::move(r);
+  }
+
+  std::printf("bench_compare: %s -> %s (fail below %.0f%% of baseline)\n",
+              baseline_path, candidate_path, (1.0 - threshold) * 100.0);
+  std::printf("  %-28s %-8s %14s %14s %8s\n", "benchmark", "observe",
+              "base[ev/s]", "cand[ev/s]", "delta");
+  int regressions = 0;
+  int result_mismatches = 0;
+  int compared = 0;
+  for (const BenchRecord& cand : candidate) {
+    auto it = base_by_key.find({cand.benchmark, cand.observe});
+    if (it == base_by_key.end()) {
+      std::printf("  %-28s %-8s %14s %14.0f      new\n",
+                  cand.benchmark.c_str(), cand.observe.c_str(), "-",
+                  cand.events_per_sec);
+      continue;
+    }
+    const BenchRecord& base = it->second;
+    ++compared;
+    const double delta =
+        base.events_per_sec > 0
+            ? cand.events_per_sec / base.events_per_sec - 1.0
+            : 0.0;
+    const bool regressed = delta < -threshold;
+    std::printf("  %-28s %-8s %14.0f %14.0f %+7.1f%%%s\n",
+                cand.benchmark.c_str(), cand.observe.c_str(),
+                base.events_per_sec, cand.events_per_sec, delta * 100.0,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+    if (base.has_results && cand.has_results && base.results != cand.results) {
+      std::printf("    !! result count changed: %.0f -> %.0f\n", base.results,
+                  cand.results);
+      ++result_mismatches;
+    }
+  }
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "bench_compare: no common (benchmark, observe) pairs\n");
+    return 2;
+  }
+  if (result_mismatches > 0) {
+    std::printf("%d workload(s) changed result counts (correctness drift — "
+                "investigate before trusting the timings)\n",
+                result_mismatches);
+  }
+  if (regressions > 0) {
+    std::printf("%d workload(s) regressed beyond %.0f%%%s\n", regressions,
+                threshold * 100.0,
+                report_only ? " (report-only: not failing)" : "");
+    return report_only ? 0 : 1;
+  }
+  std::printf("no regressions beyond %.0f%%\n", threshold * 100.0);
+  return 0;
+}

@@ -27,3 +27,31 @@ echo "$metrics_out" | grep -q '"spex_transducer_messages_in"' || {
   exit 1
 }
 echo "tier1: metrics smoke OK"
+
+# EXPLAIN/PROFILE smoke: the static plan and the timed report must render.
+"$binary_dir/tools/spexquery" --explain '_*.book[author].title' \
+  examples/data/catalog.xml | grep -q 'EXPLAIN' || {
+  echo "tier1: spexquery --explain smoke failed" >&2
+  exit 1
+}
+"$binary_dir/tools/spexquery" --profile '_*.book[author].title' \
+  examples/data/catalog.xml | grep -q 'TOTAL' || {
+  echo "tier1: spexquery --profile smoke failed" >&2
+  exit 1
+}
+echo "tier1: explain/profile smoke OK"
+
+# Perf-regression report (informational here — tier-1 machines are too
+# noisy to gate on; the CI bench-smoke job gates for real with
+# bench_compare's exit code against the committed baseline).
+if [ "$preset" = "default" ]; then
+  latest_baseline="$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)"
+  if [ -n "$latest_baseline" ]; then
+    bench_json="$(mktemp)"
+    "$binary_dir/bench/micro_benchmarks" --json "$bench_json" --observe=off \
+      2>/dev/null
+    "$binary_dir/tools/bench_compare" --report-only \
+      "$latest_baseline" "$bench_json" || true
+    rm -f "$bench_json"
+  fi
+fi

@@ -8,6 +8,15 @@
 //                                     memory on nested results)
 //   spexquery --network ...           print the compiled network and exit
 //   spexquery --dot ...               print the network as Graphviz DOT
+//   spexquery --explain ...           print the static plan (one row per
+//                                     transducer: query provenance span and
+//                                     predicted cost class) and exit
+//   spexquery --profile[=text|json|dot] ...
+//                                     run the stream with the per-node cost
+//                                     profiler and print the attribution
+//                                     report (dot = heat-annotated network;
+//                                     result fragments are suppressed, use
+//                                     --count for the match count)
 //   spexquery --observe=LEVEL ...     off|counters|full (default: the
 //                                     weakest level the other flags need)
 //   spexquery --metrics=json|prom ... dump the metrics registry to stderr
@@ -44,6 +53,8 @@ struct Options {
   bool stats = false;
   bool show_network = false;
   bool dot = false;
+  bool explain = false;
+  std::string profile_format;  // "", "text", "json" or "dot"
   spex::OutputOrder order = spex::OutputOrder::kDocumentStart;
   spex::ObserveLevel observe = spex::ObserveLevel::kOff;
   bool observe_set = false;        // explicit --observe=...
@@ -56,8 +67,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: spexquery [--xpath] [--count] [--stats] "
                "[--order=doc|det]\n"
-               "                 [--network] [--dot] "
-               "[--observe=off|counters|full]\n"
+               "                 [--network] [--dot] [--explain] "
+               "[--profile[=text|json|dot]]\n"
+               "                 [--observe=off|counters|full]\n"
                "                 [--metrics=json|prom] [--trace-out=FILE] "
                "[--progress[=N]]\n"
                "                 QUERY [FILE]\n");
@@ -113,6 +125,17 @@ int main(int argc, char** argv) {
       opts.show_network = true;
     } else if (arg == "--dot") {
       opts.dot = true;
+    } else if (arg == "--explain") {
+      opts.explain = true;
+    } else if (arg == "--profile") {
+      opts.profile_format = "text";
+    } else if (arg.rfind("--profile=", 0) == 0) {
+      opts.profile_format = arg.substr(10);
+      if (opts.profile_format != "text" && opts.profile_format != "json" &&
+          opts.profile_format != "dot") {
+        std::fprintf(stderr, "bad profile format in %s\n", arg.c_str());
+        return Usage();
+      }
     } else if (arg == "--order=det") {
       opts.order = spex::OutputOrder::kDetermination;
     } else if (arg == "--order=doc") {
@@ -176,11 +199,23 @@ int main(int argc, char** argv) {
     return 2;
   }
   engine_options.observe = opts.observe;
+  engine_options.profile = !opts.profile_format.empty();
   if (opts.progress_every > 0) {
     engine_options.progress.every_events = opts.progress_every;
     engine_options.progress.callback = [](const spex::Watermark& w) {
       std::fprintf(stderr, "progress: %s\n", w.ToString().c_str());
     };
+  }
+
+  if (opts.explain) {
+    // Static plan: compile but do not run; the report carries provenance,
+    // predicted cost classes and the network wiring, no timings.
+    spex::CountingResultSink sink;
+    spex::SpexEngine engine(*parsed.expr, &sink, engine_options);
+    spex::obs::ProfileReport report = engine.Profile();
+    report.query = opts.query;  // spans index the text as typed
+    std::fputs(report.ToExplainText().c_str(), stdout);
+    return 0;
   }
 
   if (opts.show_network || opts.dot) {
@@ -197,12 +232,16 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Evaluate, streaming the document through the engine.
+  // Evaluate, streaming the document through the engine.  A profile report
+  // owns stdout (json/dot must stay machine-parseable), so fragments are
+  // counted rather than printed.
+  const bool suppress_results = !opts.profile_format.empty();
   spex::CountingResultSink counter;
   PrintingSink printer;
   spex::ResultSink* sink =
-      opts.count_only ? static_cast<spex::ResultSink*>(&counter)
-                      : static_cast<spex::ResultSink*>(&printer);
+      opts.count_only || suppress_results
+          ? static_cast<spex::ResultSink*>(&counter)
+          : static_cast<spex::ResultSink*>(&printer);
   spex::SpexEngine engine(*parsed.expr, sink, engine_options);
   spex::XmlParserOptions parser_options;
   parser_options.symbols = engine.symbol_table();
@@ -241,11 +280,22 @@ int main(int argc, char** argv) {
 
   if (opts.count_only) {
     std::printf("%lld\n", static_cast<long long>(counter.results()));
-  } else {
+  } else if (!suppress_results) {
     // Flush any fragments not yet printed (e.g. interleaved outer ones).
     for (size_t i = printer.printed(); i < printer.all().size(); ++i) {
       std::fputs(printer.all()[i].c_str(), stdout);
       std::fputc('\n', stdout);
+    }
+  }
+  if (!opts.profile_format.empty()) {
+    spex::obs::ProfileReport report = engine.Profile();
+    report.query = opts.query;  // spans index the text as typed
+    if (opts.profile_format == "json") {
+      std::fputs(report.ToJson().c_str(), stdout);
+    } else if (opts.profile_format == "dot") {
+      std::fputs(engine.network().ToDot(&report).c_str(), stdout);
+    } else {
+      std::fputs(report.ToTable().c_str(), stdout);
     }
   }
   if (opts.stats) {
