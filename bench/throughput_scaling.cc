@@ -1,0 +1,199 @@
+// Multi-document throughput scaling over the concurrent runtime (PR 4).
+//
+// Fans a fleet of DMOZ-like documents x a small query set across an
+// EnginePool at 1/2/4/8 worker threads (one StreamSession per (document,
+// query) pair, compiled queries shared through a CompiledQueryCache) and
+// reports aggregate engine events per second per thread count, plus a
+// pool-free single-engine baseline so the pool's dispatch overhead is
+// visible at threads=1.
+//
+//   throughput_scaling [--scale=S] [--docs=N] [--json PATH]
+//
+// --scale scales each document (DMOZ generator scale, default 0.04);
+// --docs sets the fleet size (default 8).  With --json the run appends the
+// perf-trajectory records {benchmark: "scaling_dmoz_t<N>", events_per_sec,
+// ...} consumed by tools/bench_compare and committed as BENCH_PR<n>.json.
+//
+// Scaling expectation: sessions are independent (no shared mutable state
+// outside the queue handoff and the read-mostly cache), so aggregate ev/s
+// grows near-linearly in the worker count up to the machine's core count
+// and flattens beyond it.  On a single-core container every thread count
+// measures the same serial throughput minus scheduling noise — the
+// committed numbers must be read together with the core count of the
+// machine that produced them.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "rpeq/parser.h"
+#include "runtime/engine_pool.h"
+#include "runtime/query_cache.h"
+#include "xml/generators.h"
+
+namespace spex {
+namespace {
+
+const char* const kQueries[] = {
+    "_*.Topic[link].Title",
+    "RDF.Topic[editor]",
+    "_*.(Title|Description)",
+};
+
+struct ScalingResult {
+  std::string name;
+  double seconds = 0;
+  int64_t engine_events = 0;  // events fed through engines, all sessions
+  int64_t results = 0;
+  double events_per_sec = 0;
+};
+
+using Batch = std::shared_ptr<const std::vector<StreamEvent>>;
+
+// One full fan-out: every document against every query on `threads`
+// workers.  Returns aggregate throughput over engine events (documents x
+// queries x events), the unit that scales with the worker count.
+ScalingResult RunPooled(const std::vector<Batch>& docs,
+                        const std::vector<ExprPtr>& queries, int threads) {
+  ScalingResult out;
+  out.name = "scaling_dmoz_t" + std::to_string(threads);
+  CompiledQueryCache cache(16);
+  std::string error;
+  std::vector<std::shared_ptr<const QueryTemplate>> templates;
+  for (const ExprPtr& q : queries) {
+    templates.push_back(cache.GetFor(*q, &error));
+    if (templates.back() == nullptr) {
+      std::fprintf(stderr, "bad query: %s\n", error.c_str());
+      std::exit(1);
+    }
+  }
+  PoolOptions options;
+  options.threads = threads;
+  options.queue_capacity = 8;
+  bench::Timer timer;
+  EnginePool pool(options);
+  std::vector<std::shared_ptr<StreamSession>> sessions;
+  sessions.reserve(docs.size() * templates.size());
+  for (const Batch& doc : docs) {
+    for (const auto& t : templates) {
+      auto session = pool.OpenSession(t);
+      session->Feed(doc);
+      session->Close();
+      sessions.push_back(std::move(session));
+    }
+  }
+  for (auto& session : sessions) {
+    session->Wait();
+    out.results += session->result_count();
+    out.engine_events += session->stats().events_processed;
+  }
+  out.seconds = timer.Seconds();
+  out.events_per_sec = static_cast<double>(out.engine_events) / out.seconds;
+  return out;
+}
+
+// Pool-free baseline: the same sessions run serially on the caller thread,
+// with the same serializing sink the pool sessions use, so the delta to
+// scaling_dmoz_t1 is purely the pool's dispatch overhead.
+ScalingResult RunSingleEngine(const std::vector<Batch>& docs,
+                              const std::vector<ExprPtr>& queries) {
+  ScalingResult out;
+  out.name = "scaling_single_engine";
+  bench::Timer timer;
+  for (const Batch& doc : docs) {
+    for (const ExprPtr& q : queries) {
+      SerializingResultSink sink;
+      SpexEngine engine(*q, &sink);
+      for (const StreamEvent& e : *doc) engine.OnEvent(e);
+      out.results += static_cast<int64_t>(sink.results().size());
+      out.engine_events += static_cast<int64_t>(doc->size());
+    }
+  }
+  out.seconds = timer.Seconds();
+  out.events_per_sec = static_cast<double>(out.engine_events) / out.seconds;
+  return out;
+}
+
+}  // namespace
+}  // namespace spex
+
+int main(int argc, char** argv) {
+  using namespace spex;
+  const double scale = bench::FlagValue(argc, argv, "scale", 0.04);
+  const int doc_count =
+      static_cast<int>(bench::FlagValue(argc, argv, "docs", 8));
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::vector<Batch> docs;
+  int64_t doc_events = 0;
+  for (int d = 0; d < doc_count; ++d) {
+    auto events = GenerateToVector([&](EventSink* sink) {
+      GenerateDmozLike(static_cast<uint64_t>(1000 + d), scale,
+                       /*content=*/true, sink);
+    });
+    doc_events += static_cast<int64_t>(events.size());
+    docs.push_back(
+        std::make_shared<const std::vector<StreamEvent>>(std::move(events)));
+  }
+  std::vector<ExprPtr> queries;
+  for (const char* q : kQueries) queries.push_back(MustParseRpeq(q));
+
+  std::fprintf(stderr,
+               "%d documents (%lld events total) x %zu queries, "
+               "hardware_concurrency=%u\n",
+               doc_count, static_cast<long long>(doc_events),
+               queries.size(), std::thread::hardware_concurrency());
+
+  std::vector<ScalingResult> results;
+  results.push_back(RunSingleEngine(docs, queries));
+  for (int threads : {1, 2, 4, 8}) {
+    results.push_back(RunPooled(docs, queries, threads));
+  }
+  // Sanity: every configuration must produce identical result counts.
+  for (const ScalingResult& r : results) {
+    if (r.results != results.front().results ||
+        r.engine_events != results.front().engine_events) {
+      std::fprintf(stderr, "FATAL: %s diverged (%lld results, %lld events)\n",
+                   r.name.c_str(), static_cast<long long>(r.results),
+                   static_cast<long long>(r.engine_events));
+      return 1;
+    }
+  }
+  const double base = results[1].events_per_sec;  // pooled, 1 thread
+  for (const ScalingResult& r : results) {
+    std::fprintf(stderr, "%-24s %10.3fs %12.0f ev/s  x%.2f  (%lld results)\n",
+                 r.name.c_str(), r.seconds, r.events_per_sec,
+                 r.events_per_sec / base,
+                 static_cast<long long>(r.results));
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"meta\": %s,\n  \"records\": [\n",
+                 bench::MetaJson("throughput_scaling", "off").c_str());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ScalingResult& r = results[i];
+      std::fprintf(f,
+                   "%s  {\"benchmark\": \"%s\", \"observe\": \"off\", "
+                   "\"events_per_sec\": %.1f, \"results\": %lld}",
+                   i == 0 ? "" : ",\n", r.name.c_str(), r.events_per_sec,
+                   static_cast<long long>(r.results));
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Debug-mode thread-affinity assertions.
+//
+// The SPEX engine is single-threaded *per run* by design ("one message in
+// the network at a time", §III): the network, the run's symbol table and the
+// thread-local formula arena all assume that one thread drives a run from
+// construction to destruction.  The concurrent runtime (src/runtime) keeps
+// that invariant by pinning every session to one pool worker — but nothing
+// in the type system stops a caller from migrating an engine between
+// threads, and the failure mode (a formula node freed into the wrong
+// thread's pool, a symbol table rehashing under a concurrent reader) is
+// silent corruption, not a clean crash.
+//
+// ThreadAffinity turns that misuse into an immediate abort in debug builds
+// (the asan/tsan presets; NDEBUG builds compile the checks out entirely):
+// an object embeds a ThreadAffinity, binds it to the first thread that
+// checks it, and every subsequent SPEX_DCHECK_THREAD from another thread
+// aborts with a diagnostic.  Rebind() releases the binding for the rare
+// legitimate handoff (an engine constructed on one thread, then owned —
+// exclusively — by another).
+
+#ifndef SPEX_BASE_THREAD_CHECK_H_
+#define SPEX_BASE_THREAD_CHECK_H_
+
+#ifndef NDEBUG
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#endif
+
+namespace spex {
+
+#ifndef NDEBUG
+
+class ThreadAffinity {
+ public:
+  ThreadAffinity() = default;
+  // Movable so owners (Network, engines) keep their defaulted moves; the
+  // binding travels with the object (a move does not change the thread).
+  ThreadAffinity(ThreadAffinity&& other) noexcept
+      : bound_(other.bound_.load(std::memory_order_relaxed)) {}
+  ThreadAffinity& operator=(ThreadAffinity&& other) noexcept {
+    bound_.store(other.bound_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Binds to the calling thread on first use; aborts if a different thread
+  // checks afterwards.  `what` names the guarded object in the diagnostic.
+  void Check(const char* what) const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (bound_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+      return;  // first use: bound to this thread
+    }
+    if (expected == self) return;
+    std::fprintf(stderr,
+                 "SPEX_DCHECK_THREAD: %s is bound to another thread "
+                 "(single-threaded-per-run invariant violated)\n",
+                 what);
+    std::abort();
+  }
+
+  // Releases the binding; the next Check() binds afresh.  For explicit,
+  // exclusive ownership handoffs only.
+  void Rebind() {
+    bound_.store(std::thread::id{}, std::memory_order_relaxed);
+  }
+
+ private:
+  // Default-initialized std::thread::id == "no thread" == unbound.
+  mutable std::atomic<std::thread::id> bound_{};
+};
+
+#define SPEX_DCHECK_THREAD(affinity, what) ((affinity).Check(what))
+
+#else  // NDEBUG
+
+// Release builds: no storage beyond the empty-class byte, no code.
+class ThreadAffinity {
+ public:
+  void Check(const char*) const {}
+  void Rebind() {}
+};
+
+#define SPEX_DCHECK_THREAD(affinity, what) ((void)0)
+
+#endif  // NDEBUG
+
+}  // namespace spex
+
+#endif  // SPEX_BASE_THREAD_CHECK_H_

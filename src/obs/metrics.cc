@@ -135,6 +135,19 @@ Histogram* MetricRegistry::AddHistogram(std::string name, Labels labels) {
   return e.histogram.get();
 }
 
+AtomicCounter* MetricRegistry::AddAtomicCounter(std::string name,
+                                                Labels labels) {
+  Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kCounter);
+  e.atomic_counter = std::make_unique<AtomicCounter>();
+  return e.atomic_counter.get();
+}
+
+AtomicGauge* MetricRegistry::AddAtomicGauge(std::string name, Labels labels) {
+  Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kGauge);
+  e.atomic_gauge = std::make_unique<AtomicGauge>();
+  return e.atomic_gauge.get();
+}
+
 void MetricRegistry::AddCallbackGauge(std::string name, Labels labels,
                                       std::function<int64_t()> read) {
   Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kGauge);
@@ -151,13 +164,17 @@ MetricsSnapshot MetricRegistry::Collect() const {
     s.type = entry->type;
     switch (entry->type) {
       case MetricType::kCounter:
-        s.value = entry->counter->value();
+        s.value = entry->counter != nullptr ? entry->counter->value()
+                                            : entry->atomic_counter->value();
         s.max = s.value;
         break;
       case MetricType::kGauge:
         if (entry->callback) {
           s.value = entry->callback();
           s.max = s.value;
+        } else if (entry->atomic_gauge != nullptr) {
+          s.value = entry->atomic_gauge->value();
+          s.max = entry->atomic_gauge->max();
         } else {
           s.value = entry->gauge->value();
           s.max = entry->gauge->max();

@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <functional>
@@ -49,6 +50,23 @@ class Counter {
   int64_t value_ = 0;
 };
 
+// Thread-safe monotone counter for *shared* components (the concurrent
+// runtime's engine pool and query cache publish through these while worker
+// threads run).  Increment is one relaxed atomic add — ordering between
+// metrics is not needed, only eventual per-metric accuracy.  Per-run
+// registries keep using the plain Counter: a run is single-threaded, and an
+// uncontended atomic add is still an unnecessary hot-path cost there.
+class AtomicCounter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 class Gauge {
  public:
   void Set(int64_t value) {
@@ -63,6 +81,33 @@ class Gauge {
  private:
   int64_t value_ = 0;
   int64_t max_ = 0;
+};
+
+// Thread-safe gauge with a high-water mark (CAS loop on the max); same
+// usage contract as AtomicCounter above.
+class AtomicGauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+    NoteMax(value);
+  }
+  void Add(int64_t delta) {
+    NoteMax(value_.fetch_add(delta, std::memory_order_relaxed) + delta);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void NoteMax(int64_t value) {
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
 };
 
 // Base-2 histogram: bucket k counts observations v with bit_width(v) == k,
@@ -149,8 +194,15 @@ class MetricRegistry {
   Counter* AddCounter(std::string name, Labels labels = {});
   Gauge* AddGauge(std::string name, Labels labels = {});
   Histogram* AddHistogram(std::string name, Labels labels = {});
+  // Thread-safe instruments for registries shared across threads (the
+  // concurrent runtime).  Registration itself is NOT thread-safe: register
+  // everything up front (pool/cache construction), then publish and
+  // Collect() freely from any thread.
+  AtomicCounter* AddAtomicCounter(std::string name, Labels labels = {});
+  AtomicGauge* AddAtomicGauge(std::string name, Labels labels = {});
   // Pull-style gauge: `read` is invoked at every Collect().  Whatever state
-  // the callback captures must outlive all Collect() calls.
+  // the callback captures must outlive all Collect() calls (and, in a
+  // shared registry, must be safe to read from the collecting thread).
   void AddCallbackGauge(std::string name, Labels labels,
                         std::function<int64_t()> read);
 
@@ -165,6 +217,8 @@ class MetricRegistry {
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<AtomicCounter> atomic_counter;
+    std::unique_ptr<AtomicGauge> atomic_gauge;
     std::function<int64_t()> callback;
   };
 

@@ -1,0 +1,218 @@
+#include "runtime/engine_pool.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace spex {
+
+// ---------------------------------------------------------------------------
+// StreamSession
+
+void StreamSession::Feed(EventBatch batch) {
+  if (batch == nullptr || batch->empty()) return;
+  if (closed_.load(std::memory_order_relaxed)) return;
+  pool_->Submit(worker_,
+                EnginePool::Task{shared_from_this(), std::move(batch), false});
+}
+
+void StreamSession::Feed(std::vector<StreamEvent> events) {
+  Feed(std::make_shared<const std::vector<StreamEvent>>(std::move(events)));
+}
+
+void StreamSession::Close() {
+  if (closed_.exchange(true, std::memory_order_relaxed)) return;
+  pool_->Submit(worker_, EnginePool::Task{shared_from_this(), nullptr, true});
+}
+
+const std::vector<std::string>& StreamSession::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return results_;
+}
+
+void StreamSession::ProcessBatch(const EventBatch& batch,
+                                 const EngineOptions& base) {
+  if (engine_ == nullptr) {
+    sink_ = std::make_unique<SerializingResultSink>();
+    EngineOptions options = base;
+    // Per-session private symbol table: labels are interned on the worker
+    // as events enter the engine.  A caller-supplied shared table would be
+    // mutated from every worker at once, so it is deliberately dropped.
+    options.symbols = nullptr;
+    engine_ = std::make_unique<SpexEngine>(query_template_, sink_.get(),
+                                           std::move(options));
+  }
+  for (const StreamEvent& event : *batch) {
+#ifndef NDEBUG
+    // Batches are shared across sessions whose engines each own a private
+    // symbol table — a stamped label would be resolved against the wrong
+    // table and silently match the wrong transducers.
+    if (event.label != kNoSymbol) {
+      std::fprintf(stderr,
+                   "StreamSession: batch event '%s' carries a foreign "
+                   "symbol stamp; feed unstamped events to pool sessions\n",
+                   event.name.c_str());
+      std::abort();
+    }
+#endif
+    engine_->OnEvent(event);
+  }
+}
+
+void StreamSession::Finalize() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (done_) return;
+  }
+  int64_t count = 0;
+  RunStats stats;
+  std::vector<std::string> results;
+  if (engine_ != nullptr) {
+    count = engine_->result_count();
+    stats = engine_->ComputeStats();
+    results = sink_->results();
+    // The engine (its network, formula nodes, symbol table) was built on
+    // this worker thread; destroy it here too, before handing results back.
+    engine_.reset();
+    sink_.reset();
+  }
+  pool_->results_total_->Increment(count);
+  pool_->sessions_finished_->Increment();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_ = std::move(results);
+    result_count_ = count;
+    stats_ = stats;
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// EnginePool
+
+EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
+  if (options_.threads < 1) options_.threads = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  // Register every instrument before the first worker starts: registration
+  // is not thread-safe, publishing afterwards is.
+  metrics_.AddCallbackGauge(
+      "spex_pool_workers", {},
+      [this] { return static_cast<int64_t>(workers_.size()); });
+  sessions_opened_ = metrics_.AddAtomicCounter("spex_pool_sessions_opened");
+  sessions_finished_ = metrics_.AddAtomicCounter("spex_pool_sessions_finished");
+  batches_submitted_ = metrics_.AddAtomicCounter("spex_pool_batches_submitted");
+  batches_completed_ = metrics_.AddAtomicCounter("spex_pool_batches_completed");
+  events_processed_ = metrics_.AddAtomicCounter("spex_pool_events_processed");
+  results_total_ = metrics_.AddAtomicCounter("spex_pool_results_total");
+  backpressure_waits_ =
+      metrics_.AddAtomicCounter("spex_pool_backpressure_waits");
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->queue_depth = metrics_.AddAtomicGauge(
+        "spex_pool_queue_depth", {{"worker", std::to_string(i)}});
+    workers_.push_back(std::move(worker));
+  }
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+}
+
+EnginePool::~EnginePool() {
+  for (auto& worker : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->not_empty.notify_all();
+    worker->not_full.notify_all();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::shared_ptr<StreamSession> EnginePool::OpenSession(
+    std::shared_ptr<const QueryTemplate> query_template) {
+  if (query_template == nullptr) return nullptr;
+  const int worker = static_cast<int>(
+      next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
+  sessions_opened_->Increment();
+  return std::shared_ptr<StreamSession>(
+      new StreamSession(this, worker, std::move(query_template)));
+}
+
+std::shared_ptr<StreamSession> EnginePool::OpenSession(
+    const std::string& query_text, CompiledQueryCache* cache,
+    std::string* error) {
+  std::shared_ptr<const QueryTemplate> t = cache->Get(query_text, error);
+  if (t == nullptr) return nullptr;
+  return OpenSession(std::move(t));
+}
+
+void EnginePool::Submit(int worker_index, Task task) {
+  Worker& worker = *workers_[static_cast<size_t>(worker_index)];
+  {
+    std::unique_lock<std::mutex> lock(worker.mu);
+    if (worker.queue.size() >= options_.queue_capacity && !worker.stop) {
+      backpressure_waits_->Increment();
+      worker.not_full.wait(lock, [&] {
+        return worker.queue.size() < options_.queue_capacity || worker.stop;
+      });
+    }
+    // A stopping pool accepts no more work; sessions must not be fed once
+    // pool destruction has begun (their Wait() would deadlock anyway).
+    if (worker.stop) return;
+    worker.queue.push_back(std::move(task));
+    worker.queue_depth->Set(static_cast<int64_t>(worker.queue.size()));
+  }
+  worker.not_empty.notify_one();
+  batches_submitted_->Increment();
+}
+
+void EnginePool::WorkerLoop(int index) {
+  Worker& worker = *workers_[static_cast<size_t>(index)];
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(worker.mu);
+      worker.not_empty.wait(
+          lock, [&] { return !worker.queue.empty() || worker.stop; });
+      if (worker.queue.empty()) break;  // stop requested and fully drained
+      task = std::move(worker.queue.front());
+      worker.queue.pop_front();
+      worker.queue_depth->Set(static_cast<int64_t>(worker.queue.size()));
+    }
+    worker.not_full.notify_one();
+    if (task.close) {
+      // Count the close task before Finalize releases Wait()ers: a thread
+      // that has returned from Wait() on every session must observe
+      // batches_submitted == batches_completed.
+      batches_completed_->Increment();
+      task.session->Finalize();
+      for (size_t i = 0; i < worker.active.size(); ++i) {
+        if (worker.active[i] == task.session) {
+          worker.active[i] = worker.active.back();
+          worker.active.pop_back();
+          break;
+        }
+      }
+    } else {
+      const bool first = task.session->engine_ == nullptr;
+      task.session->ProcessBatch(task.batch, options_.engine);
+      if (first) worker.active.push_back(task.session);
+      events_processed_->Increment(static_cast<int64_t>(task.batch->size()));
+      batches_completed_->Increment();
+    }
+  }
+  // Shutdown with the queue drained: sessions that were never Close()d
+  // still hold live engines — finalize them here so the engine is torn
+  // down on its own worker thread, never in the pool destructor's thread.
+  for (auto& session : worker.active) session->Finalize();
+  worker.active.clear();
+}
+
+}  // namespace spex

@@ -1,0 +1,203 @@
+// Concurrent evaluation runtime: a pool of engine workers (DESIGN.md §9).
+//
+// The SPEX engine is strictly single-threaded per run ("one message in the
+// network at a time", §III; thread-local formula arena, run-owned symbol
+// table).  The pool scales the system *horizontally* without touching that
+// invariant: N worker threads, each with a bounded MPSC task queue, and
+// every StreamSession — one document stream evaluated against one compiled
+// query — pinned to exactly one worker.  The session's engine is
+// constructed, driven and destroyed on that worker, so all thread-local
+// discipline from the single-threaded design carries over unchanged (and
+// the debug thread-affinity asserts of base/thread_check.h verify it).
+//
+// Data flow:
+//   * OpenSession(template) pins a session to a worker (round-robin).
+//   * Feed(batch) enqueues a shared, immutable slice of document events
+//     onto the pinned worker's queue.  The queue is bounded: when the
+//     worker falls behind, Feed blocks — backpressure, not unbounded
+//     buffering.  Batches of one session are processed in submission
+//     order by one worker, so per-session results come back in document
+//     order, byte-for-byte identical to a single-threaded run.
+//   * Close() marks the end of input; Wait() blocks until the worker has
+//     processed everything and returns the serialized result fragments.
+//
+// Event batches are shared const vectors so one parsed document can fan
+// out to many sessions (many queries) without copying.  They must carry
+// *unstamped* labels (StreamEvent::label == kNoSymbol): each session owns
+// a private symbol table on its worker, and symbols from any other table
+// would alias wrongly (debug builds check).
+//
+// Pool-wide throughput/queue meters are exported through metrics() using
+// the thread-safe instruments of obs/metrics.h; combine with a
+// CompiledQueryCache (query_cache.h) sharing one registry for the full
+// serving picture.
+
+#ifndef SPEX_RUNTIME_ENGINE_POOL_H_
+#define SPEX_RUNTIME_ENGINE_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "runtime/query_cache.h"
+#include "spex/engine.h"
+
+namespace spex {
+
+class EnginePool;
+
+struct PoolOptions {
+  // Worker thread count (values < 1 are clamped to 1).
+  int threads = 1;
+  // Per-worker task queue bound, in batches; Feed blocks when the pinned
+  // worker's queue is full.
+  size_t queue_capacity = 64;
+  // Base engine options for every session.  `symbols` is ignored (each
+  // session owns a private table on its worker thread); callbacks placed
+  // here (progress) run on worker threads and must be thread-safe.
+  EngineOptions engine;
+};
+
+// One document stream evaluated against one compiled query on one pool
+// worker.  Created by EnginePool::OpenSession; thread-safe for a single
+// producer (Feed/Close from one thread at a time) plus any number of
+// Wait()ers.  Sessions must be Close()d and must not outlive the pool.
+class StreamSession : public std::enable_shared_from_this<StreamSession> {
+ public:
+  using EventBatch = std::shared_ptr<const std::vector<StreamEvent>>;
+
+  // Enqueues a batch on the pinned worker; blocks while its queue is full
+  // (backpressure).  The stream fed across all batches should be a
+  // well-formed document stream ending in kEndDocument, or results for
+  // still-undecided candidates will be missing.  No-op on a closed session.
+  void Feed(EventBatch batch);
+  // Convenience: wraps a by-value event vector into a shared batch.
+  void Feed(std::vector<StreamEvent> events);
+
+  // Marks the end of input.  Idempotent; Feed afterwards is ignored.
+  void Close();
+
+  // Blocks until the worker has processed every batch of this session
+  // (requires Close() first — Wait on an open session waits for it), then
+  // returns the serialized result fragments in document order.
+  const std::vector<std::string>& Wait();
+
+  // Valid after Wait() returned.
+  int64_t result_count() const { return result_count_; }
+  const RunStats& stats() const { return stats_; }
+
+  const std::string& query() const { return query_template_->canonical_text(); }
+  int worker() const { return worker_; }
+
+ private:
+  friend class EnginePool;
+
+  StreamSession(EnginePool* pool, int worker,
+                std::shared_ptr<const QueryTemplate> query_template)
+      : pool_(pool), worker_(worker),
+        query_template_(std::move(query_template)) {}
+
+  // Worker-side: lazily builds the engine (first batch), feeds events,
+  // captures results + stats and destroys the engine (close task).  Only
+  // the pinned worker thread touches engine_/sink_.
+  void ProcessBatch(const EventBatch& batch, const EngineOptions& base);
+  void Finalize();
+
+  EnginePool* pool_;
+  const int worker_;
+  std::shared_ptr<const QueryTemplate> query_template_;
+
+  // Worker-thread-only run state.
+  std::unique_ptr<SerializingResultSink> sink_;
+  std::unique_ptr<SpexEngine> engine_;
+
+  // Producer-side guard (Feed/Close) — not contended with the worker.
+  std::atomic<bool> closed_{false};
+
+  // Completion handshake and captured outputs.
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+  std::vector<std::string> results_;
+  int64_t result_count_ = 0;
+  RunStats stats_;
+};
+
+class EnginePool {
+ public:
+  explicit EnginePool(PoolOptions options = {});
+  // Drains every queued task, finalizes sessions that were never closed
+  // (their engines are destroyed on their worker, as required), and joins
+  // the workers.
+  ~EnginePool();
+
+  EnginePool(const EnginePool&) = delete;
+  EnginePool& operator=(const EnginePool&) = delete;
+
+  // Pins a new session for `query_template` to a worker (round-robin).
+  std::shared_ptr<StreamSession> OpenSession(
+      std::shared_ptr<const QueryTemplate> query_template);
+  // Convenience: resolves the query text through `cache` first.  Null (and
+  // *error filled) when the text does not parse/validate.
+  std::shared_ptr<StreamSession> OpenSession(const std::string& query_text,
+                                             CompiledQueryCache* cache,
+                                             std::string* error);
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  // Pool-wide meters (thread-safe to Collect at any time):
+  //   spex_pool_workers, spex_pool_sessions_opened/_finished,
+  //   spex_pool_batches_submitted/_completed, spex_pool_events_processed,
+  //   spex_pool_results_total, spex_pool_backpressure_waits,
+  //   spex_pool_queue_depth{worker=i} (with high-water max).
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+
+ private:
+  friend class StreamSession;
+
+  struct Task {
+    std::shared_ptr<StreamSession> session;
+    StreamSession::EventBatch batch;  // null for a close task
+    bool close = false;
+  };
+
+  struct Worker {
+    std::thread thread;
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::deque<Task> queue;
+    bool stop = false;
+    obs::AtomicGauge* queue_depth = nullptr;  // owned by metrics_
+    // Sessions whose engine is live on this worker; worker-thread-only.
+    std::vector<std::shared_ptr<StreamSession>> active;
+  };
+
+  // Blocks while the worker's queue is full (backpressure).
+  void Submit(int worker, Task task);
+  void WorkerLoop(int index);
+
+  PoolOptions options_;
+  obs::MetricRegistry metrics_;
+  obs::AtomicCounter* sessions_opened_ = nullptr;
+  obs::AtomicCounter* sessions_finished_ = nullptr;
+  obs::AtomicCounter* batches_submitted_ = nullptr;
+  obs::AtomicCounter* batches_completed_ = nullptr;
+  obs::AtomicCounter* events_processed_ = nullptr;
+  obs::AtomicCounter* results_total_ = nullptr;
+  obs::AtomicCounter* backpressure_waits_ = nullptr;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> next_worker_{0};
+};
+
+}  // namespace spex
+
+#endif  // SPEX_RUNTIME_ENGINE_POOL_H_

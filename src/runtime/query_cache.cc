@@ -1,0 +1,85 @@
+#include "runtime/query_cache.h"
+
+#include "rpeq/parser.h"
+
+namespace spex {
+
+CompiledQueryCache::CompiledQueryCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const QueryTemplate> CompiledQueryCache::Get(
+    const std::string& query_text, std::string* error) {
+  ParseResult parsed = ParseRpeq(query_text);
+  if (!parsed.ok()) {
+    if (error != nullptr) {
+      *error = "parse error at byte " + std::to_string(parsed.error_position) +
+               ": " + parsed.error;
+    }
+    return nullptr;
+  }
+  return GetFor(*parsed.expr, error);
+}
+
+std::shared_ptr<const QueryTemplate> CompiledQueryCache::GetFor(
+    const Expr& query, std::string* error) {
+  const std::string key = query.ToString();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Refresh recency: move the entry to the front of the LRU list.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits_.Increment();
+      return it->second->query_template;
+    }
+  }
+  // Build outside the lock: validation + trial compile are the expensive
+  // part, and concurrent misses on the same key are harmless (both build,
+  // one wins the insert, both results are equivalent immutable templates).
+  std::shared_ptr<const QueryTemplate> built = QueryTemplate::Build(query,
+                                                                    error);
+  if (built == nullptr) return nullptr;
+  misses_.Increment();
+  return Insert(std::move(built));
+}
+
+std::shared_ptr<const QueryTemplate> CompiledQueryCache::Insert(
+    std::shared_ptr<const QueryTemplate> t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(t->canonical_text());
+  if (it != index_.end()) {
+    // Lost a build race: keep the resident entry, drop ours.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->query_template;
+  }
+  lru_.push_front(Entry{t->canonical_text(), t});
+  index_.emplace(t->canonical_text(), lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.Increment();
+  }
+  return t;
+}
+
+size_t CompiledQueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+void CompiledQueryCache::RegisterCollectors(
+    obs::MetricRegistry* registry) const {
+  registry->AddCallbackGauge("spex_query_cache_size", {},
+                             [this] { return static_cast<int64_t>(size()); });
+  registry->AddCallbackGauge("spex_query_cache_capacity", {}, [this] {
+    return static_cast<int64_t>(capacity_);
+  });
+  registry->AddCallbackGauge("spex_query_cache_hits", {},
+                             [this] { return hits(); });
+  registry->AddCallbackGauge("spex_query_cache_misses", {},
+                             [this] { return misses(); });
+  registry->AddCallbackGauge("spex_query_cache_evictions", {},
+                             [this] { return evictions(); });
+}
+
+}  // namespace spex

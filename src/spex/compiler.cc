@@ -258,4 +258,28 @@ CompiledNetwork CompileToNetwork(const Expr& expr, ResultSink* sink,
   return out;
 }
 
+std::shared_ptr<const QueryTemplate> QueryTemplate::Build(const Expr& query,
+                                                          std::string* error) {
+  std::string local_error;
+  if (!ValidateQuery(query, &local_error)) {
+    if (error != nullptr) *error = local_error;
+    return nullptr;
+  }
+  std::shared_ptr<QueryTemplate> t(new QueryTemplate());
+  t->expr_ = query.Clone();
+  t->canonical_text_ = t->expr_->ToString();
+  // Trial instantiation: compilation is linear (Lemma V.1), so pricing the
+  // degree here costs about as much as the first real session will.
+  RunContext context;
+  CountingResultSink sink;
+  CompiledNetwork net = CompileToNetwork(*t->expr_, &sink, &context);
+  t->network_degree_ = net.network.node_count();
+  return t;
+}
+
+CompiledNetwork QueryTemplate::Instantiate(ResultSink* sink,
+                                           RunContext* context) const {
+  return CompileToNetwork(*expr_, sink, context);
+}
+
 }  // namespace spex

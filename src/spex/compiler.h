@@ -64,6 +64,51 @@ struct CompiledNetwork {
   OutputTransducer* output = nullptr;  // owned by `network`
 };
 
+// ---------------------------------------------------------------------------
+// Template / instance split (concurrent runtime, DESIGN.md §9).
+//
+// A QueryTemplate is the immutable, shareable artifact of query admission:
+// the snapshotted expression, its canonical text, validation already done,
+// and the degree of the network it instantiates.  Build() performs all the
+// per-query work once; Instantiate() then only re-runs the linear-time
+// translation of Lemma V.1 against a fresh per-run context — cheap enough
+// to do per session, which is what keeps every run's transducer state,
+// symbol table and formula arena private to the worker thread that owns the
+// session (see base/thread_check.h).  A template holds no run state, so one
+// instance may be shared, via shared_ptr, across any number of threads;
+// runtime/query_cache.h is the canonical owner.
+class QueryTemplate {
+ public:
+  // Validates and snapshots `query` (deep copy).  Returns null and fills
+  // *error when the query violates the compile-time restrictions of the
+  // extended language (see ValidateQuery).
+  static std::shared_ptr<const QueryTemplate> Build(const Expr& query,
+                                                    std::string* error);
+
+  const Expr& expr() const { return *expr_; }
+  // Round-trip concrete syntax — the cache's canonical key: any two query
+  // strings parsing to structurally equal ASTs share it.
+  const std::string& canonical_text() const { return canonical_text_; }
+  // Degree of the instantiated network (Def. 3 degree + IN/OU), from a
+  // trial compile at Build time; a plan property useful for cache
+  // introspection and admission control before any run exists.
+  int network_degree() const { return network_degree_; }
+
+  // Instantiates the template into `context`, delivering results to `sink`
+  // — exactly CompileToNetwork(expr(), sink, context).  Safe to call
+  // concurrently from many threads on one shared template: the compiler
+  // only reads the expression, and everything mutable lives in the caller's
+  // context and the returned network.
+  CompiledNetwork Instantiate(ResultSink* sink, RunContext* context) const;
+
+ private:
+  QueryTemplate() = default;
+
+  ExprPtr expr_;
+  std::string canonical_text_;
+  int network_degree_ = 0;
+};
+
 // Builds the SPEX network IN -> C[expr] -> OU.  `context` provides the
 // variable allocator, options and the global assignment; it must outlive the
 // returned network.  Results are delivered to `sink`.

@@ -27,9 +27,24 @@ std::string RunStats::ToString() const {
 SpexEngine::SpexEngine(const Expr& query, ResultSink* sink,
                        EngineOptions options)
     : context_(std::make_unique<RunContext>()) {
-  context_->options = options;
+  context_->options = std::move(options);
   compiled_ = CompileToNetwork(query, sink, context_.get());
   query_text_ = query.ToString();
+  FinishInit();
+}
+
+SpexEngine::SpexEngine(std::shared_ptr<const QueryTemplate> query_template,
+                       ResultSink* sink, EngineOptions options)
+    : context_(std::make_unique<RunContext>()),
+      template_(std::move(query_template)) {
+  context_->options = std::move(options);
+  compiled_ = template_->Instantiate(sink, context_.get());
+  query_text_ = template_->canonical_text();
+  FinishInit();
+}
+
+void SpexEngine::FinishInit() {
+  const EngineOptions& options = context_->options;
   if (options.profile) {
     profiler_ = std::make_unique<obs::ProfileAccumulator>(
         compiled_.network.node_count());

@@ -61,6 +61,13 @@ class SpexEngine : public EventSink {
   // Compiles `query` into a network delivering results to `sink`.  Both the
   // query and the sink must outlive the engine.
   SpexEngine(const Expr& query, ResultSink* sink, EngineOptions options = {});
+  // As above, but instantiates a pre-built immutable QueryTemplate (shared
+  // with other sessions through runtime/query_cache.h); the engine keeps
+  // the template alive, so only the sink's lifetime is the caller's
+  // problem.  The network itself is instantiated fresh for this run —
+  // templates carry no run state and may be shared across threads.
+  SpexEngine(std::shared_ptr<const QueryTemplate> query_template,
+             ResultSink* sink, EngineOptions options = {});
   ~SpexEngine() override;
 
   SpexEngine(const SpexEngine&) = delete;
@@ -131,8 +138,14 @@ class SpexEngine : public EventSink {
   // watermark triggering.  Entered only when observation or progress is on.
   void OnEventObserved(const StreamEvent& event, Message message);
   void MaybeEmitProgress();
+  // Shared tail of both constructors, run after compiled_/query_text_ are
+  // set: traces, observability, collectors, progress plumbing.
+  void FinishInit();
 
   std::unique_ptr<RunContext> context_;
+  // Non-null only for template-instantiated engines: keeps the shared
+  // template (and the Expr the network's provenance points into) alive.
+  std::shared_ptr<const QueryTemplate> template_;
   CompiledNetwork compiled_;
   std::vector<std::unique_ptr<TransducerTrace>> traces_;
   std::unique_ptr<EngineObservability> obs_;  // non-null iff observe != kOff

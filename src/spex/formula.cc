@@ -1,6 +1,8 @@
 #include "spex/formula.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +32,9 @@ class FormulaPool {
       n->var = 0;
       n->left = nullptr;
       n->right = nullptr;
+#ifndef NDEBUG
+      n->owner_pool = this;
+#endif
       return n;
     }
     if (chunks_.empty() || next_in_chunk_ == kChunkNodes) {
@@ -38,6 +43,9 @@ class FormulaPool {
     }
     FormulaNode* n = &chunks_.back()[next_in_chunk_++];
     n->refs = 1;
+#ifndef NDEBUG
+    n->owner_pool = this;
+#endif
     return n;
   }
 
@@ -77,11 +85,29 @@ inline void RefNode(const FormulaNode* n) {
   if (n != nullptr) ++n->refs;
 }
 
+// Debug-mode arena-affinity guard (SPEX_DCHECK_THREAD discipline, see
+// base/thread_check.h): a node touched through a pool other than the one
+// that allocated it means a Formula crossed threads — freeing or combining
+// it here would thread another pool's node onto this pool's free list.
+#ifndef NDEBUG
+inline void CheckNodeOwnedByThisThread(const FormulaNode* n) {
+  if (n != nullptr && n->owner_pool != &Pool()) {
+    std::fprintf(stderr,
+                 "SPEX_DCHECK_THREAD: spex::Formula node used from a thread "
+                 "other than the one whose arena allocated it\n");
+    std::abort();
+  }
+}
+#else
+inline void CheckNodeOwnedByThisThread(const FormulaNode*) {}
+#endif
+
 }  // namespace
 
 namespace internal {
 
 void ReleaseFormulaNode(const FormulaNode* node) {
+  CheckNodeOwnedByThisThread(node);
   FormulaPool& pool = Pool();
   std::vector<const FormulaNode*>& stack = pool.scratch();
   stack.push_back(node);
@@ -128,6 +154,8 @@ Formula Formula::And(const Formula& a, const Formula& b) {
   if (a.is_true()) return b;
   if (b.is_true()) return a;
   if (a.node_ == b.node_) return a;
+  CheckNodeOwnedByThisThread(a.node_);
+  CheckNodeOwnedByThisThread(b.node_);
   FormulaNode* node = Pool().New();
   node->op = FormulaNode::Op::kAnd;
   node->left = a.node_;
@@ -142,6 +170,8 @@ Formula Formula::Or(const Formula& a, const Formula& b) {
   if (a.is_false()) return b;
   if (b.is_false()) return a;
   if (a.node_ == b.node_) return a;
+  CheckNodeOwnedByThisThread(a.node_);
+  CheckNodeOwnedByThisThread(b.node_);
   FormulaNode* node = Pool().New();
   node->op = FormulaNode::Op::kOr;
   node->left = a.node_;

@@ -96,6 +96,13 @@ struct FormulaNode {
   // pre-checks) mark visited nodes with a fresh epoch instead of building a
   // per-call hash set, so the hot read paths never allocate.
   mutable uint64_t mark = 0;
+#ifndef NDEBUG
+  // Debug-only owner stamp: the thread-local pool that allocated this node.
+  // Releasing (or combining) a node through another thread's pool would
+  // corrupt both free lists; formula.cc aborts instead (SPEX_DCHECK_THREAD
+  // discipline — see base/thread_check.h).
+  const void* owner_pool = nullptr;
+#endif
 };
 
 // Returns `node` (whose refcount has just reached zero) and every child it

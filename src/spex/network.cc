@@ -62,6 +62,7 @@ void Network::SetProvenance(int node, SourceSpan span, std::string fragment) {
 }
 
 void Network::Deliver(int node, int in_port, Message message) {
+  SPEX_DCHECK_THREAD(affinity_, "spex::Network");
   NodeEmitter emitter(this, node);
   if (!instrumented_) [[likely]] {
     nodes_[node].transducer->OnMessage(in_port, std::move(message), &emitter);

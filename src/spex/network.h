@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "base/thread_check.h"
 #include "rpeq/ast.h"
 #include "spex/transducer.h"
 
@@ -145,6 +146,11 @@ class Network {
 
   void Route(int node, int out_port, Message message);
 
+  // Debug-mode single-thread guard: delivery binds to the first delivering
+  // thread (see base/thread_check.h).  A network handed to a pool worker
+  // must be built *and* driven there — the one-message-in-network round
+  // invariant and the zero-copy payload borrowing are per-thread contracts.
+  ThreadAffinity affinity_;
   std::vector<Node> nodes_;
   std::vector<Tape> tapes_;
   obs::TraceRecorder* trace_recorder_ = nullptr;

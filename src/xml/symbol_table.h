@@ -21,6 +21,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_check.h"
+
 namespace spex {
 
 // Dense interned label id.  0 means "no symbol assigned".
@@ -35,6 +37,10 @@ class SymbolTable {
   // Returns the symbol for `name`, interning it on first sight.  Interning
   // is stable: the same string always maps to the same symbol.
   Symbol Intern(std::string_view name) {
+    // A table is single-threaded like the run that owns it: interning
+    // rehashes, so even one concurrent reader is corruption.  Sessions in
+    // the concurrent runtime each own a private table (see src/runtime).
+    SPEX_DCHECK_THREAD(affinity_, "spex::SymbolTable");
     auto it = index_.find(name);
     if (it != index_.end()) return it->second;
     Symbol sym = static_cast<Symbol>(names_.size());
@@ -71,6 +77,7 @@ class SymbolTable {
     }
   };
 
+  ThreadAffinity affinity_;
   std::vector<std::string> names_;
   std::unordered_map<std::string, Symbol, Hash, Eq> index_;
 };

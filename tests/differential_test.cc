@@ -18,49 +18,99 @@
 namespace spex {
 namespace {
 
-// Random rpeq generator over a small label alphabet.
+// Knobs of the random rpeq generator: which constructs appear and how
+// often.  Every knob combination yields only queries the compiler accepts
+// (generation filters through ValidateQuery).
+struct QueryGenKnobs {
+  // Inner-node constructs.
+  bool qualifiers = true;  // base[qualifier]
+  bool intersect = false;  // e & e (node-identity join)
+  // Leaf mix, in percent of leaves; the rest are plain labels/wildcards.
+  int closure_percent = 35;  // label* / label+
+  int axis_percent = 0;      // >>label / <<label (following / preceding)
+  // Label alphabet; "_" is the wildcard.
+  std::vector<std::string> labels{"a", "b", "c", "_"};
+
+  static QueryGenKnobs Structural() {  // NFA-comparable subset
+    QueryGenKnobs k;
+    k.qualifiers = false;
+    return k;
+  }
+  static QueryGenKnobs WithAxes(int percent) {
+    QueryGenKnobs k;
+    k.axis_percent = percent;
+    return k;
+  }
+  static QueryGenKnobs Full() {  // everything the language has
+    QueryGenKnobs k;
+    k.axis_percent = 20;
+    k.intersect = true;
+    return k;
+  }
+};
+
+// Seeded random rpeq generator.  Gen(budget) returns an expression with
+// about `budget` leaves (`budget` is the depth/size knob: the expression
+// tree nests ~log2(budget) binary constructs deep); same seed + same knobs
+// + same call sequence => same queries, on every platform (mt19937_64).
 class QueryGen {
  public:
-  QueryGen(uint64_t seed, bool with_qualifiers)
-      : rng_(seed), with_qualifiers_(with_qualifiers) {}
+  QueryGen(uint64_t seed, QueryGenKnobs knobs = {})
+      : rng_(seed), knobs_(std::move(knobs)) {}
+  // Back-compat convenience for the pre-knob tests.
+  QueryGen(uint64_t seed, bool with_qualifiers) : rng_(seed) {
+    knobs_.qualifiers = with_qualifiers;
+  }
 
-  ExprPtr Gen(int budget) { return GenRec(budget); }
+  ExprPtr Gen(int budget) {
+    // Rejection-sample the ValidateQuery restrictions (preceding steps in
+    // qualifier bodies must be tail / join-free): draws stay deterministic
+    // because the rng only advances.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      ExprPtr e = GenRec(budget);
+      if (ValidateQuery(*e, nullptr)) return e;
+    }
+    return MakeLabel(knobs_.labels.front());
+  }
 
  private:
   std::string RandomLabel() {
-    static const char* kLabels[] = {"a", "b", "c", "_"};
-    return kLabels[rng_() % 4];
+    return knobs_.labels[rng_() % knobs_.labels.size()];
   }
 
   ExprPtr GenLeaf() {
     std::string label = RandomLabel();
-    switch (rng_() % 4) {
-      case 0:
-        return MakeClosure(label, /*positive=*/true);
-      case 1:
-        return MakeClosure(label, /*positive=*/false);
-      default:
-        return MakeLabel(label);
+    const int roll = static_cast<int>(rng_() % 100);
+    if (roll < knobs_.axis_percent) {
+      return rng_() % 2 == 0 ? MakeFollowing(label) : MakePreceding(label);
     }
+    if (roll < knobs_.axis_percent + knobs_.closure_percent) {
+      return MakeClosure(label, /*positive=*/rng_() % 2 == 0);
+    }
+    return MakeLabel(label);
   }
 
   ExprPtr GenRec(int budget) {
     if (budget <= 1) return GenLeaf();
-    switch (rng_() % (with_qualifiers_ ? 6 : 4)) {
-      case 0:
-      case 1:
-        return MakeConcat(GenRec(budget / 2), GenRec(budget - budget / 2));
-      case 2:
-        return MakeUnion(GenRec(budget / 2), GenRec(budget - budget / 2));
-      case 3:
-        return MakeOptional(GenRec(budget - 1));
-      default:
-        return MakeQualified(GenRec(budget / 2), GenRec(budget - budget / 2));
+    const int choices = 4 + (knobs_.qualifiers ? 2 : 0) +
+                        (knobs_.intersect ? 1 : 0);
+    int roll = static_cast<int>(rng_() % choices);
+    if (roll < 2) {
+      return MakeConcat(GenRec(budget / 2), GenRec(budget - budget / 2));
     }
+    if (roll == 2) {
+      return MakeUnion(GenRec(budget / 2), GenRec(budget - budget / 2));
+    }
+    if (roll == 3) return MakeOptional(GenRec(budget - 1));
+    roll -= 4;
+    if (knobs_.qualifiers && roll < 2) {
+      return MakeQualified(GenRec(budget / 2), GenRec(budget - budget / 2));
+    }
+    return MakeIntersect(GenRec(budget / 2), GenRec(budget - budget / 2));
   }
 
   std::mt19937_64 rng_;
-  bool with_qualifiers_;
+  QueryGenKnobs knobs_;
 };
 
 std::vector<StreamEvent> RandomDoc(uint64_t seed, int max_depth,
@@ -166,6 +216,64 @@ TEST_P(DifferentialSeedTest, DeterminationOrderPolicyMatchesAsSet) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSeedTest,
                          ::testing::Range(0, 25));
+
+// The cross-engine battery: 525 random (query, document) pairs spread over
+// knob configurations covering every language construct — structural-only
+// (the NFA-comparable subset), qualifiers, order axes, and the full
+// language with node-identity joins, on both bushy and deep documents.
+// For every pair SPEX must emit exactly the DOM oracle's results, as
+// strings, in document order; whenever the NFA baseline supports the query
+// (no qualifiers/axes/joins) its match count must agree too.  All seeds
+// are fixed, so a failure reproduces from the SCOPED_TRACE line alone.
+TEST(DifferentialBattery, SpexDomAndNfaAgreeOnFiveHundredPairs) {
+  struct Config {
+    const char* name;
+    QueryGenKnobs knobs;
+    int budget;        // ~leaf count per query
+    int doc_depth;
+    int64_t doc_elements;
+  };
+  const std::vector<Config> configs = {
+      {"structural", QueryGenKnobs::Structural(), 4, 5, 60},
+      {"qualifiers", QueryGenKnobs{}, 5, 5, 60},
+      {"axes", QueryGenKnobs::WithAxes(30), 4, 5, 50},
+      {"full", QueryGenKnobs::Full(), 6, 6, 60},
+      {"deep", QueryGenKnobs::Full(), 8, 10, 40},
+  };
+  int pairs = 0;
+  int nfa_pairs = 0;
+  for (size_t c = 0; c < configs.size(); ++c) {
+    const Config& config = configs[c];
+    for (int seed = 0; seed < 21; ++seed) {
+      const uint64_t doc_seed = static_cast<uint64_t>(seed) * 131 + c;
+      std::vector<StreamEvent> events =
+          RandomDoc(doc_seed, config.doc_depth, config.doc_elements);
+      Document doc;
+      std::string error;
+      ASSERT_TRUE(EventsToDocument(events, &doc, &error)) << error;
+      QueryGen gen(static_cast<uint64_t>(seed) * 9176 + c * 77 + 1,
+                   config.knobs);
+      for (int q = 0; q < 5; ++q) {
+        ExprPtr query = gen.Gen(config.budget);
+        SCOPED_TRACE(std::string(config.name) +
+                     " seed=" + std::to_string(seed) +
+                     " q=" + std::to_string(q) +
+                     " query=" + query->ToString());
+        const std::vector<std::string> spex = EvaluateToStrings(*query, events);
+        ASSERT_EQ(spex, DomEvaluateToStrings(*query, doc));
+        const int64_t nfa = NfaCountMatches(*query, events);
+        if (nfa >= 0) {
+          EXPECT_EQ(nfa, static_cast<int64_t>(spex.size()));
+          ++nfa_pairs;
+        }
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_GE(pairs, 500);
+  // The structural config alone keeps the three-way comparison meaningful.
+  EXPECT_GE(nfa_pairs, 100);
+}
 
 // Hand-picked regression queries on the same documents for every seed.
 class FixedQueryDifferentialTest

@@ -4,6 +4,8 @@
 #
 #   tools/run_tier1.sh           # default preset (RelWithDebInfo, build/)
 #   tools/run_tier1.sh asan      # address+UB sanitizer preset (build-asan/)
+#   tools/run_tier1.sh tsan      # thread sanitizer preset (build-tsan/);
+#                                # ctest runs the concurrency-relevant subset
 #
 # Exits non-zero on the first failing stage.
 set -euo pipefail
@@ -18,7 +20,7 @@ ctest --preset "$preset"
 # Observability smoke: the metrics exposition must be produced (and be
 # non-trivial) on a real query over the bundled example document.
 binary_dir="build"
-if [ "$preset" = "asan" ]; then binary_dir="build-asan"; fi
+if [ "$preset" != "default" ]; then binary_dir="build-$preset"; fi
 metrics_out="$("$binary_dir/tools/spexquery" --count --metrics=json \
   '_*.book[author].title' examples/data/catalog.xml 2>&1 >/dev/null)"
 echo "$metrics_out" | grep -q '"spex_transducer_messages_in"' || {
@@ -40,6 +42,31 @@ echo "tier1: metrics smoke OK"
   exit 1
 }
 echo "tier1: explain/profile smoke OK"
+
+# Concurrent-runtime smoke: fan the bundled example document across a small
+# engine pool and check the serving summary (under asan/tsan this also puts
+# the worker queues and the shared query cache through sanitized traffic).
+serve_dir="$(mktemp -d)"
+mkdir "$serve_dir/docs"
+cp examples/data/catalog.xml "$serve_dir/docs/"
+printf '_*.book[author].title\n_*.title\n' > "$serve_dir/queries.txt"
+# (capture, don't pipe into grep -q: under pipefail an early grep exit
+# would SIGPIPE the server mid-write and fail the pipeline spuriously)
+serve_out="$("$binary_dir/tools/spexserve" --queries="$serve_dir/queries.txt" \
+  --threads=2 "$serve_dir/docs" 2>&1)" || {
+  echo "tier1: spexserve smoke failed:" >&2
+  echo "$serve_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+echo "$serve_out" | grep -q 'sessions on 2 threads' || {
+  echo "tier1: spexserve smoke failed:" >&2
+  echo "$serve_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+rm -rf "$serve_dir"
+echo "tier1: spexserve smoke OK"
 
 # Perf-regression report (informational here — tier-1 machines are too
 # noisy to gate on; the CI bench-smoke job gates for real with

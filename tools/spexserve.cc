@@ -1,0 +1,360 @@
+// spexserve — concurrent multi-document query server (DESIGN.md §9).
+//
+//   spexserve --queries=FILE [--threads=N] DIR
+//   generator | spexserve --queries=FILE [--threads=N] --frames
+//
+// Evaluates every query in FILE (rpeq syntax, one per line, '#' comments)
+// against every document from the source, fanned out across an EnginePool:
+// each (document, query) pair is one StreamSession pinned to a pool worker,
+// compiled queries are shared through a CompiledQueryCache, and one parsed
+// document fans out to all queries as a single shared event batch.
+//
+// Document sources:
+//   DIR                 every regular file in the directory (sorted by name)
+//   --frames[=FILE]     length-prefixed frame stream from FILE or stdin:
+//                       each frame is a 4-byte little-endian uint32 payload
+//                       length followed by that many bytes of XML
+//
+// Flags:
+//   --threads=N         pool worker count (default 1)
+//   --queue=N           per-worker queue bound, in batches (default 64)
+//   --cache=N           compiled-query cache capacity (default 128)
+//   --batch=N           split documents into batches of N events (default:
+//                       one batch per document)
+//   --print             print result fragments (default: counts only)
+//   --metrics=json|prom dump the pool + cache metrics registry to stderr
+//
+// Output: one line per (document, query) session, tab-separated:
+//   <document>  <query>  <result count>
+// in (document, query) submission order, plus a throughput summary on
+// stderr.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/engine_pool.h"
+#include "runtime/query_cache.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+struct Options {
+  std::string queries_file;
+  std::string directory;    // document directory (exclusive with frames)
+  bool frames = false;      // length-prefixed frame stream
+  std::string frames_file;  // empty = stdin
+  int threads = 1;
+  size_t queue_capacity = 64;
+  size_t cache_capacity = 128;
+  size_t batch_events = 0;  // 0 = whole document in one batch
+  bool print_results = false;
+  std::string metrics_format;  // "", "json" or "prom"
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: spexserve --queries=FILE [--threads=N] [--queue=N]\n"
+               "                 [--cache=N] [--batch=N] [--print]\n"
+               "                 [--metrics=json|prom] (DIR | --frames[=FILE])\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+std::vector<std::string> LoadQueries(const std::string& path, bool* ok) {
+  std::vector<std::string> queries;
+  std::ifstream in(path);
+  *ok = static_cast<bool>(in);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos || line[begin] == '#') continue;
+    const size_t end = line.find_last_not_of(" \t\r");
+    queries.push_back(line.substr(begin, end - begin + 1));
+  }
+  return queries;
+}
+
+// Reads one length-prefixed frame; false on clean EOF, aborts the run (via
+// *error) on a truncated frame.
+bool ReadFrame(std::istream& in, std::string* payload, std::string* error) {
+  unsigned char header[4];
+  in.read(reinterpret_cast<char*>(header), 4);
+  if (in.gcount() == 0 && in.eof()) return false;
+  if (in.gcount() != 4) {
+    *error = "truncated frame header";
+    return false;
+  }
+  const uint32_t length = static_cast<uint32_t>(header[0]) |
+                          static_cast<uint32_t>(header[1]) << 8 |
+                          static_cast<uint32_t>(header[2]) << 16 |
+                          static_cast<uint32_t>(header[3]) << 24;
+  payload->resize(length);
+  in.read(payload->data(), static_cast<std::streamsize>(length));
+  if (in.gcount() != static_cast<std::streamsize>(length)) {
+    *error = "truncated frame payload (wanted " + std::to_string(length) +
+             " bytes)";
+    return false;
+  }
+  return true;
+}
+
+struct PendingSession {
+  std::string document;
+  std::string query;
+  std::shared_ptr<spex::StreamSession> session;
+};
+
+class Server {
+ public:
+  explicit Server(const Options& options)
+      : options_(options),
+        cache_(options.cache_capacity),
+        pool_([&] {
+          spex::PoolOptions pool_options;
+          pool_options.threads = options.threads;
+          pool_options.queue_capacity = options.queue_capacity;
+          return pool_options;
+        }()) {
+    cache_.RegisterCollectors(&pool_.metrics());
+  }
+
+  bool LoadQueries() {
+    bool ok = false;
+    queries_ = ::LoadQueries(options_.queries_file, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "spexserve: cannot read queries file '%s'\n",
+                   options_.queries_file.c_str());
+      return false;
+    }
+    if (queries_.empty()) {
+      std::fprintf(stderr, "spexserve: no queries in '%s'\n",
+                   options_.queries_file.c_str());
+      return false;
+    }
+    // Fail fast on bad queries, before any document work.
+    for (const std::string& q : queries_) {
+      std::string error;
+      if (cache_.Get(q, &error) == nullptr) {
+        std::fprintf(stderr, "spexserve: bad query '%s': %s\n", q.c_str(),
+                     error.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Parses one document and opens a session per query against it.
+  bool Dispatch(const std::string& name, const std::string& xml) {
+    std::vector<spex::StreamEvent> events;
+    std::string error;
+    if (!spex::ParseXmlToEvents(xml, &events, &error)) {
+      std::fprintf(stderr, "spexserve: %s: XML error: %s\n", name.c_str(),
+                   error.c_str());
+      return false;
+    }
+    ++documents_;
+    document_events_ += static_cast<int64_t>(events.size());
+    auto batch = std::make_shared<const std::vector<spex::StreamEvent>>(
+        std::move(events));
+    for (const std::string& q : queries_) {
+      std::shared_ptr<spex::StreamSession> session =
+          pool_.OpenSession(q, &cache_, &error);
+      if (session == nullptr) {
+        std::fprintf(stderr, "spexserve: bad query '%s': %s\n", q.c_str(),
+                     error.c_str());
+        return false;
+      }
+      if (options_.batch_events == 0) {
+        session->Feed(batch);
+      } else {
+        // Re-slice into bounded batches: exercises the queue/backpressure
+        // path and bounds what one task pins in memory.
+        for (size_t begin = 0; begin < batch->size();
+             begin += options_.batch_events) {
+          const size_t end =
+              std::min(batch->size(), begin + options_.batch_events);
+          session->Feed(std::vector<spex::StreamEvent>(
+              batch->begin() + static_cast<std::ptrdiff_t>(begin),
+              batch->begin() + static_cast<std::ptrdiff_t>(end)));
+        }
+      }
+      session->Close();
+      pending_.push_back(PendingSession{name, q, std::move(session)});
+    }
+    return true;
+  }
+
+  int Finish() {
+    int64_t total_results = 0;
+    for (PendingSession& p : pending_) {
+      const std::vector<std::string>& results = p.session->Wait();
+      total_results += p.session->result_count();
+      std::printf("%s\t%s\t%lld\n", p.document.c_str(), p.query.c_str(),
+                  static_cast<long long>(p.session->result_count()));
+      if (options_.print_results) {
+        for (const std::string& r : results) std::printf("  %s\n", r.c_str());
+      }
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const spex::obs::MetricsSnapshot snapshot = pool_.metrics().Collect();
+    const int64_t pool_events = snapshot.Value("spex_pool_events_processed");
+    std::fprintf(stderr,
+                 "spexserve: %lld documents x %zu queries = %zu sessions on "
+                 "%d threads\n",
+                 static_cast<long long>(documents_), queries_.size(),
+                 pending_.size(), pool_.threads());
+    std::fprintf(stderr,
+                 "spexserve: %lld document events, %lld engine events, "
+                 "%lld results, %.3fs (%.0f ev/s aggregate)\n",
+                 static_cast<long long>(document_events_),
+                 static_cast<long long>(pool_events),
+                 static_cast<long long>(total_results), elapsed,
+                 elapsed > 0 ? static_cast<double>(pool_events) / elapsed : 0);
+    if (options_.metrics_format == "json") {
+      std::fprintf(stderr, "%s\n", snapshot.ToJson().c_str());
+    } else if (options_.metrics_format == "prom") {
+      std::fprintf(stderr, "%s", snapshot.ToPrometheusText().c_str());
+    }
+    return 0;
+  }
+
+ private:
+  const Options& options_;
+  spex::CompiledQueryCache cache_;
+  spex::EnginePool pool_;
+  std::vector<std::string> queries_;
+  std::vector<PendingSession> pending_;
+  int64_t documents_ = 0;
+  int64_t document_events_ = 0;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--queries=")) {
+      options->queries_file = v;
+    } else if (const char* v = value("--threads=")) {
+      options->threads = std::atoi(v);
+    } else if (const char* v = value("--queue=")) {
+      options->queue_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--cache=")) {
+      options->cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--batch=")) {
+      options->batch_events = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--print") {
+      options->print_results = true;
+    } else if (const char* v = value("--metrics=")) {
+      options->metrics_format = v;
+      if (options->metrics_format != "json" &&
+          options->metrics_format != "prom") {
+        return false;
+      }
+    } else if (arg == "--frames") {
+      options->frames = true;
+    } else if (const char* v = value("--frames=")) {
+      options->frames = true;
+      options->frames_file = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else if (options->directory.empty()) {
+      options->directory = arg;
+    } else {
+      return false;
+    }
+  }
+  if (options->queries_file.empty()) return false;
+  // Exactly one source: a directory, or the frame stream.
+  if (options->frames != options->directory.empty()) return false;
+  if (options->threads < 1) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return Usage();
+
+  Server server(options);
+  if (!server.LoadQueries()) return 1;
+
+  if (!options.directory.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    std::vector<std::string> paths;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(options.directory, ec)) {
+      if (entry.is_regular_file()) paths.push_back(entry.path().string());
+    }
+    if (ec) {
+      std::fprintf(stderr, "spexserve: cannot read directory '%s': %s\n",
+                   options.directory.c_str(), ec.message().c_str());
+      return 1;
+    }
+    std::sort(paths.begin(), paths.end());
+    if (paths.empty()) {
+      std::fprintf(stderr, "spexserve: no files in '%s'\n",
+                   options.directory.c_str());
+      return 1;
+    }
+    for (const std::string& path : paths) {
+      std::string xml;
+      if (!ReadFile(path, &xml)) {
+        std::fprintf(stderr, "spexserve: cannot read '%s'\n", path.c_str());
+        return 1;
+      }
+      if (!server.Dispatch(fs::path(path).filename().string(), xml)) return 1;
+    }
+  } else {
+    std::ifstream file;
+    if (!options.frames_file.empty()) {
+      file.open(options.frames_file, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "spexserve: cannot read '%s'\n",
+                     options.frames_file.c_str());
+        return 1;
+      }
+    }
+    std::istream& in = options.frames_file.empty() ? std::cin : file;
+    std::string payload;
+    std::string error;
+    int64_t frame = 0;
+    while (ReadFrame(in, &payload, &error)) {
+      if (!server.Dispatch("frame#" + std::to_string(frame++), payload)) {
+        return 1;
+      }
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "spexserve: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  return server.Finish();
+}
