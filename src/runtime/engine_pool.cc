@@ -1,7 +1,9 @@
 #include "runtime/engine_pool.h"
 
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <utility>
 
 namespace spex {
@@ -20,9 +22,27 @@ void StreamSession::Feed(std::vector<StreamEvent> events) {
   Feed(std::make_shared<const std::vector<StreamEvent>>(std::move(events)));
 }
 
+void StreamSession::OverrideLimits(const EngineLimits& limits) {
+  limits_override_ = limits;
+  has_limits_override_ = true;
+}
+
 void StreamSession::Close() {
   if (closed_.exchange(true, std::memory_order_relaxed)) return;
   pool_->Submit(worker_, EnginePool::Task{shared_from_this(), nullptr, true});
+}
+
+void StreamSession::Abort(Status status) {
+  assert(!status.ok() && "Abort needs a failure status");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!done_) abort_status_.Update(std::move(status));
+  }
+  Close();
+}
+
+void StreamSession::Cancel() {
+  Abort(Status::Cancelled("session cancelled by caller"));
 }
 
 const std::vector<std::string>& StreamSession::Wait() {
@@ -33,45 +53,87 @@ const std::vector<std::string>& StreamSession::Wait() {
 
 void StreamSession::ProcessBatch(const EventBatch& batch,
                                  const EngineOptions& base) {
-  if (engine_ == nullptr) {
-    sink_ = std::make_unique<SerializingResultSink>();
-    EngineOptions options = base;
-    // Per-session private symbol table: labels are interned on the worker
-    // as events enter the engine.  A caller-supplied shared table would be
-    // mutated from every worker at once, so it is deliberately dropped.
-    options.symbols = nullptr;
-    engine_ = std::make_unique<SpexEngine>(query_template_, sink_.get(),
-                                           std::move(options));
-  }
-  for (const StreamEvent& event : *batch) {
-#ifndef NDEBUG
-    // Batches are shared across sessions whose engines each own a private
-    // symbol table — a stamped label would be resolved against the wrong
-    // table and silently match the wrong transducers.
-    if (event.label != kNoSymbol) {
-      std::fprintf(stderr,
-                   "StreamSession: batch event '%s' carries a foreign "
-                   "symbol stamp; feed unstamped events to pool sessions\n",
-                   event.name.c_str());
-      std::abort();
+  if (finished_) return;  // quarantined: the stream's remainder is dropped
+  try {
+    if (engine_ == nullptr) {
+      sink_ = std::make_unique<SerializingResultSink>();
+      EngineOptions options = base;
+      // Per-session private symbol table: labels are interned on the worker
+      // as events enter the engine.  A caller-supplied shared table would be
+      // mutated from every worker at once, so it is deliberately dropped.
+      options.symbols = nullptr;
+      if (has_limits_override_) options.limits = limits_override_;
+      // Every pool session is sealable: failure/cancellation must be able
+      // to close the stream virtually whether or not limits are set.
+      options.track_open_elements = true;
+      engine_ = std::make_unique<SpexEngine>(query_template_, sink_.get(),
+                                             std::move(options));
     }
+    for (const StreamEvent& event : *batch) {
+#ifndef NDEBUG
+      // Batches are shared across sessions whose engines each own a private
+      // symbol table — a stamped label would be resolved against the wrong
+      // table and silently match the wrong transducers.
+      if (event.label != kNoSymbol) {
+        std::fprintf(stderr,
+                     "StreamSession: batch event '%s' carries a foreign "
+                     "symbol stamp; feed unstamped events to pool sessions\n",
+                     event.name.c_str());
+        std::abort();
+      }
 #endif
-    engine_->OnEvent(event);
+      engine_->OnEvent(event);
+    }
+  } catch (const std::exception& e) {
+    // Exception barrier: a bug in this session must not take down the
+    // worker (and with it every other session pinned here).
+    run_status_ =
+        Status::Internal(std::string("exception escaped engine: ") + e.what());
+    seal_allowed_ = false;
+  } catch (...) {
+    run_status_ = Status::Internal("exception escaped engine");
+    seal_allowed_ = false;
   }
+  if (run_status_.ok() && engine_ != nullptr && !engine_->status().ok()) {
+    run_status_ = engine_->status();
+  }
+  // Quarantine: seal and publish now so Wait()ers are released without
+  // needing a Close() the producer may never send; remaining batches are
+  // dropped at the top of this function.
+  if (!run_status_.ok()) Finalize();
 }
 
-void StreamSession::Finalize() {
+void StreamSession::Finalize(const Status& shutdown_fallback) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (done_) return;
   }
+  finished_ = true;
+  Status status = run_status_;  // worker-detected failure wins (root cause)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) status = abort_status_;
+  }
   int64_t count = 0;
+  int64_t certain = 0;
+  bool truncated = false;
   RunStats stats;
   std::vector<std::string> results;
   if (engine_ != nullptr) {
-    count = engine_->result_count();
-    stats = engine_->ComputeStats();
-    results = sink_->results();
+    if (seal_allowed_) {
+      if (!engine_->stream_complete()) {
+        status.Update(shutdown_fallback);
+        engine_->FinalizeTruncated();
+      }
+      truncated = engine_->truncated();
+      count = engine_->result_count();
+      certain = engine_->certain_result_count();
+      stats = engine_->ComputeStats();
+      results = sink_->results();
+    }
+    // else: the exception barrier fired — the network's state is suspect,
+    // so no sealing events are pushed and the partials are discarded.
+
     // The engine (its network, formula nodes, symbol table) was built on
     // this worker thread; destroy it here too, before handing results back.
     engine_.reset();
@@ -79,10 +141,20 @@ void StreamSession::Finalize() {
   }
   pool_->results_total_->Increment(count);
   pool_->sessions_finished_->Increment();
+  if (!status.ok()) {
+    const auto code = static_cast<size_t>(status.code());
+    if (code < static_cast<size_t>(kStatusCodeCount) &&
+        pool_->sessions_failed_[code] != nullptr) {
+      pool_->sessions_failed_[code]->Increment();
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     results_ = std::move(results);
     result_count_ = count;
+    certain_results_ = certain;
+    truncated_ = truncated;
+    status_ = std::move(status);
     stats_ = stats;
     done_ = true;
   }
@@ -102,6 +174,11 @@ EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
       [this] { return static_cast<int64_t>(workers_.size()); });
   sessions_opened_ = metrics_.AddAtomicCounter("spex_pool_sessions_opened");
   sessions_finished_ = metrics_.AddAtomicCounter("spex_pool_sessions_finished");
+  for (int code = 1; code < kStatusCodeCount; ++code) {
+    sessions_failed_[code] = metrics_.AddAtomicCounter(
+        "spex_pool_sessions_failed",
+        {{"reason", StatusCodeName(static_cast<StatusCode>(code))}});
+  }
   batches_submitted_ = metrics_.AddAtomicCounter("spex_pool_batches_submitted");
   batches_completed_ = metrics_.AddAtomicCounter("spex_pool_batches_completed");
   events_processed_ = metrics_.AddAtomicCounter("spex_pool_events_processed");
@@ -153,6 +230,13 @@ std::shared_ptr<StreamSession> EnginePool::OpenSession(
   return OpenSession(std::move(t));
 }
 
+StatusOr<std::shared_ptr<StreamSession>> EnginePool::OpenSession(
+    const std::string& query_text, CompiledQueryCache* cache) {
+  StatusOr<std::shared_ptr<const QueryTemplate>> t = cache->Get(query_text);
+  if (!t.ok()) return t.status();
+  return OpenSession(std::move(t).value());
+}
+
 void EnginePool::Submit(int worker_index, Task task) {
   Worker& worker = *workers_[static_cast<size_t>(worker_index)];
   {
@@ -201,9 +285,23 @@ void EnginePool::WorkerLoop(int index) {
         }
       }
     } else {
-      const bool first = task.session->engine_ == nullptr;
+      if (options_.before_batch) options_.before_batch(index);
+      const bool first =
+          task.session->engine_ == nullptr && !task.session->finished_;
       task.session->ProcessBatch(task.batch, options_.engine);
-      if (first) worker.active.push_back(task.session);
+      // A quarantined session needs no teardown at shutdown (ProcessBatch
+      // already finalized it); keep `active` to sessions with live engines.
+      if (first && !task.session->finished_) {
+        worker.active.push_back(task.session);
+      } else if (!first && task.session->finished_) {
+        for (size_t i = 0; i < worker.active.size(); ++i) {
+          if (worker.active[i] == task.session) {
+            worker.active[i] = worker.active.back();
+            worker.active.pop_back();
+            break;
+          }
+        }
+      }
       events_processed_->Increment(static_cast<int64_t>(task.batch->size()));
       batches_completed_->Increment();
     }
@@ -211,7 +309,11 @@ void EnginePool::WorkerLoop(int index) {
   // Shutdown with the queue drained: sessions that were never Close()d
   // still hold live engines — finalize them here so the engine is torn
   // down on its own worker thread, never in the pool destructor's thread.
-  for (auto& session : worker.active) session->Finalize();
+  // A session whose stream is incomplete is sealed as kCancelled (the pool
+  // went away under it); complete streams finalize normally.
+  for (auto& session : worker.active) {
+    session->Finalize(Status::Cancelled("pool shut down before stream end"));
+  }
   worker.active.clear();
 }
 

@@ -39,12 +39,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "base/status.h"
 #include "obs/metrics.h"
 #include "runtime/query_cache.h"
 #include "spex/engine.h"
@@ -62,32 +64,74 @@ struct PoolOptions {
   // Base engine options for every session.  `symbols` is ignored (each
   // session owns a private table on its worker thread); callbacks placed
   // here (progress) run on worker threads and must be thread-safe.
+  // `engine.limits` applies to every session; `track_open_elements` is
+  // forced on so failed/aborted sessions can always be sealed.
   EngineOptions engine;
+  // Chaos/test hook, invoked on the worker thread immediately before each
+  // batch is processed (see runtime/fault_injector.h for the seeded stall
+  // injector that plugs in here).  Must be thread-safe.
+  std::function<void(int worker)> before_batch;
 };
 
 // One document stream evaluated against one compiled query on one pool
 // worker.  Created by EnginePool::OpenSession; thread-safe for a single
-// producer (Feed/Close from one thread at a time) plus any number of
+// producer (Feed/Close/Abort from one thread at a time) plus any number of
 // Wait()ers.  Sessions must be Close()d and must not outlive the pool.
+//
+// Failure model (DESIGN.md §10): a session whose engine fails — governor
+// breach, parser-injected garbage tripping a limit, or an exception escaping
+// the network — is *quarantined*: finalized immediately on its worker with
+// FinalizeTruncated(), its status captured, later batches dropped, and every
+// other session keeps running untouched.  Close() and Wait() stay safe on a
+// failed session: Close is idempotent, Wait never hangs (the quarantine
+// already released it) and returns the structured partial result —
+// status(), certain_result_count() results that are exact, the rest sealed
+// speculatively.
 class StreamSession : public std::enable_shared_from_this<StreamSession> {
  public:
   using EventBatch = std::shared_ptr<const std::vector<StreamEvent>>;
 
   // Enqueues a batch on the pinned worker; blocks while its queue is full
-  // (backpressure).  The stream fed across all batches should be a
-  // well-formed document stream ending in kEndDocument, or results for
-  // still-undecided candidates will be missing.  No-op on a closed session.
+  // (backpressure).  An incomplete stream (no kEndDocument by Close time) is
+  // sealed closed-world via SpexEngine::FinalizeTruncated.  No-op on a
+  // closed session; batches for a quarantined session are dropped.
   void Feed(EventBatch batch);
   // Convenience: wraps a by-value event vector into a shared batch.
   void Feed(std::vector<StreamEvent> events);
 
-  // Marks the end of input.  Idempotent; Feed afterwards is ignored.
+  // Per-session limit override, replacing PoolOptions::engine.limits for
+  // this session only (per-request deadlines, chaos injection).  Must be
+  // called before the first Feed(): the worker reads it when it builds the
+  // engine, and the queue mutex is what publishes the write.
+  void OverrideLimits(const EngineLimits& limits);
+
+  // Marks the end of input.  Idempotent; Feed afterwards is ignored.  Safe
+  // (and a cheap no-op beyond the close task) on an already-failed session.
   void Close();
 
+  // Producer-side failure: poisons the session with `status` (kept only if
+  // the worker has not already failed it) and closes it.  The worker seals
+  // the partial run; Wait() then reports `status`.  Used by servers whose
+  // *input* fails mid-stream (parse error, client disconnect).
+  void Abort(Status status);
+  // Abort with kCancelled.
+  void Cancel();
+
   // Blocks until the worker has processed every batch of this session
-  // (requires Close() first — Wait on an open session waits for it), then
-  // returns the serialized result fragments in document order.
+  // (requires Close() first — Wait on an open session waits for it; a
+  // quarantined session releases waiters at quarantine time), then returns
+  // the serialized result fragments in document order.  On a failed or
+  // truncated session these are the structured partials: the first
+  // certain_result_count() fragments are exact, the rest speculative.
   const std::vector<std::string>& Wait();
+
+  // Valid after Wait() returned: kOk, or the first failure that poisoned
+  // the session (engine breach, Abort status, pool shutdown kCancelled).
+  const Status& status() const { return status_; }
+  // Valid after Wait(): results known exact (prefix of Wait()'s vector).
+  int64_t certain_result_count() const { return certain_results_; }
+  // Valid after Wait(): true when the run was sealed before end-of-stream.
+  bool truncated() const { return truncated_; }
 
   // Valid after Wait() returned.
   int64_t result_count() const { return result_count_; }
@@ -106,17 +150,35 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
 
   // Worker-side: lazily builds the engine (first batch), feeds events,
   // captures results + stats and destroys the engine (close task).  Only
-  // the pinned worker thread touches engine_/sink_.
+  // the pinned worker thread touches engine_/sink_.  Detects engine failure
+  // after the batch and quarantines (finalizes early); exceptions escaping
+  // the network are caught and become kInternal.
   void ProcessBatch(const EventBatch& batch, const EngineOptions& base);
-  void Finalize();
+  // Seals + publishes the run; idempotent.  `shutdown_fallback` is applied
+  // only when the stream is incomplete and nothing else failed (the pool
+  // destructor's drain passes kCancelled; everything else passes kOk).
+  void Finalize(const Status& shutdown_fallback = Status::Ok());
 
   EnginePool* pool_;
   const int worker_;
   std::shared_ptr<const QueryTemplate> query_template_;
 
+  // Written producer-side before the first Feed, read by the worker at
+  // engine construction (ordered by the task queue's mutex).
+  EngineLimits limits_override_;
+  bool has_limits_override_ = false;
+
   // Worker-thread-only run state.
   std::unique_ptr<SerializingResultSink> sink_;
   std::unique_ptr<SpexEngine> engine_;
+  // Worker-side failure that quarantined the session (engine breach or
+  // exception barrier); worker-thread-only until published by Finalize.
+  Status run_status_;
+  // False after the exception barrier fired: the network's state is suspect,
+  // so Finalize must not drive more events through it.
+  bool seal_allowed_ = true;
+  // Set by Finalize (worker-thread-only): later batches are dropped.
+  bool finished_ = false;
 
   // Producer-side guard (Feed/Close) — not contended with the worker.
   std::atomic<bool> closed_{false};
@@ -125,8 +187,12 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
   std::mutex mu_;
   std::condition_variable done_cv_;
   bool done_ = false;
+  Status abort_status_;  // producer-requested failure (Abort/Cancel)
+  Status status_;
   std::vector<std::string> results_;
   int64_t result_count_ = 0;
+  int64_t certain_results_ = 0;
+  bool truncated_ = false;
   RunStats stats_;
 };
 
@@ -149,11 +215,15 @@ class EnginePool {
   std::shared_ptr<StreamSession> OpenSession(const std::string& query_text,
                                              CompiledQueryCache* cache,
                                              std::string* error);
+  // Structured-error variant: kMalformedInput instead of a bare string.
+  StatusOr<std::shared_ptr<StreamSession>> OpenSession(
+      const std::string& query_text, CompiledQueryCache* cache);
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
   // Pool-wide meters (thread-safe to Collect at any time):
   //   spex_pool_workers, spex_pool_sessions_opened/_finished,
+  //   spex_pool_sessions_failed{reason=<status code>},
   //   spex_pool_batches_submitted/_completed, spex_pool_events_processed,
   //   spex_pool_results_total, spex_pool_backpressure_waits,
   //   spex_pool_queue_depth{worker=i} (with high-water max).
@@ -189,6 +259,8 @@ class EnginePool {
   obs::MetricRegistry metrics_;
   obs::AtomicCounter* sessions_opened_ = nullptr;
   obs::AtomicCounter* sessions_finished_ = nullptr;
+  // Indexed by StatusCode; kOk's slot stays null (success is not a failure).
+  obs::AtomicCounter* sessions_failed_[kStatusCodeCount] = {};
   obs::AtomicCounter* batches_submitted_ = nullptr;
   obs::AtomicCounter* batches_completed_ = nullptr;
   obs::AtomicCounter* events_processed_ = nullptr;

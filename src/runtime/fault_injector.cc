@@ -1,0 +1,93 @@
+#include "runtime/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+namespace spex {
+
+namespace {
+
+// SplitMix64: tiny, well-mixed, and stable across platforms — the schedule
+// must not depend on libstdc++ vs libc++ distribution internals.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultPlan::KindName() const {
+  switch (kind) {
+    case Kind::kNone: return "none";
+    case Kind::kCorruptByte: return "corrupt_byte";
+    case Kind::kTruncateDoc: return "truncate_doc";
+    case Kind::kTinyBufferLimit: return "tiny_buffer_limit";
+    case Kind::kTinyFormulaLimit: return "tiny_formula_limit";
+    case Kind::kWorkerStall: return "worker_stall";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed, int fault_rate_percent)
+    : seed_(seed), fault_rate_percent_(fault_rate_percent) {
+  if (fault_rate_percent_ < 0) fault_rate_percent_ = 0;
+  if (fault_rate_percent_ > 100) fault_rate_percent_ = 100;
+}
+
+FaultPlan FaultInjector::PlanForSession(uint64_t session_index) const {
+  FaultPlan plan;
+  const uint64_t r = Mix(seed_ ^ Mix(session_index));
+  if (static_cast<int>(r % 100) >= fault_rate_percent_) return plan;
+  // Independent draws per field so changing one branch does not reshuffle
+  // the others' values.
+  const uint64_t kind_draw = Mix(r ^ 0x1);
+  const uint64_t pos_draw = Mix(r ^ 0x2);
+  const uint64_t byte_draw = Mix(r ^ 0x3);
+  plan.kind = static_cast<FaultPlan::Kind>(1 + kind_draw % 5);
+  plan.position =
+      static_cast<double>(pos_draw % 10000) / 10000.0;  // [0, 1)
+  plan.byte = static_cast<uint8_t>(byte_draw % 256);
+  plan.stall_ms = static_cast<int>(byte_draw % 3) + 1;  // 1..3ms
+  return plan;
+}
+
+std::string FaultInjector::ApplyToDocument(const FaultPlan& plan,
+                                           std::string doc) {
+  if (doc.empty()) return doc;
+  const size_t pos = static_cast<size_t>(
+      plan.position * static_cast<double>(doc.size()));
+  switch (plan.kind) {
+    case FaultPlan::Kind::kCorruptByte:
+      doc[pos < doc.size() ? pos : doc.size() - 1] =
+          static_cast<char>(plan.byte);
+      return doc;
+    case FaultPlan::Kind::kTruncateDoc:
+      doc.resize(pos < doc.size() ? pos : doc.size() - 1);
+      return doc;
+    default:
+      return doc;
+  }
+}
+
+void FaultInjector::ApplyToLimits(const FaultPlan& plan,
+                                  EngineLimits* limits) {
+  switch (plan.kind) {
+    case FaultPlan::Kind::kTinyBufferLimit:
+      limits->max_buffered_bytes = 64;
+      return;
+    case FaultPlan::Kind::kTinyFormulaLimit:
+      limits->max_formula_bytes = 256;
+      return;
+    default:
+      return;
+  }
+}
+
+void FaultInjector::MaybeStall(const FaultPlan& plan) {
+  if (plan.kind != FaultPlan::Kind::kWorkerStall || plan.stall_ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(plan.stall_ms));
+}
+
+}  // namespace spex

@@ -1,0 +1,92 @@
+// Deterministic fault injection for chaos testing (DESIGN.md §10).
+//
+// A FaultInjector is a pure function of (seed, session index): the same seed
+// always produces the same fault schedule, so a chaos soak that crashes is
+// reproducible with `spexserve --chaos=SEED` or by re-running the test with
+// the logged seed.  Faults model the failure classes the serving stack must
+// absorb:
+//
+//   * kCorruptByte   — one input byte overwritten at a seeded position
+//                      (exercises XmlParser's kMalformedInput path).
+//   * kTruncateDoc   — the document cut off at a seeded position (exercises
+//                      FinalizeTruncated / structured partial results).
+//   * kTinyBufferLimit / kTinyFormulaLimit — an absurdly small EngineLimits
+//                      bound, simulating allocation failure through the real
+//                      kResourceExhausted breach path (no malloc hooking).
+//   * kWorkerStall   — the pool worker sleeps before a batch (exercises
+//                      backpressure and queue-full behaviour under slow
+//                      consumers; plugs into PoolOptions::before_batch).
+//
+// The injector itself never touches engine internals: corruption happens to
+// the input bytes, limits through the public EngineLimits, stalls through
+// the public pool hook.  Whatever the chaos run observes is therefore a
+// behaviour real traffic could trigger.
+
+#ifndef SPEX_RUNTIME_FAULT_INJECTOR_H_
+#define SPEX_RUNTIME_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "spex/transducer.h"
+
+namespace spex {
+
+struct FaultPlan {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kCorruptByte,
+    kTruncateDoc,
+    kTinyBufferLimit,
+    kTinyFormulaLimit,
+    kWorkerStall,
+  };
+
+  Kind kind = Kind::kNone;
+  // kCorruptByte / kTruncateDoc: fault position as a fraction of the
+  // document length in [0, 1).
+  double position = 0.0;
+  // kCorruptByte: the replacement byte.
+  uint8_t byte = 0;
+  // kWorkerStall: sleep duration per batch, in milliseconds (small — the
+  // point is reordering/backpressure, not wall-clock).
+  int stall_ms = 0;
+
+  bool active() const { return kind != Kind::kNone; }
+  // Stable token for logs/metrics: "none", "corrupt_byte", ...
+  const char* KindName() const;
+};
+
+class FaultInjector {
+ public:
+  // `fault_rate_percent` of sessions get a fault (default: every other one);
+  // which sessions and which fault kind is a pure function of the seed.
+  explicit FaultInjector(uint64_t seed, int fault_rate_percent = 50);
+
+  uint64_t seed() const { return seed_; }
+
+  // The (deterministic) fault schedule entry for the index-th session.
+  FaultPlan PlanForSession(uint64_t session_index) const;
+
+  // Applies a corruption/truncation plan to a serialized document; returns
+  // the document unchanged for other kinds.
+  static std::string ApplyToDocument(const FaultPlan& plan, std::string doc);
+
+  // Overwrites the matching EngineLimits bound for the tiny-limit kinds
+  // (simulated allocation failure via the real breach path); no-op for
+  // other kinds.
+  static void ApplyToLimits(const FaultPlan& plan, EngineLimits* limits);
+
+  // Sleeps when the plan asks for a worker stall; thread-safe, suitable for
+  // PoolOptions::before_batch via
+  //   options.before_batch = [plan](int) { FaultInjector::MaybeStall(plan); };
+  static void MaybeStall(const FaultPlan& plan);
+
+ private:
+  uint64_t seed_;
+  int fault_rate_percent_;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_RUNTIME_FAULT_INJECTOR_H_

@@ -20,6 +20,14 @@ std::shared_ptr<const QueryTemplate> CompiledQueryCache::Get(
   return GetFor(*parsed.expr, error);
 }
 
+StatusOr<std::shared_ptr<const QueryTemplate>> CompiledQueryCache::Get(
+    const std::string& query_text) {
+  std::string error;
+  std::shared_ptr<const QueryTemplate> t = Get(query_text, &error);
+  if (t == nullptr) return Status::MalformedInput(error);
+  return t;
+}
+
 std::shared_ptr<const QueryTemplate> CompiledQueryCache::GetFor(
     const Expr& query, std::string* error) {
   const std::string key = query.ToString();

@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "base/status.h"
 #include "obs/metrics.h"
 #include "spex/compiler.h"
 
@@ -46,6 +47,11 @@ class CompiledQueryCache {
   // failures are not cached.
   std::shared_ptr<const QueryTemplate> Get(const std::string& query_text,
                                            std::string* error);
+
+  // Structured-error variant (the serving path): kMalformedInput carrying
+  // the parse/validation message instead of a bare string.
+  StatusOr<std::shared_ptr<const QueryTemplate>> Get(
+      const std::string& query_text);
 
   // As Get, for an already-parsed expression (skips the parse, still
   // canonicalizes through the expression's round-trip syntax).

@@ -76,13 +76,29 @@ void SpexEngine::FinishInit() {
     next_progress_bytes_ = options.progress.every_bytes;
   }
   observed_path_ = obs_ != nullptr || progress_enabled_;
+  guarded_ = options.limits.enabled() || options.track_open_elements;
+  if (guarded_) open_path_.reserve(64);
   run_start_ = std::chrono::steady_clock::now();
+  if (options.limits.deadline_ms > 0) {
+    deadline_ =
+        run_start_ + std::chrono::milliseconds(options.limits.deadline_ms);
+  }
   last_watermark_time_ = run_start_;
 }
 
 SpexEngine::~SpexEngine() = default;
 
 void SpexEngine::OnEvent(const StreamEvent& event) {
+  // The resource governor costs this one branch when disabled (DESIGN.md
+  // §10), mirroring the observability contract below.
+  if (!guarded_) [[likely]] {
+    ProcessEvent(event);
+    return;
+  }
+  GuardedOnEvent(event);
+}
+
+void SpexEngine::ProcessEvent(const StreamEvent& event) {
   ++events_processed_;
   // Zero-copy delivery: the message borrows `event`, which outlives the
   // synchronous delivery round (no transducer keeps a document message
@@ -100,6 +116,7 @@ void SpexEngine::OnEvent(const StreamEvent& event) {
     OnEventObserved(event, std::move(m));
   }
   if (event.kind == EventKind::kEndDocument) {
+    document_ended_ = true;
     compiled_.output->Flush();
   }
   // End-of-round garbage collection: with eager updates, formulas referring
@@ -112,6 +129,91 @@ void SpexEngine::OnEvent(const StreamEvent& event) {
     }
     context_->retired_variables.clear();
   }
+}
+
+void SpexEngine::GuardedOnEvent(const StreamEvent& event) {
+  if (!status_.ok()) return;  // poisoned: the rest of the stream is dropped
+  const EngineLimits& limits = context_->options.limits;
+  // Pre-checks reject the event *before* tracking it, so open_path_ always
+  // matches what the network actually saw.
+  if (limits.max_events > 0 && events_processed_ >= limits.max_events) {
+    FailRun(Status::ResourceExhausted(
+        "max_events exceeded (" + std::to_string(limits.max_events) + ")"));
+    return;
+  }
+  if (limits.deadline_ms > 0 && (events_processed_ & 255) == 0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    FailRun(Status::DeadlineExceeded(
+        "deadline_ms exceeded (" + std::to_string(limits.deadline_ms) + ")"));
+    return;
+  }
+  if (event.kind == EventKind::kStartElement) {
+    if (limits.max_depth > 0 &&
+        static_cast<int>(open_path_.size()) >= limits.max_depth) {
+      FailRun(Status::ResourceExhausted(
+          "max_depth exceeded (" + std::to_string(limits.max_depth) + ")"));
+      return;
+    }
+    open_path_.push_back(event.label != kNoSymbol
+                             ? event.label
+                             : context_->symbol_table()->Intern(event.name));
+  } else if (event.kind == EventKind::kEndElement && !open_path_.empty()) {
+    open_path_.pop_back();
+  }
+  ProcessEvent(event);
+  // Post-checks: memory the event's delivery actually pinned.  Skipped once
+  // the stream completed — after end-document the run already flushed and
+  // decided everything, and the thread-shared formula arena may still hold
+  // *other* sessions' live nodes, which must not fail a finished run.
+  if (document_ended_) return;
+  if (limits.max_buffered_bytes > 0 &&
+      compiled_.output->buffered_bytes() > limits.max_buffered_bytes) {
+    FailRun(Status::ResourceExhausted(
+        "max_buffered_bytes exceeded (" +
+        std::to_string(limits.max_buffered_bytes) + ")"));
+    return;
+  }
+  if (limits.max_formula_bytes > 0 &&
+      Formula::GetPoolStats().live *
+              static_cast<int64_t>(sizeof(internal::FormulaNode)) >
+          limits.max_formula_bytes) {
+    FailRun(Status::ResourceExhausted(
+        "max_formula_bytes exceeded (" +
+        std::to_string(limits.max_formula_bytes) + ")"));
+  }
+}
+
+void SpexEngine::FailRun(Status status) {
+  status_ = std::move(status);
+  // Everything fully emitted up to the breach is certain; fragments emitted
+  // later (by FinalizeTruncated's virtual closes) are speculative.
+  certain_results_ = result_count();
+}
+
+Status SpexEngine::FinalizeTruncated() {
+  if (document_ended_) return status_;  // complete (or already sealed): no-op
+  if (certain_results_ < 0) certain_results_ = result_count();
+  truncated_ = true;
+  if (events_processed_ == 0) {
+    // Nothing was ever delivered; there is no open round to close.
+    document_ended_ = true;
+    return status_;
+  }
+  // Seal below the governor: the virtual closes must reach the network even
+  // on a poisoned run, and must not re-trip the limit being breached.
+  const bool was_guarded = guarded_;
+  guarded_ = false;
+  SymbolTable* symbols = context_->symbol_table();
+  while (!open_path_.empty()) {
+    const Symbol label = open_path_.back();
+    open_path_.pop_back();
+    StreamEvent close = StreamEvent::EndElement(symbols->Name(label));
+    close.label = label;
+    ProcessEvent(close);
+  }
+  ProcessEvent(StreamEvent::EndDocument());  // flushes OU, decides candidates
+  guarded_ = was_guarded;
+  return status_;
 }
 
 void SpexEngine::OnEventObserved(const StreamEvent& event, Message message) {

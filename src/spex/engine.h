@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "rpeq/ast.h"
 #include "spex/compiler.h"
 #include "spex/network.h"
@@ -75,10 +76,49 @@ class SpexEngine : public EventSink {
 
   // Feeds one document message through the network.  On kEndDocument the
   // output transducer is flushed and all remaining candidates decided.
+  //
+  // Resource governance (DESIGN.md §10): when EngineOptions::limits is set,
+  // every event passes the governor first; a breached limit poisons the run
+  // (status() becomes kResourceExhausted / kDeadlineExceeded) and every
+  // further event is dropped.  Call FinalizeTruncated() to seal the stream
+  // and harvest the partial result.  With limits unset and
+  // track_open_elements off this costs exactly one predictable branch.
   void OnEvent(const StreamEvent& event) override;
+
+  // kOk while the run is healthy; the breach status once the governor
+  // tripped.  A poisoned engine ignores further OnEvent calls.
+  const Status& status() const { return status_; }
+
+  // Seals an incomplete stream: virtually closes every open element (end
+  // tags synthesized from the tracked open path) and delivers a virtual
+  // end-document so the output transducer decides every remaining candidate
+  // under closed-world semantics.  Fragments fully emitted before the
+  // truncation point are *certain* — byte-for-byte what any run over the
+  // full stream would have emitted first (monotone formulas, document-order
+  // emission); fragments emitted by this call are *speculative* (their
+  // content or membership could have changed had the stream continued).
+  // Requires limits or EngineOptions::track_open_elements; idempotent, and a
+  // no-op after a complete stream.  Returns status() (unchanged: sealing
+  // does not clear a breach).
+  Status FinalizeTruncated();
+
+  // True once the stream delivered (or FinalizeTruncated synthesized) its
+  // end-document message.
+  bool stream_complete() const { return document_ended_; }
+  // True iff FinalizeTruncated sealed this run.
+  bool truncated() const { return truncated_; }
 
   // Number of results emitted so far.
   int64_t result_count() const { return compiled_.output->result_count(); }
+
+  // Results known to be exact: on a healthy run, all of them; after a
+  // governor breach or FinalizeTruncated, the fragments fully emitted
+  // before the truncation point.  The first certain_result_count() results
+  // of a collecting/serializing sink are the certain ones (document-order
+  // emission).
+  int64_t certain_result_count() const {
+    return certain_results_ >= 0 ? certain_results_ : result_count();
+  }
 
   // Resource accounting.  Reads the observability registry (which exposes
   // the per-transducer stats at every observe level) and folds it into the
@@ -134,6 +174,13 @@ class SpexEngine : public EventSink {
   const TransducerTrace* trace(const std::string& name) const;
 
  private:
+  // The ungoverned per-event path (the pre-governor OnEvent body).
+  void ProcessEvent(const StreamEvent& event);
+  // Governed per-event path: limit checks + open-path tracking around
+  // ProcessEvent.  Entered only when guarded_ (limits or tracking on).
+  void GuardedOnEvent(const StreamEvent& event);
+  // Poisons the run and freezes the certain-result boundary.
+  void FailRun(Status status);
   // Cold path of OnEvent: delivery wrapped in metric/trace publication plus
   // watermark triggering.  Entered only when observation or progress is on.
   void OnEventObserved(const StreamEvent& event, Message message);
@@ -152,6 +199,19 @@ class SpexEngine : public EventSink {
   std::unique_ptr<obs::ProfileAccumulator> profiler_;  // iff options.profile
   std::string query_text_;  // round-trip syntax, for ProfileReport::query
   int64_t events_processed_ = 0;
+  // True when OnEvent must take the governed path (limits configured or
+  // track_open_elements): the unguarded hot path tests exactly this flag.
+  bool guarded_ = false;
+  bool document_ended_ = false;
+  bool truncated_ = false;
+  Status status_;
+  // Interned labels of the currently open elements (governed runs only);
+  // FinalizeTruncated synthesizes the virtual close tags from it.
+  std::vector<Symbol> open_path_;
+  // Certain-result boundary; -1 = not truncated (everything certain).
+  int64_t certain_results_ = -1;
+  // Wall-clock breach point when limits.deadline_ms is set.
+  std::chrono::steady_clock::time_point deadline_{};
   // True when OnEvent must take the observed path (observe != kOff or
   // progress enabled): the disabled hot path tests exactly this one flag.
   bool observed_path_ = false;

@@ -113,6 +113,8 @@ void RegisterOutputCollectors(obs::MetricRegistry* registry,
       [output] { return output->output_stats().streamed_events; });
   registry->AddCallbackGauge("spex_output_buffered_events", labels,
                              [output] { return output->buffered_events(); });
+  registry->AddCallbackGauge("spex_output_buffered_bytes", labels,
+                             [output] { return output->buffered_bytes(); });
   registry->AddCallbackGauge(
       "spex_output_buffered_events_peak", labels,
       [output] { return output->output_stats().buffered_events_peak; });

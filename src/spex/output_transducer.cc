@@ -23,6 +23,14 @@ size_t TakeOpenIndex(std::vector<std::pair<int64_t, size_t>>* open,
   return 0;
 }
 
+// Bytes a buffered event pins: struct plus string payloads.  An estimate
+// (small-string capacity is not modelled), but a monotone one, which is all
+// the max_buffered_bytes governor needs.
+int64_t EventBytes(const StreamEvent& event) {
+  return static_cast<int64_t>(sizeof(StreamEvent) + event.name.size() +
+                              event.text.size());
+}
+
 size_t FindOpenIndex(const std::vector<std::pair<int64_t, size_t>>& open,
                      int64_t id) {
   for (size_t i = open.size(); i > 0; --i) {
@@ -154,8 +162,10 @@ void OutputTransducer::BeginStreaming(Candidate* candidate) {
     sink_->OnReplayedResultEvent(candidate->id, e);
   }
   buffered_events_ -= static_cast<int64_t>(candidate->buffer.size());
+  buffered_bytes_ -= candidate->buffer_bytes;
   candidate->buffer.clear();
   candidate->buffer.shrink_to_fit();
+  candidate->buffer_bytes = 0;
   candidate->streaming = true;
 }
 
@@ -163,6 +173,7 @@ void OutputTransducer::DropCandidate(CandidateIt it) {
   assert(!it->streaming);
   NoteDecision(*it);
   buffered_events_ -= static_cast<int64_t>(it->buffer.size());
+  buffered_bytes_ -= it->buffer_bytes;
   ++output_stats_.candidates_dropped;
   if (!it->complete) ForgetOpen(&*it);
   queue_.erase(it);
@@ -211,6 +222,9 @@ void OutputTransducer::HandleDocument(const StreamEvent& event) {
     } else {
       c.buffer.push_back(event);
       ++buffered_events_;
+      const int64_t bytes = EventBytes(event);
+      c.buffer_bytes += bytes;
+      buffered_bytes_ += bytes;
     }
     if (opens) {
       ++c.open_depth;

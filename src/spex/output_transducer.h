@@ -130,8 +130,10 @@ class OutputTransducer : public Transducer {
   const OutputStats& output_stats() const { return output_stats_; }
   int64_t result_count() const { return output_stats_.candidates_emitted; }
 
-  // Live occupancy, scraped by the observability registry mid-stream.
+  // Live occupancy, scraped by the observability registry mid-stream and by
+  // the engine's resource governor (EngineLimits::max_buffered_bytes).
   int64_t buffered_events() const { return buffered_events_; }
+  int64_t buffered_bytes() const { return buffered_bytes_; }
   int64_t pending_candidates() const {
     return static_cast<int64_t>(queue_.size());
   }
@@ -142,6 +144,7 @@ class OutputTransducer : public Transducer {
     Formula formula;
     Truth decided = Truth::kUnknown;
     std::vector<StreamEvent> buffer;
+    int64_t buffer_bytes = 0;  // payload bytes held in `buffer`
     int open_depth = 0;      // >0 while the fragment's subtree is open
     bool complete = false;
     bool streaming = false;  // Begin sent; events go straight to the sink
@@ -184,6 +187,7 @@ class OutputTransducer : public Transducer {
   bool has_pending_activation_ = false;
   OutputStats output_stats_;
   int64_t buffered_events_ = 0;
+  int64_t buffered_bytes_ = 0;
   // Last occupancy written to the trace counter track (observe=full).
   int64_t last_traced_buffered_ = 0;
 };

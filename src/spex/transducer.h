@@ -140,6 +140,37 @@ enum class OutputOrder : uint8_t {
   kDetermination,
 };
 
+// Resource governor of one run (DESIGN.md §10).  Every limit is off (0) by
+// default; with all limits off the engine's per-event cost is exactly one
+// predictable branch.  A breached limit poisons the run with a
+// kResourceExhausted / kDeadlineExceeded status: further events are dropped,
+// and SpexEngine::FinalizeTruncated() can seal the stream to harvest a
+// structured partial result (certain + speculative fragments).
+struct EngineLimits {
+  // Maximum bytes the output transducer may hold in speculative fragment
+  // buffers (undecided candidates).  Bounds S_OU against adversarial
+  // qualifiers that keep candidates undetermined for the whole stream.
+  int64_t max_buffered_bytes = 0;
+  // Maximum bytes of live formula-arena nodes on the engine's thread.  The
+  // arena is thread-local and shared by every engine on the thread (see
+  // formula.h), so this bounds the *thread's* formula memory; the breach is
+  // attributed to the session that was running when it tripped.
+  int64_t max_formula_bytes = 0;
+  // Maximum element nesting depth of the delivered stream.
+  int max_depth = 0;
+  // Maximum document messages per run.
+  int64_t max_events = 0;
+  // Wall-clock budget of the run, measured from engine construction and
+  // checked every 256 events (a steady-clock read per event would not be
+  // hot-path free).
+  int64_t deadline_ms = 0;
+
+  bool enabled() const {
+    return max_buffered_bytes > 0 || max_formula_bytes > 0 || max_depth > 0 ||
+           max_events > 0 || deadline_ms > 0;
+  }
+};
+
 // Run-wide configuration shared by all transducers of a network.
 struct EngineOptions {
   // Optional external symbol table, shared with other processors (baselines
@@ -170,6 +201,13 @@ struct EngineOptions {
   size_t trace_capacity = obs::TraceRecorder::kDefaultCapacity;
   // Progress watermark publication (engine only; see observe.h).
   ProgressOptions progress;
+  // Resource limits (see EngineLimits).  Unset costs one branch per event.
+  EngineLimits limits;
+  // Track the open-element path so SpexEngine::FinalizeTruncated() can seal
+  // an incomplete stream even when no limit is configured (the engine pool
+  // enables this for every session).  Implied by limits.enabled(); costs a
+  // symbol push/pop per element event, allocation-free in steady state.
+  bool track_open_elements = false;
 };
 
 // State shared by the transducers of one network instance.

@@ -54,9 +54,27 @@ bool XmlParser::IsNameChar(char c) {
 bool XmlParser::Fail(const std::string& message) {
   if (error_.empty()) {
     error_ = message + " (at byte " + std::to_string(bytes_consumed_) + ")";
+    error_code_ = StatusCode::kMalformedInput;
   }
   state_ = State::kError;
   return false;
+}
+
+bool XmlParser::FailLimit(const std::string& message) {
+  if (error_.empty()) {
+    error_ = message + " (at byte " + std::to_string(bytes_consumed_) + ")";
+    error_code_ = StatusCode::kResourceExhausted;
+  }
+  state_ = State::kError;
+  return false;
+}
+
+bool XmlParser::CheckTokenLimit(const std::string& token, const char* what) {
+  if (options_.max_text_bytes != 0 && token.size() > options_.max_text_bytes) {
+    return FailLimit(std::string(what) + " exceeds max_text_bytes (" +
+                     std::to_string(options_.max_text_bytes) + ")");
+  }
+  return true;
 }
 
 void XmlParser::EmitStartDocumentIfNeeded() {
@@ -87,7 +105,8 @@ bool XmlParser::EmitStartElement() {
   seen_root_ = true;
   if (options_.max_depth > 0 &&
       static_cast<int>(open_elements_.size()) >= options_.max_depth) {
-    return Fail("maximum depth exceeded");
+    return FailLimit("maximum depth exceeded (max_depth " +
+                     std::to_string(options_.max_depth) + ")");
   }
   // The element being opened counts even when self-closing.
   max_depth_ =
@@ -269,7 +288,7 @@ bool XmlParser::HandleContentChar(char c) {
     return true;
   }
   text_ += c;
-  return true;
+  return CheckTokenLimit(text_, "text node");
 }
 
 bool XmlParser::HandleMarkupChar(char c) {
@@ -303,7 +322,7 @@ bool XmlParser::HandleStartTagChar(char c) {
   if (!tag_name_done_) {
     if (IsNameChar(c)) {
       tag_name_ += c;
-      return true;
+      return CheckTokenLimit(tag_name_, "tag name");
     }
     tag_name_done_ = true;
     // fall through: c terminates the name
@@ -320,7 +339,7 @@ bool XmlParser::HandleStartTagChar(char c) {
     // attribute well-formedness check is overkill for the paper's data model
     // (quoted values are handled by the caller's quote tracking).
     tag_rest_ += c;
-    return true;
+    return CheckTokenLimit(tag_rest_, "attribute region");
   }
   return Fail(std::string("unexpected character '") + c + "' in start tag <" +
               tag_name_);
@@ -340,7 +359,7 @@ bool XmlParser::HandleEndTagChar(char c) {
   }
   if (IsNameChar(c) || IsSpace(c)) {
     tag_name_ += c;
-    return true;
+    return CheckTokenLimit(tag_name_, "tag name");
   }
   return Fail(std::string("unexpected character '") + c + "' in end tag");
 }
@@ -361,9 +380,11 @@ bool XmlParser::Feed(std::string_view chunk) {
         if (attr_quote_ != 0) {
           if (c == attr_quote_) attr_quote_ = 0;
           tag_rest_ += c;
+          if (!CheckTokenLimit(tag_rest_, "attribute region")) return false;
         } else if (tag_name_done_ && (c == '"' || c == '\'')) {
           attr_quote_ = c;
           tag_rest_ += c;
+          if (!CheckTokenLimit(tag_rest_, "attribute region")) return false;
         } else if (!HandleStartTagChar(c)) {
           return false;
         }
@@ -408,6 +429,7 @@ bool XmlParser::Feed(std::string_view chunk) {
             --cdata_brackets_;
           }
           text_ += c;
+          if (!CheckTokenLimit(text_, "text node")) return false;
         }
         break;
       case State::kPi:
@@ -468,6 +490,16 @@ bool ParseXmlToEvents(std::string_view document, std::vector<StreamEvent>* out,
   }
   *out = sink.events();
   return true;
+}
+
+Status ParseXmlToEvents(std::string_view document,
+                        std::vector<StreamEvent>* out,
+                        XmlParserOptions options) {
+  RecordingEventSink sink;
+  XmlParser parser(&sink, options);
+  parser.Parse(document);
+  *out = sink.events();
+  return parser.status();
 }
 
 }  // namespace spex

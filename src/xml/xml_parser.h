@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "base/status.h"
 #include "xml/stream_event.h"
 
 namespace spex {
@@ -46,8 +47,16 @@ struct XmlParserOptions {
   // the unchanged transducer network.  If false (default), attributes are
   // parsed for well-formedness and dropped.
   bool expose_attributes = false;
-  // Maximum element nesting depth accepted (0 = unlimited).
+  // Maximum element nesting depth accepted (0 = unlimited).  Breaching it is
+  // a kResourceExhausted error, not a well-formedness error.
   int max_depth = 0;
+  // Maximum size, in bytes, of any single accumulated token: a text node, a
+  // tag name, or a start tag's attribute region (0 = unlimited).  Bounds the
+  // parser's own buffering against adversarial inputs — an unterminated
+  // multi-gigabyte text node or attribute value otherwise grows resident
+  // memory without ever emitting an event.  Breaching it is a
+  // kResourceExhausted error.
+  size_t max_text_bytes = 0;
   // If true, the parser emits kStartDocument before the first message and
   // kEndDocument when Finish() is called.
   bool emit_document_events = true;
@@ -85,6 +94,12 @@ class XmlParser {
 
   bool ok() const { return error_.empty(); }
   const std::string& error() const { return error_; }
+  // Structured view of the error state: kOk while parsing is healthy,
+  // kMalformedInput for well-formedness errors, kResourceExhausted when a
+  // configured limit (max_depth, max_text_bytes) was breached.
+  Status status() const {
+    return ok() ? Status::Ok() : Status(error_code_, error_);
+  }
 
   // Number of bytes consumed so far.
   int64_t bytes_consumed() const { return bytes_consumed_; }
@@ -110,6 +125,11 @@ class XmlParser {
   };
 
   bool Fail(const std::string& message);
+  // As Fail, but classifies the error as a limit breach (kResourceExhausted)
+  // rather than malformed input.
+  bool FailLimit(const std::string& message);
+  // Enforces options_.max_text_bytes over an accumulating token buffer.
+  bool CheckTokenLimit(const std::string& token, const char* what);
   // Counting funnel in front of the sink: every document message passes
   // through here so events_emitted() stays exact.
   void Emit(const StreamEvent& event);
@@ -134,6 +154,7 @@ class XmlParser {
   XmlParserOptions options_;
   State state_ = State::kContent;
   std::string error_;
+  StatusCode error_code_ = StatusCode::kMalformedInput;  // when error_ set
 
   bool document_started_ = false;
   bool seen_root_ = false;
@@ -162,6 +183,13 @@ class XmlParser {
 bool ParseXmlToEvents(std::string_view document, std::vector<StreamEvent>* out,
                       std::string* error = nullptr,
                       XmlParserOptions options = {});
+
+// Structured-status variant for the serving path.  Unlike the bool form, on
+// failure *out still receives the event prefix emitted before the error (no
+// kEndDocument), so a server can feed the prefix and Abort() the session for
+// a sealed partial result; the returned status classifies the failure.
+Status ParseXmlToEvents(std::string_view document, std::vector<StreamEvent>* out,
+                        XmlParserOptions options);
 
 }  // namespace spex
 

@@ -337,6 +337,156 @@ TEST(EnginePoolTest, SessionsFromManyProducerThreads) {
 // ---------------------------------------------------------------------------
 // Thread-affinity assertions (debug builds only; compiled out in NDEBUG).
 // TSan intercepts abort() with its own report, so the death tests only run
+// ---------------------------------------------------------------------------
+// Fault isolation (DESIGN.md §10)
+
+// A session that breaches its limits is quarantined and reports a structured
+// partial result; other sessions on the same pool are untouched.
+TEST(EnginePoolTest, BreachedSessionIsQuarantinedOthersKeepRunning) {
+  PoolOptions options;
+  options.threads = 2;
+  EnginePool pool(options);
+  std::string error;
+  auto t = QueryTemplate::Build(*MustParseRpeq("_*.b"), &error);
+  ASSERT_NE(t, nullptr) << error;
+  const std::vector<StreamEvent> doc = Doc(3);
+
+  auto failing = pool.OpenSession(t);
+  EngineLimits limits;
+  limits.max_events = 5;  // the random doc has far more events
+  failing->OverrideLimits(limits);
+  auto healthy = pool.OpenSession(t);
+
+  failing->Feed(doc);
+  healthy->Feed(doc);
+  failing->Close();
+  healthy->Close();
+
+  failing->Wait();
+  EXPECT_EQ(failing->status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(failing->truncated());
+  EXPECT_LE(failing->certain_result_count(), failing->result_count());
+
+  ExprPtr query = MustParseRpeq("_*.b");
+  EXPECT_EQ(healthy->Wait(), EvaluateToStrings(*query, doc));
+  EXPECT_TRUE(healthy->status().ok());
+  EXPECT_FALSE(healthy->truncated());
+
+  const obs::MetricsSnapshot snap = pool.metrics().Collect();
+  int64_t failed_resource_exhausted = -1;
+  for (const obs::MetricSample& sample : snap.samples) {
+    if (sample.name == "spex_pool_sessions_failed" &&
+        sample.labels ==
+            obs::Labels{{"reason", "resource_exhausted"}}) {
+      failed_resource_exhausted = sample.value;
+    }
+  }
+  EXPECT_EQ(failed_resource_exhausted, 1);
+}
+
+// Satellite regression: Wait() on a failed session must be released by the
+// quarantine itself — no Close() required, and it must never hang.
+TEST(EnginePoolTest, WaitWithoutCloseReturnsAfterFailure) {
+  PoolOptions options;
+  EnginePool pool(options);
+  std::string error;
+  auto t = QueryTemplate::Build(*MustParseRpeq("_*.b"), &error);
+  ASSERT_NE(t, nullptr) << error;
+  auto session = pool.OpenSession(t);
+  EngineLimits limits;
+  limits.max_events = 3;
+  session->OverrideLimits(limits);
+  session->Feed(Doc(4));
+  // No Close(): the worker's quarantine finalizes the session and releases
+  // the waiter.
+  session->Wait();
+  EXPECT_EQ(session->status().code(), StatusCode::kResourceExhausted);
+}
+
+// Satellite regression: Close() after the failure already finalized the
+// session is an idempotent no-op (and a second Wait sees the same state).
+TEST(EnginePoolTest, CloseAfterFailureIsIdempotent) {
+  PoolOptions options;
+  EnginePool pool(options);
+  std::string error;
+  auto t = QueryTemplate::Build(*MustParseRpeq("_*.b"), &error);
+  ASSERT_NE(t, nullptr) << error;
+  auto session = pool.OpenSession(t);
+  EngineLimits limits;
+  limits.max_events = 3;
+  session->OverrideLimits(limits);
+  session->Feed(Doc(4));
+  session->Wait();  // quarantine released it
+  const Status first = session->status();
+  session->Close();
+  session->Close();  // idempotent
+  session->Wait();
+  EXPECT_EQ(session->status(), first);
+  EXPECT_EQ(session->status().code(), StatusCode::kResourceExhausted);
+}
+
+// Abort() seals the partial stream with the producer's status: the certain
+// prefix stays, the open elements are closed virtually.
+TEST(EnginePoolTest, AbortSealsPartialStreamWithCallerStatus) {
+  PoolOptions options;
+  EnginePool pool(options);
+  std::string error;
+  auto t = QueryTemplate::Build(*MustParseRpeq("a.b"), &error);
+  ASSERT_NE(t, nullptr) << error;
+  auto session = pool.OpenSession(t);
+  // A prefix: <a><b/><b> ... never closed.
+  session->Feed(std::vector<StreamEvent>{
+      StreamEvent::StartDocument(), StreamEvent::StartElement("a"),
+      StreamEvent::StartElement("b"), StreamEvent::EndElement("b"),
+      StreamEvent::StartElement("b")});
+  session->Abort(Status::MalformedInput("client hung up"));
+  const std::vector<std::string>& results = session->Wait();
+  EXPECT_EQ(session->status().code(), StatusCode::kMalformedInput);
+  EXPECT_EQ(session->status().message(), "client hung up");
+  EXPECT_TRUE(session->truncated());
+  // The virtual close seals the dangling <b>: both children of a match a.b
+  // on the closed document, but only the first was complete before the
+  // truncation point — the second is speculative.
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], "<b></b>");
+  EXPECT_EQ(results[1], "<b></b>");
+  EXPECT_EQ(session->certain_result_count(), 1);
+}
+
+// Pool teardown with an incomplete, unclosed stream: the session is sealed
+// as kCancelled rather than left hanging (complete streams stay kOk — see
+// ShutdownFinalizesUnclosedSessions above).
+TEST(EnginePoolTest, ShutdownCancelsIncompleteStreams) {
+  std::shared_ptr<StreamSession> session;
+  {
+    EnginePool pool(PoolOptions{});
+    std::string error;
+    auto t = QueryTemplate::Build(*MustParseRpeq("a.b"), &error);
+    ASSERT_NE(t, nullptr) << error;
+    session = pool.OpenSession(t);
+    session->Feed(std::vector<StreamEvent>{StreamEvent::StartDocument(),
+                                           StreamEvent::StartElement("a"),
+                                           StreamEvent::StartElement("b")});
+    // No Close(), no end-document: destruction must seal it.
+  }
+  session->Wait();
+  EXPECT_EQ(session->status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(session->truncated());
+  EXPECT_EQ(session->result_count(), 1);  // the virtually sealed <b>
+  EXPECT_EQ(session->certain_result_count(), 0);
+}
+
+TEST(QueryCacheTest, StatusOverloadClassifiesParseErrors) {
+  CompiledQueryCache cache(4);
+  StatusOr<std::shared_ptr<const QueryTemplate>> bad = cache.Get("a..b");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kMalformedInput);
+  EXPECT_FALSE(bad.status().message().empty());
+  StatusOr<std::shared_ptr<const QueryTemplate>> good = cache.Get("a.b");
+  ASSERT_TRUE(good.ok());
+  EXPECT_NE(*good, nullptr);
+}
+
 // in non-TSan debug builds (the asan preset covers them in CI).
 
 #if defined(__SANITIZE_THREAD__)

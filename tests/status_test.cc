@@ -1,0 +1,83 @@
+// Tests for the structured error model (base/status.h, DESIGN.md §10).
+
+#include "base/status.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "ok");
+  EXPECT_EQ(s, Status::Ok());
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::MalformedInput("bad tag"), StatusCode::kMalformedInput,
+       "malformed_input"},
+      {Status::ResourceExhausted("buffer full"),
+       StatusCode::kResourceExhausted, "resource_exhausted"},
+      {Status::DeadlineExceeded("too slow"), StatusCode::kDeadlineExceeded,
+       "deadline_exceeded"},
+      {Status::Cancelled("shutdown"), StatusCode::kCancelled, "cancelled"},
+      {Status::Internal("bug"), StatusCode::kInternal, "internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeName(c.status.code()), std::string(c.name));
+    EXPECT_EQ(c.status.ToString(),
+              std::string(c.name) + ": " + c.status.message());
+  }
+}
+
+TEST(StatusTest, UpdateKeepsFirstFailure) {
+  Status s;
+  s.Update(Status::Ok());
+  EXPECT_TRUE(s.ok());
+  s.Update(Status::MalformedInput("first"));
+  s.Update(Status::Internal("second"));
+  EXPECT_EQ(s.code(), StatusCode::kMalformedInput);
+  EXPECT_EQ(s.message(), "first");
+}
+
+TEST(StatusOrTest, HoldsValueOnSuccess) {
+  StatusOr<std::string> ok = std::string("hello");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.status().ok());
+  EXPECT_EQ(ok.value(), "hello");
+  EXPECT_EQ(*ok, "hello");
+  EXPECT_EQ(ok->size(), 5u);
+}
+
+TEST(StatusOrTest, HoldsStatusOnFailure) {
+  StatusOr<std::vector<int>> bad = Status::ResourceExhausted("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(bad.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MovesHeavyPayloads) {
+  StatusOr<std::unique_ptr<int>> holder = std::make_unique<int>(7);
+  ASSERT_TRUE(holder.ok());
+  std::unique_ptr<int> taken = std::move(holder).value();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(*taken, 7);
+}
+
+}  // namespace
+}  // namespace spex

@@ -4,6 +4,7 @@
 #
 #   tools/run_tier1.sh           # default preset (RelWithDebInfo, build/)
 #   tools/run_tier1.sh asan      # address+UB sanitizer preset (build-asan/)
+#   tools/run_tier1.sh ubsan     # UB sanitizer alone (build-ubsan/)
 #   tools/run_tier1.sh tsan      # thread sanitizer preset (build-tsan/);
 #                                # ctest runs the concurrency-relevant subset
 #
@@ -65,8 +66,28 @@ echo "$serve_out" | grep -q 'sessions on 2 threads' || {
   rm -rf "$serve_dir"
   exit 1
 }
-rm -rf "$serve_dir"
 echo "tier1: spexserve smoke OK"
+
+# Chaos smoke: the same serving run with every session faulted (seeded
+# corruption / truncation / tiny limits / worker stalls).  The server must
+# answer every frame — result line or structured ERROR line — and exit
+# cleanly; under the sanitizer presets this also proves the failure paths
+# are asan/tsan clean.
+chaos_out="$("$binary_dir/tools/spexserve" --queries="$serve_dir/queries.txt" \
+  --threads=2 --chaos=7 --chaos-rate=100 "$serve_dir/docs" 2>&1)" || {
+  echo "tier1: spexserve chaos smoke failed:" >&2
+  echo "$chaos_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+echo "$chaos_out" | grep -q 'chaos injection on, seed=7' || {
+  echo "tier1: spexserve chaos smoke missing chaos banner:" >&2
+  echo "$chaos_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+rm -rf "$serve_dir"
+echo "tier1: spexserve chaos smoke OK"
 
 # Perf-regression report (informational here — tier-1 machines are too
 # noisy to gate on; the CI bench-smoke job gates for real with

@@ -26,6 +26,11 @@
 //                                     chrome://tracing or Perfetto
 //   spexquery --progress[=N] ...      print a progress watermark to stderr
 //                                     every N events (default 100000)
+//   spexquery --max-depth=N ...       parser element-depth bound
+//                                     (default 10000, 0 = unlimited)
+//   spexquery --max-text=BYTES ...    parser token-size bound (text node /
+//                                     tag name / attribute region; default
+//                                     16 MiB, 0 = unlimited)
 //
 // Examples:
 //   spexquery '_*.book[author].title' catalog.xml
@@ -61,6 +66,10 @@ struct Options {
   std::string metrics_format;      // "", "json" or "prom"
   std::string trace_out;           // empty = no trace
   int64_t progress_every = 0;      // 0 = no progress reports
+  // Parser bounds (0 = unlimited); defaults absorb adversarial inputs
+  // without bothering legitimate documents.
+  int max_depth = 10000;
+  size_t max_text_bytes = 16u << 20;
 };
 
 int Usage() {
@@ -72,6 +81,7 @@ int Usage() {
                "                 [--observe=off|counters|full]\n"
                "                 [--metrics=json|prom] [--trace-out=FILE] "
                "[--progress[=N]]\n"
+               "                 [--max-depth=N] [--max-text=BYTES]\n"
                "                 QUERY [FILE]\n");
   return 2;
 }
@@ -156,6 +166,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--progress=", 0) == 0) {
       opts.progress_every = std::atoll(arg.c_str() + 11);
       if (opts.progress_every <= 0) return Usage();
+    } else if (arg.rfind("--max-depth=", 0) == 0) {
+      opts.max_depth = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--max-text=", 0) == 0) {
+      opts.max_text_bytes = static_cast<size_t>(std::atoll(arg.c_str() + 11));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage();
@@ -246,6 +260,8 @@ int main(int argc, char** argv) {
   spex::XmlParserOptions parser_options;
   parser_options.symbols = engine.symbol_table();
   parser_options.metrics = &engine.metrics();
+  parser_options.max_depth = opts.max_depth;
+  parser_options.max_text_bytes = opts.max_text_bytes;
   spex::XmlParser parser(&engine, parser_options);
   engine.set_progress_bytes_source([&parser] { return parser.bytes_consumed(); });
 

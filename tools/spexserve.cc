@@ -24,12 +24,31 @@
 //   --print             print result fragments (default: counts only)
 //   --metrics=json|prom dump the pool + cache metrics registry to stderr
 //
+// Robustness (DESIGN.md §10):
+//   --max-depth=N       parser element-depth bound (default 10000, 0 = off)
+//   --max-text=BYTES    parser token-size bound (default 16 MiB, 0 = off)
+//   --max-buffered-bytes=N, --max-formula-bytes=N, --max-events=N,
+//   --deadline-ms=N     per-session EngineLimits (default 0 = off)
+//   --chaos=SEED        deterministic fault injection: seeded corruption /
+//                       truncation / tiny limits / worker stalls per
+//                       session (see runtime/fault_injector.h)
+//   --chaos-rate=PCT    fraction of sessions faulted under --chaos
+//                       (default 50)
+//
+// A malformed or truncated document does NOT stop the server: its sessions
+// are fed the parsed prefix and aborted with the parser's status, every
+// other document keeps serving, and the affected sessions report a
+// structured error line.
+//
 // Output: one line per (document, query) session, tab-separated:
-//   <document>  <query>  <result count>
+//   <document>  <query>  <result count>                     (success)
+//   <document>  <query>  ERROR(<code>)  certain=<n>/<m>  <message>
 // in (document, query) submission order, plus a throughput summary on
-// stderr.
+// stderr.  certain=n/m: of the m partial results harvested, the first n are
+// exact (see SpexEngine::FinalizeTruncated).
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -42,7 +61,9 @@
 #include <string>
 #include <vector>
 
+#include "base/status.h"
 #include "runtime/engine_pool.h"
+#include "runtime/fault_injector.h"
 #include "runtime/query_cache.h"
 #include "xml/xml_parser.h"
 
@@ -59,13 +80,29 @@ struct Options {
   size_t batch_events = 0;  // 0 = whole document in one batch
   bool print_results = false;
   std::string metrics_format;  // "", "json" or "prom"
+  // Parser bounds (0 = unlimited).  The defaults keep an adversarial
+  // document from exhausting the parser while far exceeding anything a
+  // legitimate stream carries.
+  int max_depth = 10000;
+  size_t max_text_bytes = 16u << 20;
+  // Per-session engine limits (0 = off).
+  spex::EngineLimits limits;
+  // Deterministic chaos injection (--chaos=SEED).
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  int chaos_rate = 50;
 };
 
 int Usage() {
   std::fprintf(stderr,
                "usage: spexserve --queries=FILE [--threads=N] [--queue=N]\n"
                "                 [--cache=N] [--batch=N] [--print]\n"
-               "                 [--metrics=json|prom] (DIR | --frames[=FILE])\n");
+               "                 [--metrics=json|prom]\n"
+               "                 [--max-depth=N] [--max-text=BYTES]\n"
+               "                 [--max-buffered-bytes=N] [--max-formula-bytes=N]\n"
+               "                 [--max-events=N] [--deadline-ms=N]\n"
+               "                 [--chaos=SEED] [--chaos-rate=PCT]\n"
+               "                 (DIR | --frames[=FILE])\n");
   return 2;
 }
 
@@ -95,6 +132,7 @@ std::vector<std::string> LoadQueries(const std::string& path, bool* ok) {
 // Reads one length-prefixed frame; false on clean EOF, aborts the run (via
 // *error) on a truncated frame.
 bool ReadFrame(std::istream& in, std::string* payload, std::string* error) {
+  payload->clear();  // never leave a previous frame's bytes behind
   unsigned char header[4];
   in.read(reinterpret_cast<char*>(header), 4);
   if (in.gcount() == 0 && in.eof()) return false;
@@ -109,8 +147,11 @@ bool ReadFrame(std::istream& in, std::string* payload, std::string* error) {
   payload->resize(length);
   in.read(payload->data(), static_cast<std::streamsize>(length));
   if (in.gcount() != static_cast<std::streamsize>(length)) {
+    // Keep only what actually arrived: the caller evaluates the fragment
+    // as a truncated document rather than zero-padded garbage.
+    payload->resize(static_cast<size_t>(in.gcount()));
     *error = "truncated frame payload (wanted " + std::to_string(length) +
-             " bytes)";
+             " bytes, got " + std::to_string(payload->size()) + ")";
     return false;
   }
   return true;
@@ -119,7 +160,8 @@ bool ReadFrame(std::istream& in, std::string* payload, std::string* error) {
 struct PendingSession {
   std::string document;
   std::string query;
-  std::shared_ptr<spex::StreamSession> session;
+  std::shared_ptr<spex::StreamSession> session;  // null: rejected up front
+  spex::Status rejected;  // non-OK when no session was opened
 };
 
 class Server {
@@ -127,13 +169,31 @@ class Server {
   explicit Server(const Options& options)
       : options_(options),
         cache_(options.cache_capacity),
+        injector_(options.chaos_seed, options.chaos_rate),
         pool_([&] {
           spex::PoolOptions pool_options;
           pool_options.threads = options.threads;
           pool_options.queue_capacity = options.queue_capacity;
+          pool_options.engine.limits = options.limits;
+          if (options.chaos) {
+            // Seeded worker stalls: one deterministic draw per batch (the
+            // corruption/truncation/limit faults are planned per session in
+            // Dispatch; the stall schedule rides the batch counter).
+            pool_options.before_batch =
+                [this](int) {
+                  const uint64_t n =
+                      chaos_batches_.fetch_add(1, std::memory_order_relaxed);
+                  spex::FaultInjector::MaybeStall(injector_.PlanForSession(n));
+                };
+          }
           return pool_options;
         }()) {
     cache_.RegisterCollectors(&pool_.metrics());
+    if (options.chaos) {
+      std::fprintf(stderr, "spexserve: chaos injection on, seed=%llu rate=%d%%\n",
+                   static_cast<unsigned long long>(options.chaos_seed),
+                   options.chaos_rate);
+    }
   }
 
   bool LoadQueries() {
@@ -161,29 +221,51 @@ class Server {
     return true;
   }
 
-  // Parses one document and opens a session per query against it.
-  bool Dispatch(const std::string& name, const std::string& xml) {
+  // Parses one document and opens a session per query against it.  A
+  // malformed/truncated document never stops the server: its sessions are
+  // fed the parsed prefix and aborted with the parser's status, so Finish
+  // reports a structured error line with the sealed partial result.
+  void Dispatch(const std::string& name, const std::string& xml) {
+    spex::FaultPlan plan;
+    const std::string* doc = &xml;
+    std::string mutated;
+    if (options_.chaos) {
+      plan = injector_.PlanForSession(chaos_sessions_++);
+      if (plan.active()) {
+        mutated = spex::FaultInjector::ApplyToDocument(plan, xml);
+        doc = &mutated;
+      }
+    }
+    spex::XmlParserOptions parser_options;
+    parser_options.max_depth = options_.max_depth;
+    parser_options.max_text_bytes = options_.max_text_bytes;
     std::vector<spex::StreamEvent> events;
-    std::string error;
-    if (!spex::ParseXmlToEvents(xml, &events, &error)) {
-      std::fprintf(stderr, "spexserve: %s: XML error: %s\n", name.c_str(),
-                   error.c_str());
-      return false;
+    const spex::Status parse_status =
+        spex::ParseXmlToEvents(*doc, &events, parser_options);
+    if (!parse_status.ok()) {
+      std::fprintf(stderr, "spexserve: %s: %s (serving continues)\n",
+                   name.c_str(), parse_status.ToString().c_str());
     }
     ++documents_;
     document_events_ += static_cast<int64_t>(events.size());
     auto batch = std::make_shared<const std::vector<spex::StreamEvent>>(
         std::move(events));
     for (const std::string& q : queries_) {
-      std::shared_ptr<spex::StreamSession> session =
-          pool_.OpenSession(q, &cache_, &error);
-      if (session == nullptr) {
-        std::fprintf(stderr, "spexserve: bad query '%s': %s\n", q.c_str(),
-                     error.c_str());
-        return false;
+      spex::StatusOr<std::shared_ptr<spex::StreamSession>> session =
+          pool_.OpenSession(q, &cache_);
+      if (!session.ok()) {
+        // Unreachable for queries validated by LoadQueries; kept for
+        // future per-request query sources.
+        pending_.push_back(PendingSession{name, q, nullptr, session.status()});
+        continue;
+      }
+      if (options_.chaos) {
+        spex::EngineLimits limits = options_.limits;
+        spex::FaultInjector::ApplyToLimits(plan, &limits);
+        if (limits.enabled()) (*session)->OverrideLimits(limits);
       }
       if (options_.batch_events == 0) {
-        session->Feed(batch);
+        (*session)->Feed(batch);
       } else {
         // Re-slice into bounded batches: exercises the queue/backpressure
         // path and bounds what one task pins in memory.
@@ -191,27 +273,53 @@ class Server {
              begin += options_.batch_events) {
           const size_t end =
               std::min(batch->size(), begin + options_.batch_events);
-          session->Feed(std::vector<spex::StreamEvent>(
+          (*session)->Feed(std::vector<spex::StreamEvent>(
               batch->begin() + static_cast<std::ptrdiff_t>(begin),
               batch->begin() + static_cast<std::ptrdiff_t>(end)));
         }
       }
-      session->Close();
-      pending_.push_back(PendingSession{name, q, std::move(session)});
+      if (parse_status.ok()) {
+        (*session)->Close();
+      } else {
+        (*session)->Abort(parse_status);
+      }
+      pending_.push_back(
+          PendingSession{name, q, std::move(session).value(), {}});
     }
-    return true;
   }
 
   int Finish() {
     int64_t total_results = 0;
+    int64_t failed_sessions = 0;
     for (PendingSession& p : pending_) {
+      if (p.session == nullptr) {
+        ++failed_sessions;
+        std::printf("%s\t%s\tERROR(%s)\tcertain=0/0\t%s\n", p.document.c_str(),
+                    p.query.c_str(), spex::StatusCodeName(p.rejected.code()),
+                    p.rejected.message().c_str());
+        continue;
+      }
       const std::vector<std::string>& results = p.session->Wait();
       total_results += p.session->result_count();
-      std::printf("%s\t%s\t%lld\n", p.document.c_str(), p.query.c_str(),
-                  static_cast<long long>(p.session->result_count()));
+      if (p.session->status().ok()) {
+        std::printf("%s\t%s\t%lld\n", p.document.c_str(), p.query.c_str(),
+                    static_cast<long long>(p.session->result_count()));
+      } else {
+        ++failed_sessions;
+        std::printf("%s\t%s\tERROR(%s)\tcertain=%lld/%lld\t%s\n",
+                    p.document.c_str(), p.query.c_str(),
+                    spex::StatusCodeName(p.session->status().code()),
+                    static_cast<long long>(p.session->certain_result_count()),
+                    static_cast<long long>(p.session->result_count()),
+                    p.session->status().message().c_str());
+      }
       if (options_.print_results) {
         for (const std::string& r : results) std::printf("  %s\n", r.c_str());
       }
+    }
+    if (failed_sessions > 0) {
+      std::fprintf(stderr, "spexserve: %lld sessions failed (see ERROR lines)\n",
+                   static_cast<long long>(failed_sessions));
     }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -242,6 +350,9 @@ class Server {
  private:
   const Options& options_;
   spex::CompiledQueryCache cache_;
+  spex::FaultInjector injector_;
+  std::atomic<uint64_t> chaos_batches_{0};  // worker-stall schedule cursor
+  uint64_t chaos_sessions_ = 0;             // document fault schedule cursor
   spex::EnginePool pool_;
   std::vector<std::string> queries_;
   std::vector<PendingSession> pending_;
@@ -270,6 +381,23 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->batch_events = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--print") {
       options->print_results = true;
+    } else if (const char* v = value("--max-depth=")) {
+      options->max_depth = std::atoi(v);
+    } else if (const char* v = value("--max-text=")) {
+      options->max_text_bytes = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--max-buffered-bytes=")) {
+      options->limits.max_buffered_bytes = std::atoll(v);
+    } else if (const char* v = value("--max-formula-bytes=")) {
+      options->limits.max_formula_bytes = std::atoll(v);
+    } else if (const char* v = value("--max-events=")) {
+      options->limits.max_events = std::atoll(v);
+    } else if (const char* v = value("--deadline-ms=")) {
+      options->limits.deadline_ms = std::atoll(v);
+    } else if (const char* v = value("--chaos=")) {
+      options->chaos = true;
+      options->chaos_seed = static_cast<uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--chaos-rate=")) {
+      options->chaos_rate = std::atoi(v);
     } else if (const char* v = value("--metrics=")) {
       options->metrics_format = v;
       if (options->metrics_format != "json" &&
@@ -330,7 +458,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "spexserve: cannot read '%s'\n", path.c_str());
         return 1;
       }
-      if (!server.Dispatch(fs::path(path).filename().string(), xml)) return 1;
+      server.Dispatch(fs::path(path).filename().string(), xml);
     }
   } else {
     std::ifstream file;
@@ -347,13 +475,18 @@ int main(int argc, char** argv) {
     std::string error;
     int64_t frame = 0;
     while (ReadFrame(in, &payload, &error)) {
-      if (!server.Dispatch("frame#" + std::to_string(frame++), payload)) {
-        return 1;
-      }
+      server.Dispatch("frame#" + std::to_string(frame++), payload);
     }
     if (!error.empty()) {
-      std::fprintf(stderr, "spexserve: %s\n", error.c_str());
-      return 1;
+      // A truncated trailing frame is a client error, not a server fault:
+      // evaluate its payload as-is (the parser will classify the damage),
+      // report the condition, and still answer everything already queued.
+      std::fprintf(stderr, "spexserve: frame stream: %s (serving continues)\n",
+                   error.c_str());
+      if (!payload.empty()) {
+        server.Dispatch("frame#" + std::to_string(frame) + "(truncated)",
+                        payload);
+      }
     }
   }
   return server.Finish();
