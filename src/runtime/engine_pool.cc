@@ -1,5 +1,6 @@
 #include "runtime/engine_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -69,11 +70,11 @@ void StreamSession::ProcessBatch(const EventBatch& batch,
       engine_ = std::make_unique<SpexEngine>(query_template_, sink_.get(),
                                              std::move(options));
     }
-    for (const StreamEvent& event : *batch) {
 #ifndef NDEBUG
-      // Batches are shared across sessions whose engines each own a private
-      // symbol table — a stamped label would be resolved against the wrong
-      // table and silently match the wrong transducers.
+    // Batches are shared across sessions whose engines each own a private
+    // symbol table — a stamped label would be resolved against the wrong
+    // table and silently match the wrong transducers.
+    for (const StreamEvent& event : *batch) {
       if (event.label != kNoSymbol) {
         std::fprintf(stderr,
                      "StreamSession: batch event '%s' carries a foreign "
@@ -81,8 +82,21 @@ void StreamSession::ProcessBatch(const EventBatch& batch,
                      event.name.c_str());
         std::abort();
       }
+    }
 #endif
-      engine_->OnEvent(event);
+    // Batch-native delivery: hand the pool batch to the engine in
+    // EngineOptions::batch_size chunks (the engine falls back to per-event
+    // internally when the query or observe level requires it).
+    const size_t step =
+        base.batch_size > 1 ? static_cast<size_t>(base.batch_size) : 1;
+    const StreamEvent* events = batch->data();
+    const size_t total = batch->size();
+    if (step <= 1) {
+      for (size_t i = 0; i < total; ++i) engine_->OnEvent(events[i]);
+    } else {
+      for (size_t i = 0; i < total; i += step) {
+        engine_->OnEventBatch(events + i, std::min(step, total - i));
+      }
     }
   } catch (const std::exception& e) {
     // Exception barrier: a bug in this session must not take down the

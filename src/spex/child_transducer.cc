@@ -24,9 +24,8 @@ bool ChildTransducer::Matches(const Message& m) const {
                                : m.event().name == label_;
 }
 
-void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
-  (void)port;
-  CountIn(message);
+template <typename Out>
+void ChildTransducer::Process(Message&& message, Out* out) {
   switch (message.kind) {
     case MessageKind::kActivation:
       switch (state_) {
@@ -52,7 +51,6 @@ void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
       }
       NoteConditionStack(cond_.size());
       NoteFormula(cond_.empty() ? Formula::True() : cond_.back());
-      FinishMessage();
       return;
 
     case MessageKind::kDetermination:  // (13)
@@ -61,7 +59,6 @@ void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
         for (Formula& f : cond_) f = f.PruneFalse(context_->assignment);
       }
       EmitTo(out, 0, std::move(message));
-      FinishMessage();
       return;
 
     case MessageKind::kDocument:
@@ -70,7 +67,6 @@ void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
 
   if (message.is_text()) {  // text carries no structure: forward untouched
     EmitTo(out, 0, std::move(message));
-    FinishMessage();
     return;
   }
 
@@ -116,7 +112,6 @@ void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
         break;
     }
     NoteDepthStack(depth_.size());
-    FinishMessage();
     return;
   }
 
@@ -158,7 +153,23 @@ void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
       break;
   }
   EmitTo(out, 0, std::move(message));
+}
+
+void ChildTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  Process(std::move(message), out);
   FinishMessage();
+}
+
+void ChildTransducer::OnBatch(int port, Message* messages, size_t count,
+                              BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) Process(std::move(messages[i]), out);
 }
 
 }  // namespace spex

@@ -21,6 +21,8 @@ class ChildTransducer : public Transducer {
   ChildTransducer(std::string label, bool wildcard, RunContext* context);
 
   void OnMessage(int port, Message message, Emitter* out) override;
+  void OnBatch(int port, Message* messages, size_t count,
+               BatchEmitter* out) override;
 
   // Exposed for white-box tests.
   enum class State : uint8_t { kWaiting, kMatching, kActivated1, kActivated2 };
@@ -30,6 +32,8 @@ class ChildTransducer : public Transducer {
 
  private:
   bool Matches(const Message& m) const;
+  template <typename Out>
+  void Process(Message&& message, Out* out);
 
   std::string label_;
   bool wildcard_;

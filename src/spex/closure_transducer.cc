@@ -21,9 +21,8 @@ bool ClosureTransducer::Matches(const Message& m) const {
                                : m.event().name == label_;
 }
 
-void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
-  (void)port;
-  CountIn(message);
+template <typename Out>
+void ClosureTransducer::Process(Message&& message, Out* out) {
   switch (message.kind) {
     case MessageKind::kActivation:
       switch (state_) {
@@ -47,7 +46,6 @@ void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
       }
       NoteConditionStack(cond_.size());
       NoteFormula(cond_.empty() ? Formula::True() : cond_.back());
-      FinishMessage();
       return;
 
     case MessageKind::kDetermination:  // (14)
@@ -56,7 +54,6 @@ void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
         for (Formula& f : cond_) f = f.PruneFalse(context_->assignment);
       }
       EmitTo(out, 0, std::move(message));
-      FinishMessage();
       return;
 
     case MessageKind::kDocument:
@@ -65,7 +62,6 @@ void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
 
   if (message.is_text()) {
     EmitTo(out, 0, std::move(message));
-    FinishMessage();
     return;
   }
 
@@ -119,7 +115,6 @@ void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
       }
     }
     NoteDepthStack(depth_.size());
-    FinishMessage();
     return;
   }
 
@@ -162,7 +157,23 @@ void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
       break;
   }
   EmitTo(out, 0, std::move(message));
+}
+
+void ClosureTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  Process(std::move(message), out);
   FinishMessage();
+}
+
+void ClosureTransducer::OnBatch(int port, Message* messages, size_t count,
+                                BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) Process(std::move(messages[i]), out);
 }
 
 }  // namespace spex

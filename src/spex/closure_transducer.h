@@ -22,6 +22,8 @@ class ClosureTransducer : public Transducer {
   ClosureTransducer(std::string label, bool wildcard, RunContext* context);
 
   void OnMessage(int port, Message message, Emitter* out) override;
+  void OnBatch(int port, Message* messages, size_t count,
+               BatchEmitter* out) override;
 
   enum class State : uint8_t { kWaiting, kMatching, kActivated1, kActivated2 };
   State state() const { return state_; }
@@ -30,6 +32,8 @@ class ClosureTransducer : public Transducer {
 
  private:
   bool Matches(const Message& m) const;
+  template <typename Out>
+  void Process(Message&& message, Out* out);
 
   std::string label_;
   bool wildcard_;

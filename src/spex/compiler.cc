@@ -255,6 +255,11 @@ CompiledNetwork CompileToNetwork(const Expr& expr, ResultSink* sink,
   out.input_node = builder.input_node();
   int body_out = builder.CompileExpr(expr, t0);
   out.output = builder.AddOutput(body_out, sink, &expr);
+  // Condition variables are created only by qualifier sandwiches (VC/VD)
+  // and preceding-axis transducers (PR); everything else moves constant
+  // formulas, which is what makes batched delivery order-safe.
+  out.batchable = !expr.ContainsKind(ExprKind::kQualified) &&
+                  !expr.ContainsKind(ExprKind::kPreceding);
   return out;
 }
 

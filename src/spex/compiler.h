@@ -62,6 +62,12 @@ struct CompiledNetwork {
   Network network;
   int input_node = -1;                 // the IN transducer (inject here)
   OutputTransducer* output = nullptr;  // owned by `network`
+  // True when the network is provably safe for Network::DeliverBatch: it
+  // creates no condition variables (no VC/VD/PR nodes), so no transducer
+  // reads or writes the global assignment mid-round and every node's output
+  // is a function of its per-tape input sequences alone (DESIGN.md §11).
+  // Qualifier and preceding-axis queries keep per-event delivery.
+  bool batchable = false;
 };
 
 // ---------------------------------------------------------------------------

@@ -77,6 +77,12 @@ void SpexEngine::FinishInit() {
   }
   observed_path_ = obs_ != nullptr || progress_enabled_;
   guarded_ = options.limits.enabled() || options.track_open_elements;
+  // observe=full records a span per event delivery; batching would collapse
+  // those into one span per batch, so full observation keeps per-event
+  // feeding (the profiler needs no such carve-out: Network::DeliverBatch
+  // itself falls back to per-message delivery when instrumented).
+  batch_path_ =
+      compiled_.batchable && (obs_ == nullptr || trace_recorder() == nullptr);
   if (guarded_) open_path_.reserve(64);
   run_start_ = std::chrono::steady_clock::now();
   if (options.limits.deadline_ms > 0) {
@@ -96,6 +102,112 @@ void SpexEngine::OnEvent(const StreamEvent& event) {
     return;
   }
   GuardedOnEvent(event);
+}
+
+void SpexEngine::OnEventBatch(const StreamEvent* events, size_t count) {
+  if (count == 0) return;
+  if (!batch_path_) {
+    // Non-batchable network (condition variables) or observe=full: the
+    // per-event path is the semantics, batching is only a feeding shape.
+    for (size_t i = 0; i < count; ++i) OnEvent(events[i]);
+    return;
+  }
+  if (!guarded_) [[likely]] {
+    DeliverEventBatch(events, count);
+    return;
+  }
+  GuardedBatch(events, count);
+}
+
+void SpexEngine::DeliverEventBatch(const StreamEvent* events, size_t count) {
+  message_batch_.clear();
+  message_batch_.reserve(count);
+  SymbolTable* symbols = context_->symbol_table();
+  bool saw_end = false;
+  for (size_t i = 0; i < count; ++i) {
+    const StreamEvent& e = events[i];
+    Message m = Message::DocumentRef(e);
+    if (m.symbol == kNoSymbol && e.kind == EventKind::kStartElement) {
+      m.symbol = symbols->Intern(e.name);
+    }
+    saw_end |= (e.kind == EventKind::kEndDocument);
+    message_batch_.push_back(std::move(m));
+  }
+  if (saw_end && events[count - 1].kind != EventKind::kEndDocument) {
+    // </$> mid-batch: the per-event path flushes the output transducer at
+    // the end-document message, before anything that (bogusly) follows it.
+    // Keep that exact on this cold path.
+    message_batch_.clear();
+    for (size_t i = 0; i < count; ++i) ProcessEvent(events[i]);
+    return;
+  }
+  events_processed_ += static_cast<int64_t>(count);
+  if (!observed_path_) [[likely]] {
+    compiled_.network.DeliverBatch(compiled_.input_node, 0, &message_batch_);
+  } else {
+    if (obs_ != nullptr) {
+      obs_->ObserveDeliveryBatch(events_processed_,
+                                 static_cast<int64_t>(count), [&] {
+                                   compiled_.network.DeliverBatch(
+                                       compiled_.input_node, 0,
+                                       &message_batch_);
+                                 });
+    } else {
+      compiled_.network.DeliverBatch(compiled_.input_node, 0, &message_batch_);
+    }
+    if (progress_enabled_) MaybeEmitProgress();
+  }
+  if (saw_end) {
+    document_ended_ = true;
+    compiled_.output->Flush();
+  }
+  // No end-of-round variable GC here: a batchable network creates no
+  // condition variables, so retired_variables stays empty by construction.
+}
+
+void SpexEngine::GuardedBatch(const StreamEvent* events, size_t count) {
+  if (!status_.ok()) return;  // poisoned: the rest of the stream is dropped
+  const EngineLimits& limits = context_->options.limits;
+  // The byte post-limits sample occupancy after every event; batching would
+  // coarsen the breach point, so those runs keep exact per-event checks.
+  if (limits.max_buffered_bytes > 0 || limits.max_formula_bytes > 0) {
+    for (size_t i = 0; i < count; ++i) GuardedOnEvent(events[i]);
+    return;
+  }
+  if (limits.deadline_ms > 0 && std::chrono::steady_clock::now() > deadline_) {
+    FailRun(Status::DeadlineExceeded(
+        "deadline_ms exceeded (" + std::to_string(limits.deadline_ms) + ")"));
+    return;
+  }
+  // Per-event pre-checks build the admissible prefix, exactly the events a
+  // per-event run would have delivered before the breach.
+  Status breach;
+  size_t admitted = 0;
+  for (; admitted < count; ++admitted) {
+    const StreamEvent& e = events[admitted];
+    if (limits.max_events > 0 &&
+        events_processed_ + static_cast<int64_t>(admitted) >=
+            limits.max_events) {
+      breach = Status::ResourceExhausted(
+          "max_events exceeded (" + std::to_string(limits.max_events) + ")");
+      break;
+    }
+    if (e.kind == EventKind::kStartElement) {
+      if (limits.max_depth > 0 &&
+          static_cast<int>(open_path_.size()) >= limits.max_depth) {
+        breach = Status::ResourceExhausted(
+            "max_depth exceeded (" + std::to_string(limits.max_depth) + ")");
+        break;
+      }
+      open_path_.push_back(e.label != kNoSymbol
+                               ? e.label
+                               : context_->symbol_table()->Intern(e.name));
+    } else if (e.kind == EventKind::kEndElement && !open_path_.empty()) {
+      open_path_.pop_back();
+    }
+  }
+  if (admitted > 0) DeliverEventBatch(events, admitted);
+  if (admitted < count) FailRun(std::move(breach));
 }
 
 void SpexEngine::ProcessEvent(const StreamEvent& event) {
@@ -232,7 +344,11 @@ void SpexEngine::MaybeEmitProgress() {
   bool due = false;
   if (progress.every_events > 0 && events_processed_ >= next_progress_events_) {
     due = true;
-    next_progress_events_ += progress.every_events;
+    // A batch can jump several thresholds at once; one callback fires and
+    // the trigger re-arms past the current count (batch granularity).
+    do {
+      next_progress_events_ += progress.every_events;
+    } while (events_processed_ >= next_progress_events_);
   }
   if (!due && progress.every_bytes > 0 && progress_bytes_source_) {
     const int64_t bytes = progress_bytes_source_();
@@ -319,12 +435,32 @@ const TransducerTrace* SpexEngine::trace(const std::string& name) const {
   return nullptr;
 }
 
+namespace {
+
+// Shared feeding loop of the one-shot helpers: batched at the configured
+// granularity (1 = per event), which also routes every helper-driven test
+// through the batch path on batchable queries.
+void FeedAll(SpexEngine* engine, const std::vector<StreamEvent>& events,
+             int batch_size) {
+  if (batch_size <= 1) {
+    for (const StreamEvent& e : events) engine->OnEvent(e);
+    return;
+  }
+  const size_t step = static_cast<size_t>(batch_size);
+  for (size_t i = 0; i < events.size(); i += step) {
+    engine->OnEventBatch(events.data() + i,
+                         std::min(step, events.size() - i));
+  }
+}
+
+}  // namespace
+
 std::vector<std::string> EvaluateToStrings(
     const Expr& query, const std::vector<StreamEvent>& events,
     EngineOptions options) {
   SerializingResultSink sink;
   SpexEngine engine(query, &sink, options);
-  for (const StreamEvent& e : events) engine.OnEvent(e);
+  FeedAll(&engine, events, options.batch_size);
   return sink.results();
 }
 
@@ -333,7 +469,7 @@ std::vector<std::vector<StreamEvent>> EvaluateToFragments(
     EngineOptions options) {
   CollectingResultSink sink;
   SpexEngine engine(query, &sink, options);
-  for (const StreamEvent& e : events) engine.OnEvent(e);
+  FeedAll(&engine, events, options.batch_size);
   return sink.results();
 }
 
@@ -341,7 +477,7 @@ int64_t CountMatches(const Expr& query, const std::vector<StreamEvent>& events,
                      EngineOptions options) {
   CountingResultSink sink;
   SpexEngine engine(query, &sink, options);
-  for (const StreamEvent& e : events) engine.OnEvent(e);
+  FeedAll(&engine, events, options.batch_size);
   return sink.results();
 }
 

@@ -85,6 +85,17 @@ class SpexEngine : public EventSink {
   // track_open_elements off this costs exactly one predictable branch.
   void OnEvent(const StreamEvent& event) override;
 
+  // Batched feeding (DESIGN.md §11): processes `count` consecutive document
+  // messages.  Results, statuses and counters are identical to `count`
+  // OnEvent calls at any batch size; the difference is cost.  For networks
+  // without condition variables (CompiledNetwork::batchable) the whole
+  // batch sweeps the network with one virtual dispatch and one stats flush
+  // per transducer (Network::DeliverBatch); everything else — qualifier /
+  // preceding-axis queries, observe=full runs, per-event byte limits — falls
+  // back to the exact per-event path internally.  The events must outlive
+  // the call (zero-copy borrowing at batch scope).
+  void OnEventBatch(const StreamEvent* events, size_t count) override;
+
   // kOk while the run is healthy; the breach status once the governor
   // tripped.  A poisoned engine ignores further OnEvent calls.
   const Status& status() const { return status_; }
@@ -179,6 +190,13 @@ class SpexEngine : public EventSink {
   // Governed per-event path: limit checks + open-path tracking around
   // ProcessEvent.  Entered only when guarded_ (limits or tracking on).
   void GuardedOnEvent(const StreamEvent& event);
+  // Batch-sweep delivery of a batchable network (no condition variables).
+  void DeliverEventBatch(const StreamEvent* events, size_t count);
+  // Governed batch path: per-event pre-checks (max_events / max_depth /
+  // open-path tracking) build an admissible prefix, which is delivered as
+  // one batch before any breach poisons the run — so exactly the events a
+  // per-event run would have processed are processed.
+  void GuardedBatch(const StreamEvent* events, size_t count);
   // Poisons the run and freezes the certain-result boundary.
   void FailRun(Status status);
   // Cold path of OnEvent: delivery wrapped in metric/trace publication plus
@@ -202,6 +220,13 @@ class SpexEngine : public EventSink {
   // True when OnEvent must take the governed path (limits configured or
   // track_open_elements): the unguarded hot path tests exactly this flag.
   bool guarded_ = false;
+  // True when OnEventBatch may use Network::DeliverBatch: batchable network
+  // and no per-delivery event spans (observe != kFull).  Computed once in
+  // FinishInit; false sends batches through the per-event loop.
+  bool batch_path_ = false;
+  // Reusable message buffer of the batch path; capacity circulates with the
+  // network's pending buffers, so steady state allocates nothing.
+  std::vector<Message> message_batch_;
   bool document_ended_ = false;
   bool truncated_ = false;
   Status status_;

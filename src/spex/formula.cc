@@ -129,14 +129,94 @@ std::string VarName(VarId id) {
          std::to_string(VarCounter(id));
 }
 
+namespace {
+
+// splitmix64 finalizer: VarIds are (qualifier << 40 | counter) with tiny
+// counters, so identity hashing would pile every variable into a few
+// buckets.
+inline uint64_t HashVarId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 bool Assignment::Set(VarId var, bool value) {
-  return values_.emplace(var, value).second;
+  if ((used_ + 1) * 8 > slots_.size() * 7) Rehash();
+  const size_t mask = slots_.size() - 1;
+  size_t insert_at = slots_.size();  // sentinel: not found yet
+  for (size_t i = HashVarId(var) & mask;; i = (i + 1) & mask) {
+    Slot& s = slots_[i];
+    if (s.state == kFull) {
+      if (s.key == var) return false;  // monotone: first binding wins
+    } else if (s.state == kTombstone) {
+      if (insert_at == slots_.size()) insert_at = i;  // reusable hole
+    } else {  // kEmpty: the probe chain ends, the key is absent
+      if (insert_at == slots_.size()) {
+        insert_at = i;
+        ++used_;  // claiming a fresh slot (reused tombstones stay counted)
+      }
+      break;
+    }
+  }
+  Slot& s = slots_[insert_at];
+  s.key = var;
+  s.state = kFull;
+  s.value = value;
+  ++size_;
+  return true;
 }
 
 Truth Assignment::Get(VarId var) const {
-  auto it = values_.find(var);
-  if (it == values_.end()) return Truth::kUnknown;
-  return it->second ? Truth::kTrue : Truth::kFalse;
+  if (size_ == 0) return Truth::kUnknown;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = HashVarId(var) & mask;; i = (i + 1) & mask) {
+    const Slot& s = slots_[i];
+    if (s.state == kEmpty) return Truth::kUnknown;
+    if (s.state == kFull && s.key == var) {
+      return s.value ? Truth::kTrue : Truth::kFalse;
+    }
+  }
+}
+
+void Assignment::Erase(VarId var) {
+  if (size_ == 0) return;
+  const size_t mask = slots_.size() - 1;
+  for (size_t i = HashVarId(var) & mask;; i = (i + 1) & mask) {
+    Slot& s = slots_[i];
+    if (s.state == kEmpty) return;
+    if (s.state == kFull && s.key == var) {
+      s.state = kTombstone;  // keeps probe chains intact
+      --size_;
+      return;
+    }
+  }
+}
+
+void Assignment::Clear() {
+  for (Slot& s : slots_) s.state = kEmpty;
+  size_ = 0;
+  used_ = 0;
+}
+
+void Assignment::Rehash() {
+  size_t new_cap = slots_.empty() ? 16 : slots_.size();
+  // Only grow when live entries (not tombstones) crowd the table; a
+  // tombstone-laden table is rebuilt at the same capacity.
+  if ((size_ + 1) * 4 > new_cap * 3) new_cap *= 2;
+  scratch_.clear();
+  scratch_.resize(new_cap);  // allocates only when growing past capacity
+  const size_t mask = new_cap - 1;
+  for (const Slot& s : slots_) {
+    if (s.state != kFull) continue;
+    size_t i = HashVarId(s.key) & mask;
+    while (scratch_[i].state == kFull) i = (i + 1) & mask;
+    scratch_[i] = s;
+  }
+  slots_.swap(scratch_);
+  used_ = size_;
 }
 
 Formula Formula::True() { return Formula(true); }
@@ -251,11 +331,81 @@ bool AnyBoundRec(const FormulaNode* n, const Assignment& assignment,
          AnyBoundRec(n->right, assignment, prune_false_only, epoch);
 }
 
+// Reusable pointer-keyed memo for SimplifyRec.  A fresh unordered_map per
+// Simplify call costs a bucket array plus a node per entry — per activation
+// on the qualifier path.  This flat table is thread-local and cleared (with
+// capacity retained) after each rewrite, so steady-state simplification
+// never touches the global allocator; the stored Formula copies only bump
+// pool refcounts and are dropped by Clear(), keeping the pool leak guard
+// (Formula::LiveNodeCount) exact between calls.
+class SimplifyMemo {
+ public:
+  Formula* Find(const FormulaNode* key) {
+    if (size_ == 0) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = HashVarId(reinterpret_cast<uintptr_t>(key)) & mask;;
+         i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.key == nullptr) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  void Insert(const FormulaNode* key, const Formula& value) {
+    if ((size_ + 1) * 4 > slots_.size() * 3) Grow();
+    const size_t mask = slots_.size() - 1;
+    size_t i = HashVarId(reinterpret_cast<uintptr_t>(key)) & mask;
+    while (slots_[i].key != nullptr) i = (i + 1) & mask;
+    slots_[i].key = key;
+    slots_[i].value = value;
+    ++size_;
+  }
+  void Clear() {
+    if (size_ == 0) return;
+    for (Slot& s : slots_) {
+      s.key = nullptr;
+      s.value = Formula();  // drop the pool reference
+    }
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    const FormulaNode* key = nullptr;
+    Formula value;
+  };
+  void Grow() {
+    const size_t new_cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(new_cap);
+    const size_t mask = new_cap - 1;
+    for (Slot& s : old) {
+      if (s.key == nullptr) continue;
+      size_t i = HashVarId(reinterpret_cast<uintptr_t>(s.key)) & mask;
+      while (slots_[i].key != nullptr) i = (i + 1) & mask;
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+    }
+  }
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+// Clears the memo when the rewrite unwinds (including early returns), so no
+// pool references outlive the Simplify call that created them.
+struct MemoScope {
+  SimplifyMemo* memo;
+  ~MemoScope() { memo->Clear(); }
+};
+
+SimplifyMemo* ThreadSimplifyMemo() {
+  static thread_local SimplifyMemo memo;
+  return &memo;
+}
+
 Formula SimplifyRec(const FormulaNode* n, const Assignment& assignment,
-                    bool prune_false_only,
-                    std::unordered_map<const FormulaNode*, Formula>* memo) {
-  auto it = memo->find(n);
-  if (it != memo->end()) return it->second;
+                    bool prune_false_only, SimplifyMemo* memo) {
+  if (Formula* hit = memo->Find(n)) return *hit;
   Formula result;
   switch (n->op) {
     case FormulaNode::Op::kVar:
@@ -283,7 +433,7 @@ Formula SimplifyRec(const FormulaNode* n, const Assignment& assignment,
           SimplifyRec(n->right, assignment, prune_false_only, memo));
       break;
   }
-  memo->emplace(n, result);
+  memo->Insert(n, result);
   return result;
 }
 
@@ -396,8 +546,9 @@ Formula Formula::Simplify(const Assignment& assignment) const {
                    Pool().NextEpoch())) {
     return *this;  // nothing to fold: share the existing DAG
   }
-  std::unordered_map<const FormulaNode*, Formula> memo;
-  return SimplifyRec(node_, assignment, /*prune_false_only=*/false, &memo);
+  SimplifyMemo* memo = ThreadSimplifyMemo();
+  MemoScope scope{memo};
+  return SimplifyRec(node_, assignment, /*prune_false_only=*/false, memo);
 }
 
 Formula Formula::PruneFalse(const Assignment& assignment) const {
@@ -407,23 +558,37 @@ Formula Formula::PruneFalse(const Assignment& assignment) const {
                    Pool().NextEpoch())) {
     return *this;  // no false variable reachable: share the existing DAG
   }
-  std::unordered_map<const FormulaNode*, Formula> memo;
-  return SimplifyRec(node_, assignment, /*prune_false_only=*/true, &memo);
+  SimplifyMemo* memo = ThreadSimplifyMemo();
+  MemoScope scope{memo};
+  return SimplifyRec(node_, assignment, /*prune_false_only=*/true, memo);
+}
+
+void Formula::AppendVariables(std::vector<VarId>* out) const {
+  if (node_ == nullptr) return;
+  CollectVarsRec(node_, Pool().NextEpoch(), out);
+}
+
+void Formula::AppendVariablesOfQualifier(uint32_t qualifier_id,
+                                         std::vector<VarId>* out) const {
+  const size_t base = out->size();
+  AppendVariables(out);
+  out->erase(std::remove_if(out->begin() + static_cast<ptrdiff_t>(base),
+                            out->end(),
+                            [qualifier_id](VarId v) {
+                              return VarQualifier(v) != qualifier_id;
+                            }),
+             out->end());
 }
 
 std::vector<VarId> Formula::Variables() const {
   std::vector<VarId> out;
-  if (node_ == nullptr) return out;
-  CollectVarsRec(node_, Pool().NextEpoch(), &out);
+  AppendVariables(&out);
   return out;
 }
 
 std::vector<VarId> Formula::VariablesOfQualifier(uint32_t qualifier_id) const {
-  std::vector<VarId> all = Variables();
   std::vector<VarId> out;
-  for (VarId v : all) {
-    if (VarQualifier(v) == qualifier_id) out.push_back(v);
-  }
+  AppendVariablesOfQualifier(qualifier_id, &out);
   return out;
 }
 

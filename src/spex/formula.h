@@ -57,6 +57,13 @@ enum class Truth : uint8_t { kFalse, kTrue, kUnknown };
 // Monotone partial assignment of condition variables: the first
 // determination of a variable binds it; later ones are ignored (this
 // resolves the VD {c,true} vs. VC-scope-exit {c,false} ordering, §III.10).
+//
+// Implemented as a linear-probing flat table rather than unordered_map: the
+// qualifier transducers bind/erase a variable per instance and build scratch
+// assignments per activation, and a node-based map costs an allocation per
+// insert on that path.  Clear() keeps the slot storage, tombstone purges
+// rebuild into a retained ping-pong buffer, so in steady state Set/Erase
+// never touch the global allocator.
 class Assignment {
  public:
   // Returns true if the variable was newly bound, false if already bound.
@@ -65,13 +72,26 @@ class Assignment {
   // Drops a variable's binding.  Used by the engine's end-of-round garbage
   // collection once an instance's scope has closed and no formula can
   // reference it any more (unbounded streams would otherwise leak).
-  void Erase(VarId var) { values_.erase(var); }
-  size_t size() const { return values_.size(); }
-  void Clear() { values_.clear(); }
-  bool empty() const { return values_.empty(); }
+  void Erase(VarId var);
+  size_t size() const { return size_; }
+  void Clear();
+  bool empty() const { return size_ == 0; }
 
  private:
-  std::unordered_map<VarId, bool> values_;
+  enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+  struct Slot {
+    VarId key = 0;
+    uint8_t state = kEmpty;
+    bool value = false;
+  };
+  // Rebuilds the table, doubling the capacity when genuinely full (vs. just
+  // tombstone-laden) and reusing `scratch_` as the target buffer.
+  void Rehash();
+
+  std::vector<Slot> slots_;    // power-of-two size (empty until first Set)
+  std::vector<Slot> scratch_;  // retained rehash target (ping-pong)
+  size_t size_ = 0;            // slots in state kFull
+  size_t used_ = 0;            // slots in state kFull or kTombstone
 };
 
 namespace internal {
@@ -175,6 +195,12 @@ class Formula {
   std::vector<VarId> Variables() const;
   // Distinct variables belonging to qualifier `qualifier_id`.
   std::vector<VarId> VariablesOfQualifier(uint32_t qualifier_id) const;
+  // Allocation-free forms of the above: append to `out` (entries already in
+  // `out` are treated as seen and not re-added), letting hot callers reuse a
+  // scratch vector instead of materializing a fresh one per activation.
+  void AppendVariables(std::vector<VarId>* out) const;
+  void AppendVariablesOfQualifier(uint32_t qualifier_id,
+                                  std::vector<VarId>* out) const;
 
   // Number of distinct DAG nodes (the factored size of Remark V.1).
   int64_t NodeCount() const;

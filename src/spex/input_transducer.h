@@ -17,8 +17,13 @@ class InputTransducer : public Transducer {
   InputTransducer();
 
   void OnMessage(int port, Message message, Emitter* out) override;
+  void OnBatch(int port, Message* messages, size_t count,
+               BatchEmitter* out) override;
 
  private:
+  template <typename Out>
+  void Process(Message&& message, Out* out);
+
   bool activated_ = false;
 };
 

@@ -9,25 +9,33 @@ IntersectTransducer::IntersectTransducer() : Transducer("IS") {}
 void IntersectTransducer::OnMessage(int port, Message message, Emitter* out) {
   CountIn(message);
   assert(port == 0 || port == 1);
+  if (message.is_document()) ++buffered_docs_[port];
   queues_[port].push_back(std::move(message));
   Drain(out);
   FinishMessage();
 }
 
-void IntersectTransducer::Drain(Emitter* out) {
+void IntersectTransducer::OnBatch(int port, Message* messages, size_t count,
+                                  BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  assert(port == 0 || port == 1);
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) {
+    if (messages[i].is_document()) ++buffered_docs_[port];
+    queues_[port].push_back(std::move(messages[i]));
+  }
+  Drain(out);
+}
+
+template <typename Out>
+void IntersectTransducer::Drain(Out* out) {
   // A round completes when the document message is present on both inputs
   // (splits upstream guarantee it eventually is).
   for (;;) {
-    bool doc_on[2] = {false, false};
-    for (int side = 0; side < 2; ++side) {
-      for (const Message& m : queues_[side]) {
-        if (m.is_document()) {
-          doc_on[side] = true;
-          break;
-        }
-      }
-    }
-    if (!doc_on[0] || !doc_on[1]) return;
+    if (buffered_docs_[0] == 0 || buffered_docs_[1] == 0) return;
 
     // Collect the round: per side, at most one (merged) activation plus any
     // determinations, then the document message.
@@ -39,6 +47,7 @@ void IntersectTransducer::Drain(Emitter* out) {
         Message m = std::move(queues_[side].front());
         queues_[side].pop_front();
         if (m.is_document()) {
+          --buffered_docs_[side];
           if (side == 0) {
             document = std::move(m);
           } else {

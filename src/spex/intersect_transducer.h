@@ -23,14 +23,23 @@ class IntersectTransducer : public Transducer {
   IntersectTransducer();
 
   void OnMessage(int port, Message message, Emitter* out) override;
+  // Bulk enqueue followed by a single drain; Drain processes whole rounds,
+  // so its output depends only on the two input sequences (DESIGN.md §11).
+  void OnBatch(int port, Message* messages, size_t count,
+               BatchEmitter* out) override;
 
  private:
   // Buffers one round's messages per input until the document message
   // arrived on both sides, then emits [f1 AND f2] (if both activated)
   // followed by the document message.
-  void Drain(Emitter* out);
+  template <typename Out>
+  void Drain(Out* out);
 
   std::deque<Message> queues_[2];
+  // Document messages currently buffered per side: Drain makes progress iff
+  // both are nonzero.  Counters, not queue scans, so a whole batch queued on
+  // one side before the other arrives stays O(total messages).
+  int64_t buffered_docs_[2] = {0, 0};
 };
 
 }  // namespace spex

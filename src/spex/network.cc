@@ -84,6 +84,42 @@ void Network::Deliver(int node, int in_port, Message message) {
   if (profiler_ != nullptr) profiler_->Leave(node, start, end);
 }
 
+std::vector<Message>* Network::PendingFor(int node, int port) {
+  const int tape = nodes_[node].out_tapes[port];
+  if (tape == -1) return nullptr;
+  const Tape& t = tapes_[tape];
+  if (t.consumer_node == -1) return nullptr;
+  // The compiler adds nodes in topological order, which is what lets one
+  // ascending sweep drain every pending buffer.
+  assert(t.consumer_node > node && "network not in topological order");
+  return &pending_[t.consumer_node][t.consumer_port];
+}
+
+void Network::DeliverBatch(int node, int in_port, std::vector<Message>* batch) {
+  SPEX_DCHECK_THREAD(affinity_, "spex::Network");
+  if (instrumented_) {
+    // Per-delivery span/profile attribution requires per-message recursion.
+    for (Message& m : *batch) Deliver(node, in_port, std::move(m));
+    batch->clear();
+    return;
+  }
+  if (pending_.empty()) pending_.resize(nodes_.size());
+  pending_[node][in_port].swap(*batch);
+  const int n = node_count();
+  for (int id = node; id < n; ++id) {
+    for (int port = 0; port < 2; ++port) {
+      std::vector<Message>& q = pending_[id][port];
+      if (q.empty()) continue;
+      BatchEmitter emitter(PendingFor(id, 0), PendingFor(id, 1), &q);
+      // Emissions only target higher node ids (asserted above), so `q` is
+      // never reallocated while OnBatch runs over it.
+      nodes_[id].transducer->OnBatch(port, q.data(), q.size(), &emitter);
+      emitter.Finish();  // May swap q wholesale into the consumer's queue.
+      q.clear();
+    }
+  }
+}
+
 void Network::NodeEmitter::Emit(int port, Message message) {
   network_->Route(node_, port, std::move(message));
 }

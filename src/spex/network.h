@@ -11,6 +11,7 @@
 #ifndef SPEX_SPEX_NETWORK_H_
 #define SPEX_SPEX_NETWORK_H_
 
+#include <array>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,24 @@ class Network {
 
   // Injects a message at node `node` input port 0 and runs it to quiescence.
   void Deliver(int node, int in_port, Message message);
+
+  // Batched delivery (DESIGN.md §11): injects `batch` at node `node` and
+  // sweeps the network once in topological node order, handing each node its
+  // pending input sequence in one Transducer::OnBatch call per port.  On
+  // return every message has been fully processed (all pending buffers are
+  // drained) and *batch holds an empty vector whose capacity is recycled.
+  //
+  // Correctness precondition (the engine enforces it): the per-tape message
+  // sequences must determine every node's output — true whenever no
+  // transducer reads or writes cross-node shared state mid-round, i.e. for
+  // networks without condition variables (no VC/VD/PR nodes).  Nodes are
+  // added in topological order, so a single ascending sweep sees every
+  // pending message; document payload borrows (Message::DocumentRef) must
+  // stay valid until DeliverBatch returns, which widens the per-round
+  // borrowing contract of Deliver to batch scope.  When a trace recorder or
+  // profiler is attached this falls back to per-message Deliver so span
+  // attribution keeps its per-delivery meaning.
+  void DeliverBatch(int node, int in_port, std::vector<Message>* batch);
 
   // Attaches a span recorder (observe=full): every message delivery records
   // a span on track node+1, named after the message kind.  Because delivery
@@ -146,6 +165,10 @@ class Network {
 
   void Route(int node, int out_port, Message message);
 
+  // Pending buffer of the consumer wired to `node`'s output `port`, or null
+  // when the tape dangles (the sink's unused output).
+  std::vector<Message>* PendingFor(int node, int port);
+
   // Debug-mode single-thread guard: delivery binds to the first delivering
   // thread (see base/thread_check.h).  A network handed to a pool worker
   // must be built *and* driven there — the one-message-in-network round
@@ -153,6 +176,10 @@ class Network {
   ThreadAffinity affinity_;
   std::vector<Node> nodes_;
   std::vector<Tape> tapes_;
+  // Per-node per-port pending input sequences of the batched path; sized
+  // lazily on the first DeliverBatch.  Steady state reuses the vectors'
+  // capacity, so batched delivery allocates nothing per batch.
+  std::vector<std::array<std::vector<Message>, 2>> pending_;
   obs::TraceRecorder* trace_recorder_ = nullptr;
   obs::ProfileAccumulator* profiler_ = nullptr;
   // True iff a trace recorder or profiler is attached — the one predicted

@@ -115,6 +115,19 @@ class EngineObservability {
     observer_.event_latency_ns->Observe(end - start);
   }
 
+  // Batch variant (DESIGN.md §11): one counter flush for `count` events —
+  // Increment(count) sums exactly to `count` per-event Increments, so
+  // spex_events_total stays precise at any batch size.  `event_index` is the
+  // index after the batch; per-event-indexed observations (decision delay)
+  // are quantized to batch boundaries.  Only used on the batch path, which
+  // the engine never takes at observe=full (trace_ is null here).
+  template <typename Fn>
+  void ObserveDeliveryBatch(int64_t event_index, int64_t count, Fn&& deliver) {
+    observer_.event_index = event_index;
+    observer_.events_total->Increment(count);
+    deliver();
+  }
+
  private:
   RunContext* context_;
   obs::RunObserver observer_;

@@ -84,10 +84,7 @@ void SerializingResultSink::OnResultEnd(int64_t id) {
 OutputTransducer::OutputTransducer(ResultSink* sink, RunContext* context)
     : Transducer("OU"), sink_(sink), context_(context) {}
 
-void OutputTransducer::OnMessage(int port, Message message, Emitter* out) {
-  (void)port;
-  (void)out;  // OU is the network sink: no output tape
-  CountIn(message);
+void OutputTransducer::HandleMessage(Message&& message) {
   switch (message.kind) {
     case MessageKind::kActivation:
       Fire(1);
@@ -100,7 +97,6 @@ void OutputTransducer::OnMessage(int port, Message message, Emitter* out) {
         pending_activation_ = message.formula;
         has_pending_activation_ = true;
       }
-      FinishMessage();
       return;
     case MessageKind::kDetermination:
       Fire(2);
@@ -109,13 +105,40 @@ void OutputTransducer::OnMessage(int port, Message message, Emitter* out) {
       context_->assignment.Set(message.var, message.value);
       ReevaluateCandidates();
       if (!interleaved()) AdvanceQueue();
-      FinishMessage();
       return;
     case MessageKind::kDocument:
       Fire(3);
       HandleDocument(message.event());
-      FinishMessage();
       return;
+  }
+}
+
+void OutputTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  (void)out;  // OU is the network sink: no output tape
+  CountIn(message);
+  HandleMessage(std::move(message));
+  FinishMessage();
+}
+
+void OutputTransducer::OnBatch(int port, Message* messages, size_t count,
+                               BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  (void)port;
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) {
+    // Idle fast path: with no pending activation and no candidates (open_
+    // holds iterators into queue_, so queue_ empty implies open_ empty) a
+    // document message cannot change OU's state — HandleDocument would only
+    // recompute an unchanged buffered peak.  Skip it outright.
+    if (messages[i].kind == MessageKind::kDocument &&
+        !has_pending_activation_ && queue_.empty()) {
+      continue;
+    }
+    HandleMessage(std::move(messages[i]));
   }
 }
 

@@ -122,6 +122,8 @@ class OutputTransducer : public Transducer {
   OutputTransducer(ResultSink* sink, RunContext* context);
 
   void OnMessage(int port, Message message, Emitter* out) override;
+  void OnBatch(int port, Message* messages, size_t count,
+               BatchEmitter* out) override;
 
   // Must be called once the stream ended: decides all remaining candidates
   // (a still-undetermined variable can no longer become true).
@@ -158,6 +160,9 @@ class OutputTransducer : public Transducer {
     return context_->options.output_order == OutputOrder::kDetermination;
   }
 
+  // OnMessage minus the per-message bookkeeping (OU is the network sink, so
+  // no emitter is needed); shared by the per-message and batch paths.
+  void HandleMessage(Message&& message);
   void StartCandidate(Formula formula);
   void HandleDocument(const StreamEvent& event);
   void ReevaluateCandidates();

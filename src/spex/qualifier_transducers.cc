@@ -129,27 +129,31 @@ void VariableFilterTransducer::OnMessage(int port, Message message,
         // q's body (ids > qualifier_id_); erase outer variables, which only
         // condition the *candidate*, not the body match itself.
         Fire(1);
-        Assignment erase;
+        erase_scratch_.Clear();
+        vars_scratch_.clear();
+        message.formula.AppendVariables(&vars_scratch_);
         bool has_own_var = false;
-        for (VarId v : message.formula.Variables()) {
+        for (VarId v : vars_scratch_) {
           if (VarQualifier(v) < qualifier_id_) {
-            erase.Set(v, true);
+            erase_scratch_.Set(v, true);
           } else if (VarQualifier(v) == qualifier_id_) {
             has_own_var = true;
           }
         }
         if (has_own_var) {
           EmitTo(out, 0,
-                 Message::Activation(message.formula.Simplify(erase)));
+                 Message::Activation(message.formula.Simplify(erase_scratch_)));
         }
       } else {
         // (q-): erase q's variables (treat them as satisfied).
         Fire(2);
-        Assignment erase;
-        for (VarId v : message.formula.VariablesOfQualifier(qualifier_id_)) {
-          erase.Set(v, true);
-        }
-        EmitTo(out, 0, Message::Activation(message.formula.Simplify(erase)));
+        erase_scratch_.Clear();
+        vars_scratch_.clear();
+        message.formula.AppendVariablesOfQualifier(qualifier_id_,
+                                                   &vars_scratch_);
+        for (VarId v : vars_scratch_) erase_scratch_.Set(v, true);
+        EmitTo(out, 0,
+               Message::Activation(message.formula.Simplify(erase_scratch_)));
       }
       FinishMessage();
       return;
@@ -227,22 +231,24 @@ void VariableDeterminantTransducer::OnMessage(int port, Message message,
       // assuming the other instances false (disjunction branches from
       // closure scopes are independent).
       Fire(1);
-      std::vector<VarId> own;
-      for (VarId v : message.formula.Variables()) {
-        if (VarQualifier(v) == qualifier_id_) own.push_back(v);
+      vars_scratch_.clear();
+      message.formula.AppendVariables(&vars_scratch_);
+      own_scratch_.clear();
+      for (VarId v : vars_scratch_) {
+        if (VarQualifier(v) == qualifier_id_) own_scratch_.push_back(v);
       }
-      for (VarId v : own) {
+      for (VarId v : own_scratch_) {
         // Fresh isolation assignment (NOT a copy of the global one — the
         // other instances may already be globally true and must still be
         // forced false here to isolate v's disjunct): v's own disjunct is
         // selected, and the residue is the condition over the nested
         // qualifiers' variables it carries.
-        Assignment isolate;
-        isolate.Set(v, true);
-        for (VarId other : own) {
-          if (other != v) isolate.Set(other, false);
+        isolate_scratch_.Clear();
+        isolate_scratch_.Set(v, true);
+        for (VarId other : own_scratch_) {
+          if (other != v) isolate_scratch_.Set(other, false);
         }
-        Determine(v, message.formula.Simplify(isolate), out);
+        Determine(v, message.formula.Simplify(isolate_scratch_), out);
       }
       FinishMessage();
       return;

@@ -63,6 +63,10 @@ class VariableFilterTransducer : public Transducer {
   uint32_t qualifier_id_;
   bool positive_;
   RunContext* context_;
+  // Per-activation scratch, reused so the hot filter path stays
+  // allocation-free (Clear keeps capacity on both).
+  Assignment erase_scratch_;
+  std::vector<VarId> vars_scratch_;
 };
 
 class VariableDeterminantTransducer : public Transducer {
@@ -88,6 +92,10 @@ class VariableDeterminantTransducer : public Transducer {
   uint32_t qualifier_id_;
   RunContext* context_;
   std::vector<PendingInstance> pending_;
+  // Per-activation scratch (see VariableFilterTransducer).
+  Assignment isolate_scratch_;
+  std::vector<VarId> vars_scratch_;
+  std::vector<VarId> own_scratch_;
 };
 
 }  // namespace spex

@@ -10,9 +10,25 @@ void SplitTransducer::OnMessage(int port, Message message, Emitter* out) {
   (void)port;
   CountIn(message);
   Fire(1);
-  EmitTo(out, 0, message);
+  EmitTo(out, 0, Message(message));
   EmitTo(out, 1, std::move(message));
   FinishMessage();
+}
+
+void SplitTransducer::OnBatch(int port, Message* messages, size_t count,
+                              BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  (void)port;
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) {
+    // The copy goes to port 0 so the port-1 emission keeps the message's
+    // original address, letting BatchEmitter elide the port-1 forward.
+    EmitTo(out, 0, Message(messages[i]));
+    EmitTo(out, 1, std::move(messages[i]));
+  }
 }
 
 JoinTransducer::JoinTransducer() : Transducer("JO") {}
@@ -25,10 +41,25 @@ void JoinTransducer::OnMessage(int port, Message message, Emitter* out) {
   FinishMessage();
 }
 
-void JoinTransducer::Drain(Emitter* out) {
+void JoinTransducer::OnBatch(int port, Message* messages, size_t count,
+                             BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  assert(port == 0 || port == 1);
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) {
+    queues_[port].push_back(std::move(messages[i]));
+  }
+  Drain(out);
+}
+
+template <typename Out>
+void JoinTransducer::Drain(Out* out) {
   for (;;) {
-    std::deque<Message>& left = queues_[0];
-    std::deque<Message>& right = queues_[1];
+    MessageQueue& left = queues_[0];
+    MessageQueue& right = queues_[1];
     switch (state_) {
       case State::kNone: {
         if (left.empty() || right.empty()) return;

@@ -2,6 +2,32 @@
 
 namespace spex {
 
+namespace {
+
+// Emitter adapter used by the default OnBatch: forwards into the batch
+// pending buffers so un-overridden transducers participate in batched
+// delivery with unchanged per-message semantics (including traces).
+class BatchForwardEmitter final : public Emitter {
+ public:
+  explicit BatchForwardEmitter(BatchEmitter* out) : out_(out) {}
+  void Emit(int port, Message message) override {
+    out_->Emit(port, std::move(message));
+  }
+
+ private:
+  BatchEmitter* out_;
+};
+
+}  // namespace
+
+void Transducer::OnBatch(int port, Message* messages, size_t count,
+                         BatchEmitter* out) {
+  BatchForwardEmitter forward(out);
+  for (size_t i = 0; i < count; ++i) {
+    OnMessage(port, std::move(messages[i]), &forward);
+  }
+}
+
 std::string TransducerTrace::ToString() const {
   std::string out;
   for (size_t g = 0; g < groups.size(); ++g) {

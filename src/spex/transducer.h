@@ -31,6 +31,106 @@ class Emitter {
   virtual void Emit(int port, Message message) = 0;
 };
 
+// Non-virtual emitter of the batched delivery path (Network::DeliverBatch):
+// routes emitted messages to the consumer nodes' pending buffers instead of
+// recursing into them.  Final so EmitTo(BatchEmitter*, ...) inlines — one
+// virtual dispatch per *batch*, not per message.
+//
+// Pass-through elision: most transducers forward most document messages
+// unchanged, and the emitted object IS the input-buffer element (Process
+// takes Message&& and EmitTo forwards the reference).  Emit detects that by
+// address and defers such messages as a contiguous *run* over the input
+// buffer instead of moving them out one by one.  Finish() then either swaps
+// the whole input vector into the consumer's queue (the run covers the
+// entire batch — zero per-message work) or bulk-moves the run.  A fresh
+// message emitted to the run's port, or a consumed input message breaking
+// contiguity, materializes the run first, so each port's output sequence is
+// exactly the per-message emission order.
+class BatchEmitter final {
+ public:
+  // `out0`/`out1` are the pending buffers of the consumers wired to output
+  // ports 0/1 (null for a dangling port); `in` is the node's input buffer,
+  // owning messages[0..count) passed to OnBatch.
+  BatchEmitter(std::vector<Message>* out0, std::vector<Message>* out1,
+               std::vector<Message>* in)
+      : out_{out0, out1},
+        in_(in),
+        in_begin_(in->data()),
+        in_end_(in->data() + in->size()) {}
+
+  void Emit(int port, Message&& message) {
+    if (&message == run_end_ && port == run_port_) {  // extend the run
+      ++run_end_;
+      return;
+    }
+    if (&message >= in_begin_ && &message < in_end_) {
+      // Input message, but not contiguous with the active run (or a new
+      // run): flush the old run and start a new one here.
+      MaterializeRun();
+      run_port_ = port;
+      run_begin_ = &message;
+      run_end_ = &message + 1;
+      return;
+    }
+    // Fresh message (activation, determination, queued copy).  Only a
+    // same-port emission has to flush the run — the ports' queues are
+    // independent sequences.
+    if (run_end_ != nullptr && port == run_port_) MaterializeRun();
+    std::vector<Message>* q = out_[port];
+    if (q != nullptr) q->push_back(std::move(message));
+  }
+
+  // Called by the network after OnBatch returns: delivers the deferred run.
+  // When the run is the whole input batch and the consumer's queue is empty
+  // (single producer per queue — always, except after a same-port fresh
+  // emission before the run), the vectors are swapped outright.
+  void Finish() {
+    if (run_begin_ == in_begin_ && run_end_ == in_end_ &&
+        in_begin_ != in_end_) {
+      std::vector<Message>* q = out_[run_port_];
+      run_end_ = nullptr;
+      if (q == nullptr) return;  // dangling port: batch is dropped
+      if (q->empty()) {
+        q->swap(*in_);
+        return;
+      }
+      q->insert(q->end(), std::make_move_iterator(in_->begin()),
+                std::make_move_iterator(in_->end()));
+      return;
+    }
+    MaterializeRun();
+  }
+
+  // Equivalent to Emit(port, ...) for every input message in order, in O(1):
+  // the whole input batch becomes the deferred run.  Only valid when nothing
+  // has been emitted yet in this OnBatch call (the pure pass-through case,
+  // e.g. IN once activated).
+  void ForwardAll(int port) {
+    run_port_ = port;
+    run_begin_ = in_begin_;
+    run_end_ = in_end_;
+  }
+
+ private:
+  void MaterializeRun() {
+    if (run_end_ == nullptr) return;
+    std::vector<Message>* q = out_[run_port_];
+    if (q != nullptr) {
+      q->insert(q->end(), std::make_move_iterator(run_begin_),
+                std::make_move_iterator(run_end_));
+    }
+    run_end_ = nullptr;
+  }
+
+  std::vector<Message>* out_[2];
+  std::vector<Message>* in_;
+  Message* in_begin_;
+  Message* in_end_;
+  Message* run_begin_ = nullptr;
+  Message* run_end_ = nullptr;  // null: no active run
+  int run_port_ = 0;
+};
+
 // Per-transducer resource accounting used to validate the §V bounds.
 struct TransducerStats {
   int64_t messages_in = 0;
@@ -71,6 +171,17 @@ class Transducer {
   // transducer is a join).  Emits output messages through `out`.
   virtual void OnMessage(int port, Message message, Emitter* out) = 0;
 
+  // Batched delivery (DESIGN.md §11): processes `count` messages arriving on
+  // input tape `port` in sequence order, emitting into pending buffers.  The
+  // default implementation loops OnMessage through an Emitter adapter; hot
+  // transducers override it with a loop over their (inlined) transition
+  // function so the whole batch pays one virtual dispatch and one stats
+  // flush.  Overrides must preserve exactly the per-message semantics: the
+  // output sequence of each port must equal what `count` OnMessage calls
+  // would have produced.
+  virtual void OnBatch(int port, Message* messages, size_t count,
+                       BatchEmitter* out);
+
   const std::string& name() const { return name_; }
   const TransducerStats& stats() const { return stats_; }
 
@@ -97,9 +208,28 @@ class Transducer {
   void Fire(int rule) {
     if (trace_ != nullptr) trace_->Fire(rule);
   }
-  void EmitTo(Emitter* out, int port, Message message) {
+  // Templated over the emitter so the batch path (BatchEmitter) inlines the
+  // pending-buffer append while the per-message path keeps the virtual call.
+  // Takes Message&& so an input-buffer element forwarded unchanged reaches
+  // BatchEmitter::Emit under its original address (pass-through elision);
+  // callers copy explicitly (Message(m)) when they need a duplicate.
+  template <typename Out>
+  void EmitTo(Out* out, int port, Message&& message) {
     ++stats_.messages_out;
     out->Emit(port, std::move(message));
+  }
+  // Batch equivalent of `count` CountIn calls: one messages_in add plus the
+  // per-activation formula peak scan (activations are rare on hot streams).
+  // Only valid with no trace attached — batch overrides fall back to the
+  // default OnBatch (per-message CountIn/FinishMessage) when tracing.
+  void NoteBatchIn(const Message* messages, size_t count) {
+    stats_.messages_in += static_cast<int64_t>(count);
+    for (size_t i = 0; i < count; ++i) {
+      if (messages[i].is_activation()) {
+        stats_.formula_nodes_peak = std::max(stats_.formula_nodes_peak,
+                                             messages[i].formula.NodeCount());
+      }
+    }
   }
   void NoteDepthStack(size_t size) {
     stats_.depth_stack_peak =
@@ -208,6 +338,15 @@ struct EngineOptions {
   // enables this for every session).  Implied by limits.enabled(); costs a
   // symbol push/pop per element event, allocation-free in steady state.
   bool track_open_elements = false;
+  // Event-batch granularity of the feeding path (DESIGN.md §11): parsers,
+  // the engine pool and the one-shot helpers hand events to the engine in
+  // groups of up to this many via SpexEngine::OnEventBatch.  1 = legacy
+  // per-event feeding.  Batching is a feeding granularity only — the engine
+  // falls back to per-event delivery internally whenever the network is not
+  // provably batch-safe (queries with condition variables) or per-event
+  // governor/observability semantics are required, so results, statuses and
+  // counters are identical at every batch size.
+  int batch_size = 64;
 };
 
 // State shared by the transducers of one network instance.

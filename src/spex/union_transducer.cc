@@ -4,9 +4,8 @@ namespace spex {
 
 UnionTransducer::UnionTransducer() : Transducer("UN") {}
 
-void UnionTransducer::OnMessage(int port, Message message, Emitter* out) {
-  (void)port;
-  CountIn(message);
+template <typename Out>
+void UnionTransducer::Process(Message&& message, Out* out) {
   switch (message.kind) {
     case MessageKind::kActivation:
       if (state_ == State::kWaiting) {  // (1): store, await a possible second
@@ -21,12 +20,10 @@ void UnionTransducer::OnMessage(int port, Message message, Emitter* out) {
         stored_ = Formula::True();
         state_ = State::kWaiting;
       }
-      FinishMessage();
       return;
     case MessageKind::kDetermination:  // (4)
       Fire(4);
       EmitTo(out, 0, std::move(message));
-      FinishMessage();
       return;
     case MessageKind::kDocument:
       if (state_ == State::kActivate) {  // (3): only one branch matched
@@ -36,9 +33,26 @@ void UnionTransducer::OnMessage(int port, Message message, Emitter* out) {
         state_ = State::kWaiting;
       }
       EmitTo(out, 0, std::move(message));
-      FinishMessage();
       return;
   }
+}
+
+void UnionTransducer::OnMessage(int port, Message message, Emitter* out) {
+  (void)port;
+  CountIn(message);
+  Process(std::move(message), out);
+  FinishMessage();
+}
+
+void UnionTransducer::OnBatch(int port, Message* messages, size_t count,
+                              BatchEmitter* out) {
+  if (trace() != nullptr) {
+    Transducer::OnBatch(port, messages, count, out);
+    return;
+  }
+  (void)port;
+  NoteBatchIn(messages, count);
+  for (size_t i = 0; i < count; ++i) Process(std::move(messages[i]), out);
 }
 
 }  // namespace spex

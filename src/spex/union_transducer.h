@@ -19,11 +19,16 @@ class UnionTransducer : public Transducer {
   UnionTransducer();
 
   void OnMessage(int port, Message message, Emitter* out) override;
+  void OnBatch(int port, Message* messages, size_t count,
+               BatchEmitter* out) override;
 
   enum class State : uint8_t { kWaiting, kActivate };
   State state() const { return state_; }
 
  private:
+  template <typename Out>
+  void Process(Message&& message, Out* out);
+
   State state_ = State::kWaiting;
   Formula stored_;  // the one condition-stack entry of Fig. 10
 };

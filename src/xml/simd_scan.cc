@@ -1,0 +1,237 @@
+#include "xml/simd_scan.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+#if !defined(SPEX_NO_SIMD) && defined(__SSE2__)
+#define SPEX_SCAN_SSE2 1
+#include <emmintrin.h>
+#endif
+#if !defined(SPEX_NO_SIMD) && defined(__aarch64__) && defined(__ARM_NEON)
+#define SPEX_SCAN_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace spex {
+namespace scan {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar backend — the reference every other backend must match exactly.
+
+size_t ByteScalar(const char* data, size_t n, unsigned char b) {
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<unsigned char>(data[i]) == b) return i;
+  }
+  return n;
+}
+
+size_t EitherScalar(const char* data, size_t n, unsigned char a,
+                    unsigned char b) {
+  for (size_t i = 0; i < n; ++i) {
+    const unsigned char c = static_cast<unsigned char>(data[i]);
+    if (c == a || c == b) return i;
+  }
+  return n;
+}
+
+#if !defined(SPEX_NO_SIMD) && !defined(SPEX_SCAN_SSE2) && \
+    !defined(SPEX_SCAN_NEON) &&                           \
+    (!defined(__BYTE_ORDER__) || __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__)
+#define SPEX_SCAN_SWAR 1
+#endif
+
+#ifdef SPEX_SCAN_SWAR
+// ---------------------------------------------------------------------------
+// SWAR backend: 8 bytes per step in a 64-bit register (little-endian).
+//
+// ZeroBytes(v) has the high bit set in (at least) the lowest-addressed zero
+// byte of v; bytes above the first zero byte can carry borrow-propagation
+// false positives, but the LOWEST set bit is always exact — and on a
+// little-endian load the lowest-addressed byte is the least significant, so
+// ctz(mask)/8 is the index of the first match.  For the two-target OR, any
+// false positive in one mask lies above a true match of that same mask, so
+// the union's lowest set bit is still a true match of one of the targets.
+
+constexpr uint64_t kOnes = 0x0101010101010101ull;
+constexpr uint64_t kHigh = 0x8080808080808080ull;
+
+inline uint64_t ZeroBytes(uint64_t v) { return (v - kOnes) & ~v & kHigh; }
+
+inline uint64_t LoadWord(const char* p) {
+  uint64_t w;
+  std::memcpy(&w, p, sizeof(w));
+  return w;
+}
+
+size_t ByteSwar(const char* data, size_t n, unsigned char b) {
+  const uint64_t pat = kOnes * b;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t m = ZeroBytes(LoadWord(data + i) ^ pat);
+    if (m != 0) {
+      return i + static_cast<size_t>(__builtin_ctzll(m)) / 8;
+    }
+  }
+  return i + ByteScalar(data + i, n - i, b);
+}
+
+size_t EitherSwar(const char* data, size_t n, unsigned char a,
+                  unsigned char b) {
+  const uint64_t pat_a = kOnes * a;
+  const uint64_t pat_b = kOnes * b;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const uint64_t w = LoadWord(data + i);
+    const uint64_t m = ZeroBytes(w ^ pat_a) | ZeroBytes(w ^ pat_b);
+    if (m != 0) {
+      return i + static_cast<size_t>(__builtin_ctzll(m)) / 8;
+    }
+  }
+  return i + EitherScalar(data + i, n - i, a, b);
+}
+#endif  // SPEX_SCAN_SWAR
+
+#ifdef SPEX_SCAN_SSE2
+// ---------------------------------------------------------------------------
+// SSE2 backend: 16 bytes per step; movemask + ctz gives an exact first-match
+// index with no SWAR caveats.
+
+size_t ByteSse2(const char* data, size_t n, unsigned char b) {
+  const __m128i pat = _mm_set1_epi8(static_cast<char>(b));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const int mask = _mm_movemask_epi8(_mm_cmpeq_epi8(chunk, pat));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  return i + ByteScalar(data + i, n - i, b);
+}
+
+size_t EitherSse2(const char* data, size_t n, unsigned char a,
+                  unsigned char b) {
+  const __m128i pat_a = _mm_set1_epi8(static_cast<char>(a));
+  const __m128i pat_b = _mm_set1_epi8(static_cast<char>(b));
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i chunk =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const int mask = _mm_movemask_epi8(_mm_or_si128(
+        _mm_cmpeq_epi8(chunk, pat_a), _mm_cmpeq_epi8(chunk, pat_b)));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  return i + EitherScalar(data + i, n - i, a, b);
+}
+#endif  // SPEX_SCAN_SSE2
+
+#ifdef SPEX_SCAN_NEON
+// ---------------------------------------------------------------------------
+// NEON backend: 16 bytes per step; the compare is narrowed to a 64-bit mask
+// with 4 bits per lane (vshrn), so ctz(mask)/4 is the first-match index.
+
+inline uint64_t NeonMask(uint8x16_t eq) {
+  const uint8x8_t narrowed = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(narrowed), 0);
+}
+
+size_t ByteNeon(const char* data, size_t n, unsigned char b) {
+  const uint8x16_t pat = vdupq_n_u8(b);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t chunk =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(data + i));
+    const uint64_t mask = NeonMask(vceqq_u8(chunk, pat));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctzll(mask)) / 4;
+    }
+  }
+  return i + ByteScalar(data + i, n - i, b);
+}
+
+size_t EitherNeon(const char* data, size_t n, unsigned char a,
+                  unsigned char b) {
+  const uint8x16_t pat_a = vdupq_n_u8(a);
+  const uint8x16_t pat_b = vdupq_n_u8(b);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t chunk =
+        vld1q_u8(reinterpret_cast<const uint8_t*>(data + i));
+    const uint64_t mask =
+        NeonMask(vorrq_u8(vceqq_u8(chunk, pat_a), vceqq_u8(chunk, pat_b)));
+    if (mask != 0) {
+      return i + static_cast<size_t>(__builtin_ctzll(mask)) / 4;
+    }
+  }
+  return i + EitherScalar(data + i, n - i, a, b);
+}
+#endif  // SPEX_SCAN_NEON
+
+// ---------------------------------------------------------------------------
+// Dispatch: resolved once, at first use (thread-safe static init).
+
+struct Ops {
+  size_t (*find_byte)(const char*, size_t, unsigned char);
+  size_t (*find_either)(const char*, size_t, unsigned char, unsigned char);
+  const char* name;
+};
+
+Ops Resolve() {
+  const char* env = std::getenv("SPEX_NO_SIMD");
+  const bool forced_scalar =
+      env != nullptr && env[0] != '\0' && env[0] != '0';
+  if (!forced_scalar) {
+#if defined(SPEX_SCAN_SSE2)
+    return {ByteSse2, EitherSse2, "sse2"};
+#elif defined(SPEX_SCAN_NEON)
+    return {ByteNeon, EitherNeon, "neon"};
+#elif defined(SPEX_SCAN_SWAR)
+    return {ByteSwar, EitherSwar, "swar"};
+#endif
+  }
+  return {ByteScalar, EitherScalar, "scalar"};
+}
+
+const Ops& ActiveOps() {
+  static const Ops ops = Resolve();
+  return ops;
+}
+
+}  // namespace
+
+size_t FindByte(const char* data, size_t n, unsigned char b) {
+  return ActiveOps().find_byte(data, n, b);
+}
+
+size_t FindEither(const char* data, size_t n, unsigned char a,
+                  unsigned char b) {
+  return ActiveOps().find_either(data, n, a, b);
+}
+
+size_t FindNotInTable(const char* data, size_t n,
+                      const unsigned char table[256]) {
+  for (size_t i = 0; i < n; ++i) {
+    if (table[static_cast<unsigned char>(data[i])] == 0) return i;
+  }
+  return n;
+}
+
+const char* BackendName() { return ActiveOps().name; }
+
+size_t FindByteScalar(const char* data, size_t n, unsigned char b) {
+  return ByteScalar(data, n, b);
+}
+
+size_t FindEitherScalar(const char* data, size_t n, unsigned char a,
+                        unsigned char b) {
+  return EitherScalar(data, n, a, b);
+}
+
+}  // namespace scan
+}  // namespace spex

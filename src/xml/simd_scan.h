@@ -1,0 +1,59 @@
+// Bulk byte-run scanners for the streaming XML parser (DESIGN.md §11).
+//
+// The parser's hot states (character data, CDATA bodies, comments, quoted
+// attribute values) spend almost all their time looking for the next byte
+// that can change the state: '<' or '&' in content, ']' in CDATA, the
+// closing quote in an attribute value.  These helpers find that byte over
+// whole 8/16-byte groups at a time — a SWAR (SIMD-within-a-register)
+// 64-bit baseline with an SSE2 (x86-64) or NEON (aarch64) lane when the
+// target compiles one in — instead of one switch dispatch per byte.
+//
+// Contract: every function returns the index of the FIRST byte in
+// [data, data+n) satisfying the predicate, or n if none does.  All backends
+// are byte-for-byte identical for every input and every split of the input
+// (validated exhaustively by simd_scan_test.cc), so the parser's event
+// stream, error messages and byte positions are independent of the backend.
+//
+// Backend selection:
+//  * compile time — building with -DSPEX_NO_SIMD (the CMake SPEX_NO_SIMD
+//    option) compiles only the scalar backend;
+//  * run time — setting the environment variable SPEX_NO_SIMD=1 forces the
+//    scalar backend even in a full build (read once, at first use).
+
+#ifndef SPEX_XML_SIMD_SCAN_H_
+#define SPEX_XML_SIMD_SCAN_H_
+
+#include <cstddef>
+
+namespace spex {
+namespace scan {
+
+// First byte equal to `b`, or n.
+size_t FindByte(const char* data, size_t n, unsigned char b);
+
+// First byte equal to `a` or to `b`, or n.  (Content scanning: '<' or '&'.)
+size_t FindEither(const char* data, size_t n, unsigned char a,
+                  unsigned char b);
+
+// First byte whose 256-entry table slot is zero, or n.  Used for the
+// irregular XML character classes (name chars, attribute-region chars),
+// which a 64-bit SWAR predicate cannot express; the table walk is scalar in
+// every backend.
+size_t FindNotInTable(const char* data, size_t n,
+                      const unsigned char table[256]);
+
+// Name of the backend the dispatched functions above resolve to:
+// "sse2", "neon", "swar" or "scalar".
+const char* BackendName();
+
+// Direct entry points bypassing dispatch, for differential tests and the
+// scalar reference: these must agree with the dispatched functions on every
+// input.
+size_t FindByteScalar(const char* data, size_t n, unsigned char b);
+size_t FindEitherScalar(const char* data, size_t n, unsigned char a,
+                        unsigned char b);
+
+}  // namespace scan
+}  // namespace spex
+
+#endif  // SPEX_XML_SIMD_SCAN_H_

@@ -8,6 +8,7 @@
 #ifndef SPEX_XML_STREAM_EVENT_H_
 #define SPEX_XML_STREAM_EVENT_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
@@ -77,6 +78,14 @@ class EventSink {
  public:
   virtual ~EventSink() = default;
   virtual void OnEvent(const StreamEvent& event) = 0;
+  // Batched delivery: `count` consecutive stream events, in document order.
+  // The events must stay alive for the duration of the call (the SPEX
+  // engine's zero-copy borrow extends over the whole batch).  The default
+  // simply loops OnEvent, so every sink accepts batches; the SPEX engine
+  // overrides it to amortize per-event delivery costs (DESIGN.md §11).
+  virtual void OnEventBatch(const StreamEvent* events, size_t count) {
+    for (size_t i = 0; i < count; ++i) OnEvent(events[i]);
+  }
 };
 
 // EventSink adapter around a std::function, convenient in tests and examples.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "xml/simd_scan.h"
 
 namespace spex {
 
@@ -17,10 +18,53 @@ bool AllWhitespace(const std::string& s) {
   return true;
 }
 
+bool SpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool NameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool NameChar(char c) {
+  return NameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+// 256-entry membership tables for the irregular character classes the bulk
+// scanner (scan::FindNotInTable) walks: a run of set bytes is exactly the
+// run the per-char machine would have accepted without changing state.
+struct ByteTables {
+  unsigned char name[256];           // NameChar
+  unsigned char name_or_space[256];  // end-tag body: NameChar | space
+  unsigned char attr_plain[256];     // start-tag attr region outside quotes:
+                                     // space | '/' | '=' | NameChar
+};
+
+const ByteTables& Tables() {
+  static const ByteTables tables = [] {
+    ByteTables t{};
+    for (int i = 0; i < 256; ++i) {
+      const char c = static_cast<char>(i);
+      t.name[i] = NameChar(c) ? 1 : 0;
+      t.name_or_space[i] = (NameChar(c) || SpaceChar(c)) ? 1 : 0;
+      t.attr_plain[i] =
+          (SpaceChar(c) || c == '/' || c == '=' || NameChar(c)) ? 1 : 0;
+    }
+    return t;
+  }();
+  return tables;
+}
+
 }  // namespace
 
 XmlParser::XmlParser(EventSink* sink, XmlParserOptions options)
     : sink_(sink), options_(options) {
+  if (options_.event_batch_size > 1) {
+    batch_cap_ = static_cast<size_t>(options_.event_batch_size);
+    batch_.reserve(batch_cap_);
+  }
   if (options_.metrics != nullptr) {
     options_.metrics->AddCallbackGauge("spex_parser_bytes_consumed", {},
                                        [this] { return bytes_consumed_; });
@@ -32,26 +76,33 @@ XmlParser::XmlParser(EventSink* sink, XmlParserOptions options)
   }
 }
 
-void XmlParser::Emit(const StreamEvent& event) {
+void XmlParser::Emit(StreamEvent event) {
   ++events_emitted_;
-  sink_->OnEvent(event);
+  if (batch_cap_ <= 1) {
+    sink_->OnEvent(event);
+    return;
+  }
+  batch_.push_back(std::move(event));
+  if (batch_.size() >= batch_cap_) FlushBatch();
 }
 
-bool XmlParser::IsSpace(char c) {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+void XmlParser::FlushBatch() {
+  if (batch_.empty()) return;
+  sink_->OnEventBatch(batch_.data(), batch_.size());
+  batch_.clear();
 }
 
-bool XmlParser::IsNameStartChar(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
-         static_cast<unsigned char>(c) >= 0x80;
-}
+bool XmlParser::IsSpace(char c) { return SpaceChar(c); }
 
-bool XmlParser::IsNameChar(char c) {
-  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
-         c == '-' || c == '.';
-}
+bool XmlParser::IsNameStartChar(char c) { return NameStartChar(c); }
+
+bool XmlParser::IsNameChar(char c) { return NameChar(c); }
 
 bool XmlParser::Fail(const std::string& message) {
+  // The events preceding the error are part of the contract (the serving
+  // path feeds the prefix and seals the session): deliver them before the
+  // parser goes quiet.
+  FlushBatch();
   if (error_.empty()) {
     error_ = message + " (at byte " + std::to_string(bytes_consumed_) + ")";
     error_code_ = StatusCode::kMalformedInput;
@@ -61,12 +112,31 @@ bool XmlParser::Fail(const std::string& message) {
 }
 
 bool XmlParser::FailLimit(const std::string& message) {
+  FlushBatch();
   if (error_.empty()) {
     error_ = message + " (at byte " + std::to_string(bytes_consumed_) + ")";
     error_code_ = StatusCode::kResourceExhausted;
   }
   state_ = State::kError;
   return false;
+}
+
+bool XmlParser::BulkAppend(std::string* token, const char* data, size_t count,
+                           const char* what) {
+  const size_t limit = options_.max_text_bytes;
+  if (limit != 0 && token->size() + count > limit) {
+    // Admit exactly what the per-char machine would have: it fails on the
+    // first byte that pushes the token past the limit, with that byte
+    // appended and counted.
+    const size_t admit = limit + 1 - token->size();
+    token->append(data, admit);
+    bytes_consumed_ += static_cast<int64_t>(admit);
+    return FailLimit(std::string(what) + " exceeds max_text_bytes (" +
+                     std::to_string(limit) + ")");
+  }
+  token->append(data, count);
+  bytes_consumed_ += static_cast<int64_t>(count);
+  return true;
 }
 
 bool XmlParser::CheckTokenLimit(const std::string& token, const char* what) {
@@ -366,7 +436,116 @@ bool XmlParser::HandleEndTagChar(char c) {
 
 bool XmlParser::Feed(std::string_view chunk) {
   if (state_ == State::kError) return false;
-  for (char c : chunk) {
+  const char* data = chunk.data();
+  const size_t n = chunk.size();
+  size_t i = 0;
+  while (i < n) {
+    // Bulk fast path: consume the maximal run of bytes the current state
+    // accepts without a state change (scanned 8/16 bytes at a time, see
+    // simd_scan.h), then let the per-char machine below handle the boundary
+    // byte.  Every branch is a pure batching of what the per-char machine
+    // does byte by byte — event stream, counters and error positions are
+    // identical at any chunk split (xml_parser_scan_test.cc).
+    switch (state_) {
+      case State::kContent:
+        if (!in_entity_) {
+          const size_t run = scan::FindEither(data + i, n - i, '<', '&');
+          if (run > 0) {
+            if (!BulkAppend(&text_, data + i, run, "text node")) return false;
+            i += run;
+            continue;
+          }
+        }
+        break;
+      case State::kStartTag:
+        if (attr_quote_ != 0) {
+          const size_t run = scan::FindByte(
+              data + i, n - i, static_cast<unsigned char>(attr_quote_));
+          if (run > 0) {
+            if (!BulkAppend(&tag_rest_, data + i, run, "attribute region")) {
+              return false;
+            }
+            i += run;
+            continue;
+          }
+        } else if (!tag_name_done_) {
+          const size_t run =
+              scan::FindNotInTable(data + i, n - i, Tables().name);
+          if (run > 0) {
+            if (!BulkAppend(&tag_name_, data + i, run, "tag name")) {
+              return false;
+            }
+            i += run;
+            continue;
+          }
+        } else {
+          const size_t run =
+              scan::FindNotInTable(data + i, n - i, Tables().attr_plain);
+          if (run > 0) {
+            if (!BulkAppend(&tag_rest_, data + i, run, "attribute region")) {
+              return false;
+            }
+            i += run;
+            continue;
+          }
+        }
+        break;
+      case State::kEndTag: {
+        const size_t run =
+            scan::FindNotInTable(data + i, n - i, Tables().name_or_space);
+        if (run > 0) {
+          if (!BulkAppend(&tag_name_, data + i, run, "tag name")) {
+            return false;
+          }
+          i += run;
+          continue;
+        }
+        break;
+      }
+      case State::kComment:
+        if (comment_dashes_ == 0) {
+          const size_t run = scan::FindByte(data + i, n - i, '-');
+          if (run > 0) {
+            bytes_consumed_ += static_cast<int64_t>(run);
+            i += run;
+            continue;
+          }
+        }
+        break;
+      case State::kCdata:
+        if (cdata_brackets_ == 0) {
+          const size_t run = scan::FindByte(data + i, n - i, ']');
+          if (run > 0) {
+            if (!BulkAppend(&text_, data + i, run, "text node")) return false;
+            i += run;
+            continue;
+          }
+        }
+        break;
+      case State::kPi:
+        if (pi_prev_ != '?') {
+          const size_t run = scan::FindByte(data + i, n - i, '?');
+          if (run > 0) {
+            bytes_consumed_ += static_cast<int64_t>(run);
+            pi_prev_ = data[i + run - 1];
+            i += run;
+            continue;
+          }
+        }
+        break;
+      case State::kDoctype: {
+        const size_t run = scan::FindEither(data + i, n - i, '<', '>');
+        if (run > 0) {
+          bytes_consumed_ += static_cast<int64_t>(run);
+          i += run;
+          continue;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    const char c = data[i++];
     ++bytes_consumed_;
     switch (state_) {
       case State::kContent:
@@ -450,6 +629,7 @@ bool XmlParser::Feed(std::string_view chunk) {
         return false;
     }
   }
+  FlushBatch();
   return ok();
 }
 
@@ -473,6 +653,7 @@ bool XmlParser::Finish() {
   if (options_.emit_document_events) {
     Emit(StreamEvent::EndDocument());
   }
+  FlushBatch();
   return true;
 }
 

@@ -60,6 +60,14 @@ struct XmlParserOptions {
   // If true, the parser emits kStartDocument before the first message and
   // kEndDocument when Finish() is called.
   bool emit_document_events = true;
+  // Number of document messages buffered before delivery to the sink via
+  // EventSink::OnEventBatch (DESIGN.md §11).  Events are always flushed at
+  // the end of every Feed() / Finish() call and before an error is reported,
+  // so a sink observes exactly the per-event stream, just in groups; 1 (or
+  // 0) delivers every event immediately through OnEvent.  The batch buffer
+  // stays alive across the OnEventBatch call, satisfying the SPEX engine's
+  // borrow contract.
+  int event_batch_size = 64;
   // Optional symbol table: element labels (and @-attribute names) are
   // interned once per distinct tag and stamped onto the emitted events'
   // `label` field — end tags reuse the symbol resolved at the matching start
@@ -130,9 +138,19 @@ class XmlParser {
   bool FailLimit(const std::string& message);
   // Enforces options_.max_text_bytes over an accumulating token buffer.
   bool CheckTokenLimit(const std::string& token, const char* what);
+  // Appends a scanned run of `count` bytes to `token`, advancing
+  // bytes_consumed_.  On a max_text_bytes breach it admits exactly the bytes
+  // the per-char machine would have accepted before failing, so the error's
+  // byte position and the token's final size are identical to per-char
+  // parsing at any chunk split.
+  bool BulkAppend(std::string* token, const char* data, size_t count,
+                  const char* what);
   // Counting funnel in front of the sink: every document message passes
-  // through here so events_emitted() stays exact.
-  void Emit(const StreamEvent& event);
+  // through here so events_emitted() stays exact.  Buffers into batch_ when
+  // event batching is on (XmlParserOptions::event_batch_size > 1).
+  void Emit(StreamEvent event);
+  // Delivers the buffered batch (if any) through EventSink::OnEventBatch.
+  void FlushBatch();
   void EmitStartDocumentIfNeeded();
   void FlushText();
   bool EmitStartElement();
@@ -173,6 +191,8 @@ class XmlParser {
   int doctype_depth_ = 0;
   std::vector<std::string> open_elements_;
   std::vector<Symbol> open_symbols_;  // parallel to open_elements_
+  std::vector<StreamEvent> batch_;    // pending events (event batching)
+  size_t batch_cap_ = 1;              // flush threshold; 1 = per-event
   int64_t bytes_consumed_ = 0;
   int64_t events_emitted_ = 0;
   int max_depth_ = 0;

@@ -582,6 +582,77 @@ TEST(ObsEngineTest, WatermarkReportsProgress) {
   EXPECT_FALSE(final_mark.ToString().empty());
 }
 
+TEST(ObsEngineTest, WatermarkBatchGranularity) {
+  // Batched feeding checks the progress trigger once per batch: a watermark
+  // fires at the first batch boundary at or past each threshold, a batch
+  // jumping several thresholds fires one collapsed callback, and the run's
+  // final totals equal the per-event run's exactly (DESIGN.md §11).
+  ExprPtr query = MustParseRpeq("_*.book.title");  // batchable (no quals)
+  std::vector<StreamEvent> events = Events(kDoc);
+  const int64_t kEvery = 5;
+  const size_t kBatch = 4;  // does not divide kEvery: boundaries drift
+
+  CountingResultSink ref_sink;
+  EngineOptions ref_options;
+  ref_options.observe = ObserveLevel::kCounters;
+  ref_options.progress.every_events = kEvery;
+  ref_options.progress.callback = [](const Watermark&) {};
+  SpexEngine ref(*query, &ref_sink, ref_options);
+  for (const StreamEvent& e : events) ref.OnEvent(e);
+  const Watermark ref_final = ref.CurrentWatermark();
+
+  CountingResultSink sink;
+  EngineOptions options;
+  options.observe = ObserveLevel::kCounters;
+  std::vector<int64_t> fired;
+  options.progress.every_events = kEvery;
+  options.progress.callback = [&fired](const Watermark& w) {
+    fired.push_back(w.events);
+  };
+  SpexEngine engine(*query, &sink, options);
+  for (size_t i = 0; i < events.size(); i += kBatch) {
+    engine.OnEventBatch(events.data() + i,
+                        std::min(kBatch, events.size() - i));
+  }
+
+  // Expected sequence: re-arm the threshold past the count at every batch
+  // boundary, exactly as MaybeEmitProgress does.
+  std::vector<int64_t> expected;
+  int64_t next = kEvery;
+  for (size_t fed = 0; fed < events.size();) {
+    fed += std::min(kBatch, events.size() - fed);
+    if (static_cast<int64_t>(fed) >= next) {
+      expected.push_back(static_cast<int64_t>(fed));
+      while (static_cast<int64_t>(fed) >= next) next += kEvery;
+    }
+  }
+  EXPECT_EQ(fired, expected);
+  ASSERT_FALSE(fired.empty());
+  EXPECT_EQ(fired.front() % static_cast<int64_t>(kBatch), 0);
+
+  const Watermark final_mark = engine.CurrentWatermark();
+  EXPECT_EQ(final_mark.events, ref_final.events);
+  EXPECT_EQ(final_mark.results, ref_final.results);
+  EXPECT_EQ(final_mark.pending_fragments, ref_final.pending_fragments);
+  EXPECT_EQ(final_mark.buffered_events_peak, ref_final.buffered_events_peak);
+  EXPECT_EQ(sink.results(), ref_sink.results());
+
+  // One batch spanning several thresholds → one collapsed callback.
+  std::vector<int64_t> jump_fired;
+  EngineOptions jump;
+  jump.observe = ObserveLevel::kCounters;
+  jump.progress.every_events = 3;
+  jump.progress.callback = [&jump_fired](const Watermark& w) {
+    jump_fired.push_back(w.events);
+  };
+  CountingResultSink jump_sink;
+  SpexEngine jumper(*query, &jump_sink, jump);
+  const size_t jump_count = std::min<size_t>(10, events.size());
+  jumper.OnEventBatch(events.data(), jump_count);
+  ASSERT_EQ(jump_fired.size(), 1u);  // thresholds 3, 6, 9 collapse
+  EXPECT_EQ(jump_fired[0], static_cast<int64_t>(jump_count));
+}
+
 TEST(ObsEngineTest, MultiQueryRegistryLabelsPerQueryOutputs) {
   MultiQueryEngine mq;
   CountingResultSink sink_a, sink_b;

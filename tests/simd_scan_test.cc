@@ -1,0 +1,193 @@
+// Differential tests of the bulk byte-run scanners (xml/simd_scan.h).
+//
+// The contract is exact positional equality: for every input, every length
+// and every alignment, the dispatched backend (SWAR/SSE2/NEON, whichever the
+// build and SPEX_NO_SIMD resolve to) must return the same index as the
+// scalar reference.  The sweeps below are exhaustive over lengths covering
+// several vector lanes and over every planted-target position, including the
+// bytes that trip naive implementations (0x00, 0x80, 0xFF — sign and
+// high-bit handling).
+
+#include "xml/simd_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace spex {
+namespace scan {
+namespace {
+
+// Enough to cover several 16-byte lanes plus a scalar tail.
+constexpr size_t kMaxLen = 131;
+
+// Deterministic pseudo-random filler that avoids `exclude` bytes.
+std::vector<unsigned char> Filler(size_t n, std::vector<unsigned char> exclude,
+                                  uint64_t seed) {
+  std::vector<unsigned char> out(n);
+  uint64_t x = seed * 0x9e3779b97f4a7c15ull + 1;
+  for (size_t i = 0; i < n; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    unsigned char b = static_cast<unsigned char>(x);
+    bool excluded = true;
+    while (excluded) {
+      excluded = false;
+      for (unsigned char e : exclude) {
+        if (b == e) {
+          ++b;
+          excluded = true;
+          break;
+        }
+      }
+    }
+    out[i] = b;
+  }
+  return out;
+}
+
+const unsigned char kTrickyBytes[] = {0x00, 0x01, 0x26 /* & */,
+                                      0x3c /* < */, 0x5d /* ] */,
+                                      0x7f, 0x80, 0xff};
+
+TEST(SimdScanTest, BackendNameIsKnown) {
+  std::string name = BackendName();
+  EXPECT_TRUE(name == "sse2" || name == "neon" || name == "swar" ||
+              name == "scalar")
+      << name;
+}
+
+TEST(SimdScanTest, FindByteEveryLengthAndPosition) {
+  for (unsigned char target : kTrickyBytes) {
+    for (size_t len = 0; len <= kMaxLen; ++len) {
+      std::vector<unsigned char> buf = Filler(len, {target}, len + target);
+      const char* data = reinterpret_cast<const char*>(buf.data());
+      // Absent: both must report n.
+      EXPECT_EQ(FindByte(data, len, target), len);
+      EXPECT_EQ(FindByteScalar(data, len, target), len);
+      // Planted at every position: both must report the first plant.
+      for (size_t pos = 0; pos < len; ++pos) {
+        std::vector<unsigned char> planted = buf;
+        planted[pos] = target;
+        const char* p = reinterpret_cast<const char*>(planted.data());
+        EXPECT_EQ(FindByte(p, len, target), pos) << "len=" << len;
+        EXPECT_EQ(FindByteScalar(p, len, target), pos) << "len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdScanTest, FindByteFirstOfMany) {
+  for (size_t len = 2; len <= kMaxLen; ++len) {
+    std::vector<unsigned char> buf = Filler(len, {'<'}, len);
+    for (size_t pos = 0; pos + 1 < len; ++pos) {
+      std::vector<unsigned char> planted = buf;
+      planted[pos] = '<';
+      planted[len - 1] = '<';
+      const char* p = reinterpret_cast<const char*>(planted.data());
+      EXPECT_EQ(FindByte(p, len, '<'), pos);
+    }
+  }
+}
+
+TEST(SimdScanTest, FindByteMisaligned) {
+  // The same logical buffer scanned from every offset within an oversized
+  // backing array: results must be independent of pointer alignment.
+  std::vector<unsigned char> backing(kMaxLen + 32);
+  for (size_t off = 0; off < 17; ++off) {
+    for (size_t len = 0; len <= kMaxLen; ++len) {
+      std::vector<unsigned char> buf = Filler(len, {'"'}, off * 131 + len);
+      if (len > 0) std::memcpy(backing.data() + off, buf.data(), len);
+      const char* p = reinterpret_cast<const char*>(backing.data() + off);
+      EXPECT_EQ(FindByte(p, len, '"'), FindByteScalar(p, len, '"'));
+      for (size_t pos = 0; pos < len; pos += 7) {
+        backing[off + pos] = '"';
+        EXPECT_EQ(FindByte(p, len, '"'), FindByteScalar(p, len, '"'));
+        backing[off + pos] = buf[pos];
+      }
+    }
+  }
+}
+
+TEST(SimdScanTest, FindEitherEveryLengthAndPosition) {
+  const unsigned char a = '<';
+  const unsigned char b = '&';
+  for (size_t len = 0; len <= kMaxLen; ++len) {
+    std::vector<unsigned char> buf = Filler(len, {a, b}, len);
+    const char* data = reinterpret_cast<const char*>(buf.data());
+    EXPECT_EQ(FindEither(data, len, a, b), len);
+    EXPECT_EQ(FindEitherScalar(data, len, a, b), len);
+    for (size_t pos = 0; pos < len; ++pos) {
+      for (unsigned char plant : {a, b}) {
+        std::vector<unsigned char> planted = buf;
+        planted[pos] = plant;
+        const char* p = reinterpret_cast<const char*>(planted.data());
+        EXPECT_EQ(FindEither(p, len, a, b), pos) << "len=" << len;
+        EXPECT_EQ(FindEitherScalar(p, len, a, b), pos) << "len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdScanTest, FindEitherReturnsFirstOfBoth) {
+  for (size_t len = 2; len <= 64; ++len) {
+    std::vector<unsigned char> buf = Filler(len, {'<', '&'}, len * 3);
+    for (size_t pa = 0; pa < len; ++pa) {
+      for (size_t pb = 0; pb < len; ++pb) {
+        if (pa == pb) continue;
+        std::vector<unsigned char> planted = buf;
+        planted[pa] = '<';
+        planted[pb] = '&';
+        const char* p = reinterpret_cast<const char*>(planted.data());
+        EXPECT_EQ(FindEither(p, len, '<', '&'), std::min(pa, pb));
+      }
+    }
+  }
+}
+
+TEST(SimdScanTest, FindEitherSameByteTwice) {
+  // a == b degenerates to FindByte and must not confuse any backend.
+  for (size_t len = 0; len <= 40; ++len) {
+    std::vector<unsigned char> buf = Filler(len, {'x'}, len);
+    const char* p = reinterpret_cast<const char*>(buf.data());
+    EXPECT_EQ(FindEither(p, len, 'x', 'x'), len);
+    if (len > 2) {
+      buf[len / 2] = 'x';
+      EXPECT_EQ(FindEither(p, len, 'x', 'x'), len / 2);
+    }
+  }
+}
+
+TEST(SimdScanTest, FindNotInTable) {
+  // Allow ASCII letters and digits; everything else stops the run.
+  unsigned char table[256] = {};
+  for (int c = 'a'; c <= 'z'; ++c) table[c] = 1;
+  for (int c = 'A'; c <= 'Z'; ++c) table[c] = 1;
+  for (int c = '0'; c <= '9'; ++c) table[c] = 1;
+  for (size_t len = 0; len <= kMaxLen; ++len) {
+    std::string buf(len, 'a');
+    EXPECT_EQ(FindNotInTable(buf.data(), len, table), len);
+    for (size_t pos = 0; pos < len; pos += 3) {
+      std::string planted = buf;
+      planted[pos] = ' ';
+      EXPECT_EQ(FindNotInTable(planted.data(), len, table), pos);
+      planted[pos] = static_cast<char>(0xC3);  // high-bit byte
+      EXPECT_EQ(FindNotInTable(planted.data(), len, table), pos);
+    }
+  }
+}
+
+TEST(SimdScanTest, EmptyAndNullSafe) {
+  // n == 0 must not dereference data.
+  EXPECT_EQ(FindByte(nullptr, 0, 'x'), 0u);
+  EXPECT_EQ(FindEither(nullptr, 0, 'x', 'y'), 0u);
+  unsigned char table[256] = {};
+  EXPECT_EQ(FindNotInTable(nullptr, 0, table), 0u);
+}
+
+}  // namespace
+}  // namespace scan
+}  // namespace spex

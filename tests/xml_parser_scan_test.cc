@@ -1,0 +1,265 @@
+// Chunk-boundary fuzz tests for the bulk-scanning XML parser (DESIGN.md
+// §11).
+//
+// The parser's Feed() consumes maximal byte runs through the SWAR/SIMD
+// scanners and handles the run-terminating byte with the original per-char
+// state machine.  The contract tested here: the emitted event stream, the
+// error message, the structured status code and the failure byte position
+// are all *identical at every chunk split point* of every corpus document —
+// a split forces the boundary path where a bulk run would have continued, so
+// sweeping all offsets exercises every bulk/per-char handoff.  Batching is
+// part of the same contract: every event_batch_size must deliver exactly
+// the per-event stream, just grouped.
+//
+// Run under asan+ubsan in CI (the sanitizer job builds this target like any
+// other test).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/generators.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace spex {
+namespace {
+
+// Records the flattened event stream plus how it was delivered, so tests
+// can also assert the batching contract (no batch exceeds the configured
+// cap; batches concatenate to the per-event stream).
+class CollectSink : public EventSink {
+ public:
+  void OnEvent(const StreamEvent& event) override {
+    events.push_back(event);
+    ++single_deliveries;
+  }
+  void OnEventBatch(const StreamEvent* batch, size_t count) override {
+    for (size_t i = 0; i < count; ++i) events.push_back(batch[i]);
+    max_batch = std::max(max_batch, count);
+  }
+
+  std::vector<StreamEvent> events;
+  size_t max_batch = 0;
+  size_t single_deliveries = 0;
+};
+
+struct ParseOutcome {
+  std::vector<StreamEvent> events;
+  bool ok = false;
+  std::string error;
+  StatusCode code = StatusCode::kOk;
+  int64_t bytes_consumed = 0;
+  size_t max_batch = 0;
+
+  bool SameAs(const ParseOutcome& other) const {
+    return events == other.events && ok == other.ok && error == other.error &&
+           code == other.code && bytes_consumed == other.bytes_consumed;
+  }
+};
+
+// Parses `doc` split into [0, split) + [split, end), with the given batch
+// size.  split == doc.size() means a single Feed.
+ParseOutcome ParseAt(const std::string& doc, size_t split, int batch_size,
+                     XmlParserOptions options = {}) {
+  options.event_batch_size = batch_size;
+  CollectSink sink;
+  XmlParser parser(&sink, options);
+  std::string_view view(doc);
+  bool ok = parser.Feed(view.substr(0, split));
+  if (ok && split < doc.size()) ok = parser.Feed(view.substr(split));
+  if (ok) ok = parser.Finish();
+  ParseOutcome out;
+  out.events = std::move(sink.events);
+  out.ok = ok;
+  out.error = parser.error();
+  out.code = parser.status().code();
+  out.bytes_consumed = parser.bytes_consumed();
+  out.max_batch = sink.max_batch;
+  return out;
+}
+
+// Every-byte-offset split sweep: each split must reproduce the reference
+// outcome exactly (events, error text, status code, failure position).
+void CheckAllSplits(const std::string& doc, XmlParserOptions options = {},
+                    int batch_size = 64) {
+  const ParseOutcome ref = ParseAt(doc, doc.size(), batch_size, options);
+  for (size_t split = 0; split <= doc.size(); ++split) {
+    const ParseOutcome got = ParseAt(doc, split, batch_size, options);
+    ASSERT_TRUE(got.SameAs(ref))
+        << "split=" << split << " of " << doc.size() << "\n doc: " << doc
+        << "\n ref: ok=" << ref.ok << " err=" << ref.error
+        << " events=" << ref.events.size() << " bytes=" << ref.bytes_consumed
+        << "\n got: ok=" << got.ok << " err=" << got.error
+        << " events=" << got.events.size() << " bytes=" << got.bytes_consumed;
+  }
+}
+
+// The corpus: every parser construct the bulk paths special-case, with
+// enough payload that runs span multiple scanner lanes.
+const char* kCorpus[] = {
+    // Plain nesting and text runs longer than a vector lane.
+    "<a><b>hello world, this is a text run long enough to cross a 16-byte "
+    "lane boundary and then some</b><c/></a>",
+    // Entities interleaved with text (the '&' terminator of content runs).
+    "<a>&lt;&gt;&amp;&apos;&quot; mixed &#65;&#x42; with text between "
+    "entities &amp; more</a>",
+    // Attributes: quoted values with '>' and '/' inside, both quote kinds.
+    "<a x=\"1 > 2\" y='</a>' long=\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\"><b "
+    "k=\"v\"/></a>",
+    // Comments, including lone '-' runs and a '-->' terminator after '--'.
+    "<a><!-- comment with - single -- double --- dashes and "
+    "xxxxxxxxxxxxxxxxxxx --><b/></a>",
+    // CDATA with ']' runs, ']]' pairs and a literal ']]>' payload split.
+    "<a><![CDATA[ raw <markup> & entities ]] ]]]><![CDATA[]]></a>",
+    // Processing instructions with '?' inside, plus the XML declaration.
+    "<?xml version=\"1.0\"?><a><?pi some ? question ?? marks ?></a>",
+    // DOCTYPE with an internal subset (nested '<' '>').
+    "<!DOCTYPE root [ <!ELEMENT root (#PCDATA)> ]><root>t</root>",
+    // Self-closing chains and whitespace-only text (skipped by default).
+    "<a>\n  <b/>\n  <c/>\n  <d attr=\"x\"/>\n</a>",
+    // Deep nesting: depth tracking across splits.
+    "<a><a><a><a><a><a><a><a>x</a></a></a></a></a></a></a></a>",
+    // Mixed everything.
+    "<?xml version=\"1.0\"?><!-- head --><r a=\"1\"><![CDATA[x]]>text"
+    "<?p q?><k>&amp;</k></r><!-- tail -->",
+};
+
+TEST(XmlParserScanTest, CorpusSplitAtEveryByte) {
+  for (const char* doc : kCorpus) {
+    SCOPED_TRACE(doc);
+    CheckAllSplits(doc);
+  }
+}
+
+TEST(XmlParserScanTest, CorpusSplitAtEveryByteWithAttributes) {
+  XmlParserOptions options;
+  options.expose_attributes = true;
+  for (const char* doc : kCorpus) {
+    SCOPED_TRACE(doc);
+    CheckAllSplits(doc, options);
+  }
+}
+
+TEST(XmlParserScanTest, CorpusSplitAtEveryByteKeepingWhitespace) {
+  XmlParserOptions options;
+  options.skip_whitespace_text = false;
+  for (const char* doc : kCorpus) {
+    SCOPED_TRACE(doc);
+    CheckAllSplits(doc, options);
+  }
+}
+
+TEST(XmlParserScanTest, GeneratedCorpusSplitSweep) {
+  // A §VI-style generated document (~24KB): realistic tag mix, long content
+  // runs.  A full every-offset sweep is quadratic in the document size and
+  // too slow under asan, so the head and tail are swept at every offset and
+  // the middle at a prime stride (17 hits every phase of the 8/16-byte
+  // scanner lanes across consecutive strides).
+  const std::string doc = EventsToXml(GenerateToVector(
+      [](EventSink* s) { GenerateDmozLike(7, 0.0001, true, s); }));
+  ASSERT_FALSE(doc.empty());
+  const ParseOutcome ref = ParseAt(doc, doc.size(), 64);
+  EXPECT_TRUE(ref.ok) << ref.error;
+  auto check = [&](size_t split) {
+    ASSERT_TRUE(ParseAt(doc, split, 64).SameAs(ref)) << "split=" << split;
+  };
+  const size_t edge = std::min<size_t>(1500, doc.size());
+  for (size_t split = 0; split <= edge; ++split) check(split);
+  for (size_t split = edge + 1; split + edge < doc.size(); split += 17) {
+    check(split);
+  }
+  for (size_t split = doc.size() < edge ? 0 : doc.size() - edge;
+       split <= doc.size(); ++split) {
+    check(split);
+  }
+}
+
+TEST(XmlParserScanTest, MalformedDocsFailIdenticallyAtEverySplit) {
+  const char* kBad[] = {
+      "<a><b></a></b>",        // mismatched close
+      "<a>text",               // unclosed element at Finish
+      "<a>&unknown;</a>",      // bad entity
+      "<a>&#xZZ;</a>",         // bad numeric entity
+      "<a><b attr=></b></a>",  // malformed attribute
+      "<a>]]></a>",            // bare CDATA terminator in content is legal
+      "<a><!-- unterminated",  // unterminated comment
+      "<1a/>",                 // bad name start
+      "text outside root",     // content before root
+  };
+  for (const char* doc : kBad) {
+    SCOPED_TRACE(doc);
+    CheckAllSplits(doc);
+  }
+}
+
+TEST(XmlParserScanTest, MaxDepthBreachIdenticalAtEverySplit) {
+  XmlParserOptions options;
+  options.max_depth = 3;
+  std::string doc = "<a><b><c><d>deep</d></c></b></a>";
+  const ParseOutcome ref = ParseAt(doc, doc.size(), 64, options);
+  EXPECT_FALSE(ref.ok);
+  EXPECT_EQ(ref.code, StatusCode::kResourceExhausted);
+  CheckAllSplits(doc, options);
+}
+
+TEST(XmlParserScanTest, MaxTextBytesBreachIdenticalAtEverySplit) {
+  XmlParserOptions options;
+  options.max_text_bytes = 10;
+  // 40-byte text run: the bulk path must admit exactly the per-char prefix
+  // before failing, so bytes_consumed agrees at every split.
+  std::string doc = "<a>0123456789012345678901234567890123456789</a>";
+  const ParseOutcome ref = ParseAt(doc, doc.size(), 64, options);
+  EXPECT_FALSE(ref.ok);
+  EXPECT_EQ(ref.code, StatusCode::kResourceExhausted);
+  CheckAllSplits(doc, options);
+
+  // Same limit breached inside an attribute region and a tag name.
+  CheckAllSplits("<a attr=\"0123456789012345678901234567890\"/>", options);
+  CheckAllSplits("<averylongtagnamebreachingthelimit/>", options);
+  // And a limit NOT breached: exactly at the edge.
+  XmlParserOptions edge;
+  edge.max_text_bytes = 40;
+  CheckAllSplits(doc, edge);
+}
+
+TEST(XmlParserScanTest, BatchSizesDeliverIdenticalStreams) {
+  const int kBatchSizes[] = {1, 2, 3, 7, 64};
+  for (const char* doc : kCorpus) {
+    SCOPED_TRACE(doc);
+    const ParseOutcome ref = ParseAt(doc, std::string(doc).size(), 1);
+    EXPECT_EQ(ref.max_batch, 0u);  // batch 1 delivers via OnEvent only
+    for (int batch : kBatchSizes) {
+      const ParseOutcome got =
+          ParseAt(doc, std::string(doc).size(), batch);
+      EXPECT_TRUE(got.SameAs(ref)) << "batch=" << batch;
+      EXPECT_LE(got.max_batch, static_cast<size_t>(batch));
+    }
+    // Batched delivery at a few representative splits as well.
+    const std::string d(doc);
+    for (size_t split : {size_t{0}, d.size() / 3, d.size() / 2}) {
+      for (int batch : kBatchSizes) {
+        EXPECT_TRUE(ParseAt(d, split, batch).SameAs(ref))
+            << "split=" << split << " batch=" << batch;
+      }
+    }
+  }
+}
+
+TEST(XmlParserScanTest, ErrorPrefixFlushedBeforeFailure) {
+  // The events emitted before a mid-document error must reach the sink even
+  // with a large batch size (Fail flushes the pending batch first).
+  CollectSink sink;
+  XmlParserOptions options;
+  options.event_batch_size = 64;
+  XmlParser parser(&sink, options);
+  EXPECT_FALSE(parser.Feed("<a><b>text</b><c></zzz>"));
+  // <$> <a> <b> "text" </b> <c> were all complete before the error.
+  ASSERT_GE(sink.events.size(), 6u);
+  EXPECT_EQ(sink.events[3], StreamEvent::Text("text"));
+}
+
+}  // namespace
+}  // namespace spex

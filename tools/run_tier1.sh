@@ -7,12 +7,20 @@
 #   tools/run_tier1.sh ubsan     # UB sanitizer alone (build-ubsan/)
 #   tools/run_tier1.sh tsan      # thread sanitizer preset (build-tsan/);
 #                                # ctest runs the concurrency-relevant subset
+#   tools/run_tier1.sh scalar    # SPEX_NO_SIMD build (build-scalar/): SIMD
+#                                # lanes compiled out AND runtime dispatch
+#                                # forced scalar; full suite
 #
 # Exits non-zero on the first failing stage.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 preset="${1:-default}"
+
+# The scalar preset compiles the SWAR/SIMD scanner lanes out; force the
+# runtime dispatch to scalar as well so the smokes below cover the same
+# configuration the ctest preset pins via its environment.
+if [ "$preset" = "scalar" ]; then export SPEX_NO_SIMD=1; fi
 
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"

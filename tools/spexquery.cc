@@ -70,6 +70,9 @@ struct Options {
   // without bothering legitimate documents.
   int max_depth = 10000;
   size_t max_text_bytes = 16u << 20;
+  // Events per delivery batch through parser and engine (DESIGN.md §11);
+  // 1 = legacy per-event delivery.
+  int batch_size = 64;
 };
 
 int Usage() {
@@ -81,7 +84,8 @@ int Usage() {
                "                 [--observe=off|counters|full]\n"
                "                 [--metrics=json|prom] [--trace-out=FILE] "
                "[--progress[=N]]\n"
-               "                 [--max-depth=N] [--max-text=BYTES]\n"
+               "                 [--max-depth=N] [--max-text=BYTES] "
+               "[--batch-size=N]\n"
                "                 QUERY [FILE]\n");
   return 2;
 }
@@ -170,6 +174,9 @@ int main(int argc, char** argv) {
       opts.max_depth = std::atoi(arg.c_str() + 12);
     } else if (arg.rfind("--max-text=", 0) == 0) {
       opts.max_text_bytes = static_cast<size_t>(std::atoll(arg.c_str() + 11));
+    } else if (arg.rfind("--batch-size=", 0) == 0) {
+      opts.batch_size = std::atoi(arg.c_str() + 13);
+      if (opts.batch_size < 1) return Usage();
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown option %s\n", arg.c_str());
       return Usage();
@@ -199,6 +206,7 @@ int main(int argc, char** argv) {
 
   spex::EngineOptions engine_options;
   engine_options.output_order = opts.order;
+  engine_options.batch_size = opts.batch_size;
   // --trace-out needs full observation; --metrics/--progress only counters.
   // An explicit --observe wins (but tracing is unavailable below full).
   if (!opts.observe_set) {
@@ -262,6 +270,7 @@ int main(int argc, char** argv) {
   parser_options.metrics = &engine.metrics();
   parser_options.max_depth = opts.max_depth;
   parser_options.max_text_bytes = opts.max_text_bytes;
+  parser_options.event_batch_size = opts.batch_size;
   spex::XmlParser parser(&engine, parser_options);
   engine.set_progress_bytes_source([&parser] { return parser.bytes_consumed(); });
 

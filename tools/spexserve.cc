@@ -78,6 +78,10 @@ struct Options {
   size_t queue_capacity = 64;
   size_t cache_capacity = 128;
   size_t batch_events = 0;  // 0 = whole document in one batch
+  // Events per delivery batch inside each session's engine (DESIGN.md §11);
+  // 1 = legacy per-event delivery.  Distinct from --batch, which sizes the
+  // pool's submission batches.
+  int engine_batch = 64;
   bool print_results = false;
   std::string metrics_format;  // "", "json" or "prom"
   // Parser bounds (0 = unlimited).  The defaults keep an adversarial
@@ -96,7 +100,8 @@ struct Options {
 int Usage() {
   std::fprintf(stderr,
                "usage: spexserve --queries=FILE [--threads=N] [--queue=N]\n"
-               "                 [--cache=N] [--batch=N] [--print]\n"
+               "                 [--cache=N] [--batch=N] [--batch-size=N] "
+               "[--print]\n"
                "                 [--metrics=json|prom]\n"
                "                 [--max-depth=N] [--max-text=BYTES]\n"
                "                 [--max-buffered-bytes=N] [--max-formula-bytes=N]\n"
@@ -175,6 +180,7 @@ class Server {
           pool_options.threads = options.threads;
           pool_options.queue_capacity = options.queue_capacity;
           pool_options.engine.limits = options.limits;
+          pool_options.engine.batch_size = options.engine_batch;
           if (options.chaos) {
             // Seeded worker stalls: one deterministic draw per batch (the
             // corruption/truncation/limit faults are planned per session in
@@ -377,6 +383,9 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->queue_capacity = static_cast<size_t>(std::atoll(v));
     } else if (const char* v = value("--cache=")) {
       options->cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--batch-size=")) {
+      options->engine_batch = std::atoi(v);
+      if (options->engine_batch < 1) return false;
     } else if (const char* v = value("--batch=")) {
       options->batch_events = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--print") {
