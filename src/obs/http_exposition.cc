@@ -1,0 +1,309 @@
+#include "obs/http_exposition.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace spex {
+namespace obs {
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default: return "Error";
+  }
+}
+
+void SetIoTimeout(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool SendAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    const ssize_t n = send(fd, data, size, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void WriteResponse(int fd, const HttpResponse& response) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (SendAll(fd, head.data(), head.size())) {
+    SendAll(fd, response.body.data(), response.body.size());
+  }
+}
+
+// %xx-decoding for paths; also maps '+' outside our concern (queries stay
+// raw, parameters decode individually in QueryParam).
+std::string PercentDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      const int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string HttpRequest::QueryParam(std::string_view key,
+                                    std::string_view fallback) const {
+  std::string_view rest = query;
+  while (!rest.empty()) {
+    const size_t amp = rest.find('&');
+    std::string_view pair = rest.substr(0, amp);
+    rest = amp == std::string_view::npos ? std::string_view()
+                                         : rest.substr(amp + 1);
+    const size_t eq = pair.find('=');
+    const std::string_view k = pair.substr(0, eq);
+    if (k == key) {
+      return eq == std::string_view::npos ? std::string()
+                                          : PercentDecode(pair.substr(eq + 1));
+    }
+  }
+  return std::string(fallback);
+}
+
+int64_t HttpRequest::QueryParamInt(std::string_view key,
+                                   int64_t fallback) const {
+  const std::string value = QueryParam(key);
+  if (value.empty()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+HttpResponse HttpResponse::Error(int status, std::string_view message) {
+  HttpResponse r;
+  r.status = status;
+  r.body = std::string(message);
+  if (!r.body.empty() && r.body.back() != '\n') r.body.push_back('\n');
+  return r;
+}
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return fail("bind");
+  }
+  if (listen(listen_fd_, options_.backlog) != 0) return fail("listen");
+
+  socklen_t len = sizeof addr;
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&HttpServer::AcceptLoop, this);
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Linux: shutdown() on the listening socket fails accept() in the server
+  // thread with EINVAL, waking it without signals or self-connects.
+  shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void HttpServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (!running_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+    SetIoTimeout(fd, options_.io_timeout_ms);
+    ServeConnection(fd);
+    close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  // Read until the end-of-headers blank line, the size bound, or timeout.
+  std::string request;
+  char buf[2048];
+  size_t header_end = std::string::npos;
+  while (request.size() <= options_.max_request_bytes) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (request.empty()) return;  // client connected and went away
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+    header_end = request.find("\r\n\r\n");
+    if (header_end == std::string::npos) header_end = request.find("\n\n");
+    if (header_end != std::string::npos) break;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (request.size() > options_.max_request_bytes) {
+    WriteResponse(fd, HttpResponse::Error(431, "request too large"));
+    return;
+  }
+  if (header_end == std::string::npos) {
+    WriteResponse(fd, HttpResponse::Error(408, "incomplete request"));
+    return;
+  }
+
+  // Request line: METHOD SP target SP version.
+  const size_t line_end = request.find_first_of("\r\n");
+  std::string_view line = std::string_view(request).substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    WriteResponse(fd, HttpResponse::Error(400, "malformed request line"));
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  const std::string_view target =
+      line.substr(sp1 + 1, sp2 == std::string_view::npos
+                               ? std::string_view::npos
+                               : sp2 - sp1 - 1);
+  if (method != "GET") {
+    WriteResponse(fd, HttpResponse::Error(405, "GET only"));
+    return;
+  }
+  if (target.empty() || target[0] != '/') {
+    WriteResponse(fd, HttpResponse::Error(400, "bad request target"));
+    return;
+  }
+
+  HttpRequest parsed;
+  const size_t qmark = target.find('?');
+  parsed.path = PercentDecode(target.substr(0, qmark));
+  if (qmark != std::string_view::npos) {
+    parsed.query = std::string(target.substr(qmark + 1));
+  }
+
+  WriteResponse(fd, handler_(parsed));
+}
+
+bool HttpGet(uint16_t port, std::string_view path_and_query, int* status,
+             std::string* body, int timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  SetIoTimeout(fd, timeout_ms);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close(fd);
+    return false;
+  }
+
+  std::string request = "GET " + std::string(path_and_query) +
+                        " HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: "
+                        "close\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    close(fd);
+    return false;
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  // "HTTP/1.1 NNN ..." — we only need the status and the body.
+  if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) {
+    return false;
+  }
+  const size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) return false;
+  if (status != nullptr) {
+    *status = std::atoi(response.c_str() + sp + 1);
+  }
+  size_t body_start = response.find("\r\n\r\n");
+  body_start = body_start == std::string::npos ? response.size()
+                                               : body_start + 4;
+  if (body != nullptr) *body = response.substr(body_start);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace spex

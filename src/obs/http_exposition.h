@@ -1,0 +1,130 @@
+// Minimal embedded HTTP/1.1 exposition server.
+//
+// The admin plane (DESIGN.md §12) needs exactly what a Prometheus scrape
+// needs: accept a TCP connection, read one small GET request, write one
+// response, close.  This server implements that contract and nothing more —
+// no TLS, no keep-alive, no chunked bodies, no dependencies beyond POSIX
+// sockets — so it can be embedded in spexserve without pulling a framework
+// into a paper-reproduction codebase.
+//
+// Threat/robustness model (it binds to loopback by default, but chaos tests
+// hammer it): requests are size-bounded (431 when exceeded), non-GET methods
+// are rejected (405), unknown paths are the handler's problem (it returns
+// 404), and per-connection socket I/O carries timeouts so a stalled client
+// cannot wedge the accept loop for long.  One blocking accept loop on a
+// dedicated thread serves connections sequentially: scrapes are rare (order
+// seconds apart) and responses are small, so concurrency here would buy
+// nothing but locking.
+//
+// Stop() shuts the listening socket down, which wakes the blocked accept()
+// (Linux semantics), and joins the thread.  Start() with port 0 binds an
+// ephemeral port, readable via port() — tests and the tier-1 smoke use this
+// to avoid collisions.
+
+#ifndef SPEX_OBS_HTTP_EXPOSITION_H_
+#define SPEX_OBS_HTTP_EXPOSITION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace spex {
+namespace obs {
+
+// One parsed GET request.
+struct HttpRequest {
+  std::string path;    // decoded path, no query string ("/metrics")
+  std::string query;   // raw query string, no '?' ("window=30&q=2")
+  // Value of query parameter `key`, or `fallback` when absent.
+  std::string QueryParam(std::string_view key,
+                         std::string_view fallback = "") const;
+  // Integer query parameter; `fallback` when absent or unparseable.
+  int64_t QueryParamInt(std::string_view key, int64_t fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(std::string body) {
+    HttpResponse r;
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse Json(std::string body) {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = std::move(body);
+    return r;
+  }
+  static HttpResponse Error(int status, std::string_view message);
+};
+
+struct HttpServerOptions {
+  // Loopback by default: the admin plane is an operator surface, not a
+  // public one.  "0.0.0.0" opts into external exposure.
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral, read back via HttpServer::port()
+  int backlog = 16;
+  // Request size bound (431 beyond it) — a scrape's request line + headers
+  // fit in a fraction of this.
+  size_t max_request_bytes = 8192;
+  // Per-connection socket send/receive timeout.
+  int io_timeout_ms = 2000;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens, and starts the accept thread.  Returns false (with a
+  // message in *error) on socket failure; idempotent success is not
+  // supported — call once.
+  bool Start(std::string* error = nullptr);
+  // Stops accepting, closes the listener, joins the thread.  Safe to call
+  // repeatedly and from ~HttpServer.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound port (resolves port 0 after Start).
+  uint16_t port() const { return port_; }
+  // Requests served (any status), for tests and /healthz.
+  int64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> requests_{0};
+  std::thread thread_;
+};
+
+// Blocking one-shot GET against 127.0.0.1:`port` (test/smoke client; also
+// header-free enough to document the wire contract).  Returns false on
+// connect/IO failure.  On success fills `status` and `body`.
+bool HttpGet(uint16_t port, std::string_view path_and_query, int* status,
+             std::string* body, int timeout_ms = 5000);
+
+}  // namespace obs
+}  // namespace spex
+
+#endif  // SPEX_OBS_HTTP_EXPOSITION_H_

@@ -1,0 +1,223 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <ctime>
+
+#include "obs/metrics.h"
+
+namespace spex {
+namespace obs {
+namespace {
+
+// logfmt values are bare when they contain no whitespace, quotes, equals or
+// control bytes; otherwise they are double-quoted with \" \\ \n \t escapes.
+bool NeedsLogfmtQuoting(std::string_view s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' ||
+        static_cast<unsigned char>(c) < 0x20) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void AppendLogfmtString(std::string* out, std::string_view s) {
+  if (!NeedsLogfmtQuoting(s)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\n': out->append("\\n"); break;
+      case '\t': out->append("\\t"); break;
+      default: out->push_back(c); break;
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out->append(buf);
+}
+
+// Wall-clock timestamp: RFC3339 UTC with millisecond precision.
+void AppendTimestamp(std::string* out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc;
+  gmtime_r(&secs, &tm_utc);
+  char buf[40];
+  const size_t n =
+      std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  out->append(buf, n);
+  std::snprintf(buf, sizeof buf, ".%03lldZ", static_cast<long long>(ms));
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    *out = LogLevel::kWarn;
+  } else if (text == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseLogFormat(std::string_view text, LogFormat* out) {
+  if (text == "text") {
+    *out = LogFormat::kText;
+  } else if (text == "json") {
+    *out = LogFormat::kJson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void LogValue::AppendTo(std::string* out, LogFormat format) const {
+  switch (kind_) {
+    case Kind::kString:
+      if (format == LogFormat::kJson) {
+        out->push_back('"');
+        out->append(EscapeJson(str_));
+        out->push_back('"');
+      } else {
+        AppendLogfmtString(out, str_);
+      }
+      break;
+    case Kind::kInt:
+      out->append(std::to_string(int_));
+      break;
+    case Kind::kDouble:
+      AppendDouble(out, double_);
+      break;
+    case Kind::kBool:
+      out->append(int_ != 0 ? "true" : "false");
+      break;
+  }
+}
+
+Logger::Logger()
+    : level_(static_cast<int>(LogLevel::kInfo)),
+      format_(static_cast<int>(LogFormat::kText)),
+      file_sink_(stderr) {
+  for (auto& c : lines_) c.store(0, std::memory_order_relaxed);
+}
+
+Logger& Logger::Global() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void Logger::SetSink(std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  file_sink_ = sink;
+  callback_sink_ = nullptr;
+}
+
+void Logger::SetSink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callback_sink_ = std::move(sink);
+  file_sink_ = nullptr;
+}
+
+void Logger::Log(LogLevel level, std::string_view msg,
+                 std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) return;
+  const LogFormat fmt = format();
+
+  // Reused per thread: steady-state emission is formatting into capacity
+  // the thread's earlier lines already paid for.
+  thread_local std::string line;
+  line.clear();
+
+  if (fmt == LogFormat::kJson) {
+    line.append("{\"ts\":\"");
+    AppendTimestamp(&line);
+    line.append("\",\"level\":\"");
+    line.append(LogLevelName(level));
+    line.append("\",\"msg\":\"");
+    line.append(EscapeJson(msg));
+    line.push_back('"');
+    for (const LogField& f : fields) {
+      line.append(",\"");
+      line.append(EscapeJson(f.key));
+      line.append("\":");
+      f.value.AppendTo(&line, fmt);
+    }
+    line.push_back('}');
+  } else {
+    line.append("ts=");
+    AppendTimestamp(&line);
+    line.append(" level=");
+    line.append(LogLevelName(level));
+    line.append(" msg=");
+    AppendLogfmtString(&line, msg);
+    for (const LogField& f : fields) {
+      line.push_back(' ');
+      line.append(f.key);
+      line.push_back('=');
+      f.value.AppendTo(&line, fmt);
+    }
+  }
+
+  lines_[static_cast<size_t>(level)].fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (callback_sink_) {
+    callback_sink_(line);
+  } else if (file_sink_ != nullptr) {
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), file_sink_);
+    std::fflush(file_sink_);
+  }
+}
+
+void Logger::RegisterCollectors(MetricRegistry* registry) {
+  registry->SetHelp("spex_log_lines_total",
+                    "Structured log lines emitted, by level.");
+  for (int i = 0; i < kLogLevelCount; ++i) {
+    const LogLevel level = static_cast<LogLevel>(i);
+    registry->AddCallbackCounter(
+        "spex_log_lines_total",
+        {{"level", std::string(LogLevelName(level))}},
+        [this, level] { return lines(level); });
+  }
+}
+
+void Log(LogLevel level, std::string_view msg,
+         std::initializer_list<LogField> fields) {
+  Logger::Global().Log(level, msg, fields);
+}
+
+}  // namespace obs
+}  // namespace spex

@@ -1,0 +1,160 @@
+// Structured, leveled logging for the serving tier.
+//
+// The CLI tools historically reported diagnostics as free-form fprintf lines;
+// under the engine pool and chaos harness those lines are the only record of
+// quarantines, governor breaches and injected faults, and they are not
+// machine-parseable.  This logger replaces them with structured events: a
+// level, a message, and typed key-value fields, rendered either as logfmt
+// text (`ts=... level=info msg="..." key=value ...`) or as one flat JSON
+// object per line — the schema DESIGN.md §12 documents.
+//
+// Cost model: a disabled level costs one relaxed atomic load and a branch
+// (callers may also guard expensive field computation with
+// `Logger::Enabled(level)`).  An emitted line is formatted into a
+// thread_local buffer that is reused across calls, so steady-state logging
+// allocates only when a line outgrows every previous line on that thread.
+// Emission itself (one fwrite) is serialized by a mutex; level and format
+// may be flipped concurrently with logging.
+//
+// Per-level line counters can be exposed through a MetricRegistry
+// (RegisterCollectors) as `spex_log_lines_total{level=...}` so the admin
+// plane surfaces error rates without scraping the log stream.
+
+#ifndef SPEX_OBS_LOG_H_
+#define SPEX_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace spex {
+namespace obs {
+
+class MetricRegistry;
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+inline constexpr int kLogLevelCount = 4;
+
+std::string_view LogLevelName(LogLevel level);
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+enum class LogFormat : int { kText = 0, kJson = 1 };
+bool ParseLogFormat(std::string_view text, LogFormat* out);
+
+// One typed field value.  Strings are referenced, not copied: a LogValue
+// must not outlive the string it views (fields are consumed within the Log
+// call that receives them).
+class LogValue {
+ public:
+  LogValue(std::string_view v) : kind_(Kind::kString), str_(v) {}  // NOLINT
+  LogValue(const char* v) : kind_(Kind::kString), str_(v) {}       // NOLINT
+  LogValue(const std::string& v) : kind_(Kind::kString), str_(v) {}  // NOLINT
+  LogValue(bool v) : kind_(Kind::kBool), int_(v ? 1 : 0) {}        // NOLINT
+  LogValue(int v) : kind_(Kind::kInt), int_(v) {}                  // NOLINT
+  LogValue(long v) : kind_(Kind::kInt), int_(v) {}                 // NOLINT
+  LogValue(long long v) : kind_(Kind::kInt), int_(v) {}            // NOLINT
+  LogValue(unsigned v) : kind_(Kind::kInt), int_(v) {}             // NOLINT
+  LogValue(unsigned long v)                                        // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<int64_t>(v)) {}
+  LogValue(unsigned long long v)                                   // NOLINT
+      : kind_(Kind::kInt), int_(static_cast<int64_t>(v)) {}
+  LogValue(double v) : kind_(Kind::kDouble), double_(v) {}         // NOLINT
+
+  // Appends this value rendered for `format` (quoting / escaping strings as
+  // the format requires) to `out`.
+  void AppendTo(std::string* out, LogFormat format) const;
+
+ private:
+  enum class Kind { kString, kInt, kDouble, kBool };
+  Kind kind_;
+  std::string_view str_;
+  int64_t int_ = 0;
+  double double_ = 0;
+};
+
+struct LogField {
+  std::string_view key;
+  LogValue value;
+};
+
+class Logger {
+ public:
+  // Writes to stderr, level kInfo, logfmt text.
+  Logger();
+
+  // The process-wide logger the free Log() helpers use.
+  static Logger& Global();
+
+  void SetLevel(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void SetFormat(LogFormat format) {
+    format_.store(static_cast<int>(format), std::memory_order_relaxed);
+  }
+  LogFormat format() const {
+    return static_cast<LogFormat>(format_.load(std::memory_order_relaxed));
+  }
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           level_.load(std::memory_order_relaxed);
+  }
+
+  // Redirect output.  The FILE* sink must outlive the logger's last Log
+  // call; the callback sink receives each fully rendered line (no trailing
+  // newline) and runs under the emission mutex.
+  void SetSink(std::FILE* sink);
+  void SetSink(std::function<void(std::string_view line)> sink);
+
+  void Log(LogLevel level, std::string_view msg,
+           std::initializer_list<LogField> fields);
+
+  // Lines emitted (not suppressed by level) per level, for the admin plane.
+  int64_t lines(LogLevel level) const {
+    return lines_[static_cast<size_t>(level)].load(std::memory_order_relaxed);
+  }
+
+  // Exposes spex_log_lines_total{level=...} counters on `registry`.  The
+  // registry must not outlive the logger.
+  void RegisterCollectors(MetricRegistry* registry);
+
+ private:
+  std::atomic<int> level_;
+  std::atomic<int> format_;
+  std::atomic<int64_t> lines_[kLogLevelCount];
+  std::mutex mu_;
+  std::FILE* file_sink_;                                   // guarded by mu_
+  std::function<void(std::string_view)> callback_sink_;    // guarded by mu_
+};
+
+// Conveniences over Logger::Global().
+void Log(LogLevel level, std::string_view msg,
+         std::initializer_list<LogField> fields = {});
+inline void LogDebug(std::string_view msg,
+                     std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kDebug, msg, fields);
+}
+inline void LogInfo(std::string_view msg,
+                    std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kInfo, msg, fields);
+}
+inline void LogWarn(std::string_view msg,
+                    std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kWarn, msg, fields);
+}
+inline void LogError(std::string_view msg,
+                     std::initializer_list<LogField> fields = {}) {
+  Log(LogLevel::kError, msg, fields);
+}
+
+}  // namespace obs
+}  // namespace spex
+
+#endif  // SPEX_OBS_LOG_H_

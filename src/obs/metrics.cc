@@ -94,6 +94,50 @@ int64_t Histogram::BucketUpperBound(int i) {
   return (int64_t{1} << i) - 1;
 }
 
+int64_t Histogram::BucketLowerBound(int i) {
+  if (i <= 0) return 0;
+  return int64_t{1} << (i - 1);
+}
+
+double HistogramQuantileFromBuckets(const int64_t* buckets, int n_buckets,
+                                    int64_t count, int64_t max, double q) {
+  if (count <= 0 || n_buckets <= 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int k = 0; k < n_buckets; ++k) {
+    const int64_t in_bucket = buckets[k];
+    if (in_bucket == 0) continue;
+    const int64_t before = cumulative;
+    cumulative += in_bucket;
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lo = static_cast<double>(Histogram::BucketLowerBound(k));
+    double hi = static_cast<double>(Histogram::BucketUpperBound(k));
+    // The largest observation lives in the last non-empty bucket; clamping
+    // its upper bound to `max` keeps tail quantiles from over-reporting by
+    // up to 2x when the bucket is sparsely filled.
+    if (cumulative == count && max >= Histogram::BucketLowerBound(k) &&
+        static_cast<double>(max) < hi) {
+      hi = static_cast<double>(max);
+    }
+    if (hi <= lo) return lo;
+    double fraction =
+        (target - static_cast<double>(before)) / static_cast<double>(in_bucket);
+    if (fraction < 0) fraction = 0;
+    if (fraction > 1) fraction = 1;
+    return lo + (hi - lo) * fraction;
+  }
+  return static_cast<double>(max);
+}
+
+double MetricSample::Quantile(double q) const {
+  if (type != MetricType::kHistogram || buckets.empty()) return 0.0;
+  return HistogramQuantileFromBuckets(buckets.data(),
+                                      static_cast<int>(buckets.size()), count,
+                                      max, q);
+}
+
 const char* MetricTypeName(MetricType type) {
   switch (type) {
     case MetricType::kCounter:
@@ -148,15 +192,40 @@ AtomicGauge* MetricRegistry::AddAtomicGauge(std::string name, Labels labels) {
   return e.atomic_gauge.get();
 }
 
+AtomicHistogram* MetricRegistry::AddAtomicHistogram(std::string name,
+                                                    Labels labels) {
+  Entry& e =
+      NewEntry(std::move(name), std::move(labels), MetricType::kHistogram);
+  e.atomic_histogram = std::make_unique<AtomicHistogram>();
+  return e.atomic_histogram.get();
+}
+
 void MetricRegistry::AddCallbackGauge(std::string name, Labels labels,
                                       std::function<int64_t()> read) {
   Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kGauge);
   e.callback = std::move(read);
 }
 
+void MetricRegistry::AddCallbackCounter(std::string name, Labels labels,
+                                        std::function<int64_t()> read) {
+  Entry& e = NewEntry(std::move(name), std::move(labels), MetricType::kCounter);
+  e.callback = std::move(read);
+}
+
+void MetricRegistry::SetHelp(std::string name, std::string help) {
+  for (auto& [family, text] : help_) {
+    if (family == name) {
+      text = std::move(help);
+      return;
+    }
+  }
+  help_.emplace_back(std::move(name), std::move(help));
+}
+
 MetricsSnapshot MetricRegistry::Collect() const {
   MetricsSnapshot snap;
   snap.samples.reserve(entries_.size());
+  snap.help = help_;
   for (const auto& entry : entries_) {
     MetricSample s;
     s.name = entry->name;
@@ -164,8 +233,12 @@ MetricsSnapshot MetricRegistry::Collect() const {
     s.type = entry->type;
     switch (entry->type) {
       case MetricType::kCounter:
-        s.value = entry->counter != nullptr ? entry->counter->value()
-                                            : entry->atomic_counter->value();
+        if (entry->callback) {
+          s.value = entry->callback();
+        } else {
+          s.value = entry->counter != nullptr ? entry->counter->value()
+                                              : entry->atomic_counter->value();
+        }
         s.max = s.value;
         break;
       case MetricType::kGauge:
@@ -181,6 +254,25 @@ MetricsSnapshot MetricRegistry::Collect() const {
         }
         break;
       case MetricType::kHistogram: {
+        if (entry->atomic_histogram != nullptr) {
+          // One relaxed read per bucket; the count is *derived* as the sum
+          // of those reads, so count == sum-of-buckets holds exactly in
+          // every snapshot however hard the writers race the scrape.
+          const AtomicHistogram& h = *entry->atomic_histogram;
+          int last = -1;
+          int64_t reads[AtomicHistogram::kBuckets];
+          int64_t total = 0;
+          for (int i = 0; i < AtomicHistogram::kBuckets; ++i) {
+            reads[i] = h.bucket(i);
+            total += reads[i];
+            if (reads[i] != 0) last = i;
+          }
+          s.count = total;
+          s.sum = h.sum();
+          s.max = h.max();
+          s.buckets.assign(reads, reads + last + 1);
+          break;
+        }
         const Histogram& h = *entry->histogram;
         s.count = h.count();
         s.sum = h.sum();
@@ -227,42 +319,93 @@ int64_t MetricsSnapshot::MaxAll(std::string_view name) const {
   return best;
 }
 
+double MetricsSnapshot::QuantileAll(std::string_view name, double q) const {
+  int64_t merged[Histogram::kBuckets] = {};
+  int64_t count = 0;
+  int64_t max = 0;
+  bool any = false;
+  for (const MetricSample& s : samples) {
+    if (s.name != name || s.type != MetricType::kHistogram) continue;
+    any = true;
+    for (size_t i = 0; i < s.buckets.size() &&
+                       i < static_cast<size_t>(Histogram::kBuckets);
+         ++i) {
+      merged[i] += s.buckets[i];
+    }
+    count += s.count;
+    if (s.max > max) max = s.max;
+  }
+  if (!any) return 0.0;
+  return HistogramQuantileFromBuckets(merged, Histogram::kBuckets, count, max,
+                                      q);
+}
+
 std::string MetricsSnapshot::ToPrometheusText() const {
-  std::string out;
-  std::vector<std::string_view> typed;  // families with an emitted # TYPE
+  // The text-format spec requires all samples of one family to form a
+  // single group preceded by its # HELP/# TYPE lines; the registry keeps
+  // insertion order, which may interleave families (per-worker instruments
+  // registered round-robin), so group here at export time.
+  std::vector<std::string_view> families;  // first-seen order
   for (const MetricSample& s : samples) {
     bool seen = false;
-    for (std::string_view t : typed) {
-      if (t == s.name) {
+    for (std::string_view f : families) {
+      if (f == s.name) {
         seen = true;
         break;
       }
     }
-    if (!seen) {
-      out += "# TYPE " + s.name + " " + MetricTypeName(s.type) + "\n";
-      typed.push_back(s.name);
-    }
-    if (s.type == MetricType::kHistogram) {
-      int64_t cumulative = 0;
-      for (size_t i = 0; i < s.buckets.size(); ++i) {
-        cumulative += s.buckets[i];
-        out += s.name + "_bucket" +
-               RenderPromLabelsWith(
-                   s.labels, "le",
-                   std::to_string(
-                       Histogram::BucketUpperBound(static_cast<int>(i)))) +
-               " " + std::to_string(cumulative) + "\n";
+    if (!seen) families.push_back(s.name);
+  }
+  std::string out;
+  for (std::string_view family : families) {
+    for (const auto& [name, text] : help) {
+      if (name == family) {
+        out += "# HELP ";
+        out += family;
+        out += ' ';
+        // HELP text escapes backslash and newline (not double quotes).
+        for (char c : text) {
+          if (c == '\\') {
+            out += "\\\\";
+          } else if (c == '\n') {
+            out += "\\n";
+          } else {
+            out += c;
+          }
+        }
+        out += '\n';
+        break;
       }
-      out += s.name + "_bucket" +
-             RenderPromLabelsWith(s.labels, "le", "+Inf") + " " +
-             std::to_string(s.count) + "\n";
-      out += s.name + "_sum" + RenderPromLabels(s.labels) + " " +
-             std::to_string(s.sum) + "\n";
-      out += s.name + "_count" + RenderPromLabels(s.labels) + " " +
-             std::to_string(s.count) + "\n";
-    } else {
-      out += s.name + RenderPromLabels(s.labels) + " " +
-             std::to_string(s.value) + "\n";
+    }
+    bool typed = false;
+    for (const MetricSample& s : samples) {
+      if (s.name != family) continue;
+      if (!typed) {
+        out += "# TYPE " + s.name + " " + MetricTypeName(s.type) + "\n";
+        typed = true;
+      }
+      if (s.type == MetricType::kHistogram) {
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < s.buckets.size(); ++i) {
+          cumulative += s.buckets[i];
+          out += s.name + "_bucket" +
+                 RenderPromLabelsWith(
+                     s.labels, "le",
+                     std::to_string(
+                         Histogram::BucketUpperBound(static_cast<int>(i)))) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += s.name + "_bucket" +
+               RenderPromLabelsWith(s.labels, "le", "+Inf") + " " +
+               std::to_string(s.count) + "\n";
+        out += s.name + "_sum" + RenderPromLabels(s.labels) + " " +
+               std::to_string(s.sum) + "\n";
+        out += s.name + "_count" + RenderPromLabels(s.labels) + " " +
+               std::to_string(s.count) + "\n";
+      } else {
+        out += s.name + RenderPromLabels(s.labels) + " " +
+               std::to_string(s.value) + "\n";
+      }
     }
   }
   return out;

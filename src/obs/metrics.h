@@ -110,6 +110,18 @@ class AtomicGauge {
   std::atomic<int64_t> max_{0};
 };
 
+// Quantile estimation over base-2 bucket counts, shared by Histogram,
+// AtomicHistogram and MetricSample.  Semantics (pinned by obs_test):
+//   * count <= 0 returns 0; q is clamped to [0, 1].
+//   * The target rank is q * count (Prometheus histogram_quantile style):
+//     the estimate is the value at that rank under the assumption that the
+//     chosen bucket's observations are uniformly spread over its range.
+//   * Quantile(0) is the lower bound of the first non-empty bucket;
+//     Quantile(1) is the upper bound of the last non-empty bucket, clamped
+//     to `max` (the largest value actually observed) when max lies in it.
+double HistogramQuantileFromBuckets(const int64_t* buckets, int n_buckets,
+                                    int64_t count, int64_t max, double q);
+
 // Base-2 histogram: bucket k counts observations v with bit_width(v) == k,
 // i.e. 2^(k-1) <= v <= 2^k - 1; bucket 0 counts v <= 0.  64 buckets cover
 // the whole int64 range, so Observe never branches on range.
@@ -134,14 +146,62 @@ class Histogram {
   int64_t sum() const { return sum_; }
   int64_t max() const { return max_; }
   int64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
+  // Within-bucket-interpolated quantile estimate (see
+  // HistogramQuantileFromBuckets for the exact boundary semantics).
+  double Quantile(double q) const {
+    return HistogramQuantileFromBuckets(buckets_.data(), kBuckets, count_,
+                                        max_, q);
+  }
   // Inclusive upper bound of bucket i (0, 1, 3, 7, ..., 2^i - 1).
   static int64_t BucketUpperBound(int i);
+  // Inclusive lower bound of bucket i (0, 1, 2, 4, ..., 2^(i-1)).
+  static int64_t BucketLowerBound(int i);
 
  private:
   std::array<int64_t, kBuckets> buckets_{};
   int64_t count_ = 0;
   int64_t sum_ = 0;
   int64_t max_ = 0;
+};
+
+// Thread-safe base-2 histogram for shared components (the engine pool's
+// per-worker latency histograms are written by their worker and scraped by
+// the admin plane).  Observe is three relaxed atomic adds plus a CAS loop
+// on the max.  There is deliberately no stored count: Collect() derives the
+// count as the sum of the bucket reads, so within any one snapshot
+// `_count == sum of buckets` holds *exactly* — a concurrent scrape can lag
+// the writers but never observe a torn count/bucket pair.
+class AtomicHistogram {
+ public:
+  static constexpr int kBuckets = Histogram::kBuckets;
+
+  void Observe(int64_t value) {
+    const int bucket =
+        value <= 0
+            ? 0
+            : std::min(kBuckets - 1,
+                       static_cast<int>(
+                           std::bit_width(static_cast<uint64_t>(value))));
+    buckets_[static_cast<size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    int64_t seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t bucket(int i) const {
+    return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+  }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
 };
 
 enum class MetricType : uint8_t { kCounter, kGauge, kHistogram };
@@ -164,11 +224,18 @@ struct MetricSample {
   std::vector<int64_t> buckets;
   int64_t count = 0;
   int64_t sum = 0;
+
+  // Histogram only: within-bucket-interpolated quantile estimate over the
+  // snapshotted buckets (0 for non-histograms / empty histograms).
+  double Quantile(double q) const;
 };
 
 // A point-in-time view of a registry, plus exporters.
 struct MetricsSnapshot {
   std::vector<MetricSample> samples;
+  // Per-family help strings registered via MetricRegistry::SetHelp,
+  // rendered as # HELP lines by ToPrometheusText.
+  std::vector<std::pair<std::string, std::string>> help;
 
   // First sample named `name` (any labels), or nullptr.
   const MetricSample* Find(std::string_view name) const;
@@ -177,9 +244,15 @@ struct MetricsSnapshot {
   // Sum / max of `value` over every sample named `name` (0 if none).
   int64_t SumAll(std::string_view name) const;
   int64_t MaxAll(std::string_view name) const;
+  // Quantile over the *merged* buckets of every histogram sample named
+  // `name` (e.g. one per-worker latency family folded across workers).
+  double QuantileAll(std::string_view name, double q) const;
 
-  // Prometheus text exposition format (one # TYPE line per family;
-  // histograms expand to _bucket{le=...}/_sum/_count).
+  // Prometheus text exposition format, conformant with the text-format
+  // spec: samples are grouped per metric family, each family is preceded by
+  // its # HELP (when registered) and # TYPE line exactly once, label values
+  // escape \, " and newline, and histograms expand to cumulative
+  // _bucket{le=...} series plus _sum/_count.
   std::string ToPrometheusText() const;
   // JSON: {"metrics":[{"name":...,"type":...,"labels":{...},...}, ...]}.
   std::string ToJson() const;
@@ -200,11 +273,22 @@ class MetricRegistry {
   // Collect() freely from any thread.
   AtomicCounter* AddAtomicCounter(std::string name, Labels labels = {});
   AtomicGauge* AddAtomicGauge(std::string name, Labels labels = {});
+  AtomicHistogram* AddAtomicHistogram(std::string name, Labels labels = {});
   // Pull-style gauge: `read` is invoked at every Collect().  Whatever state
   // the callback captures must outlive all Collect() calls (and, in a
   // shared registry, must be safe to read from the collecting thread).
   void AddCallbackGauge(std::string name, Labels labels,
                         std::function<int64_t()> read);
+  // Pull-style counter: as AddCallbackGauge but exposed with counter
+  // semantics.  `read` must be monotone non-decreasing (e.g. a sum of
+  // per-worker monotone counters, which keeps sum-of-parts >= total
+  // consistent within one Collect pass when registered before the parts).
+  void AddCallbackCounter(std::string name, Labels labels,
+                          std::function<int64_t()> read);
+
+  // Help text for family `name`, emitted as a # HELP line by
+  // ToPrometheusText.  One string per family; the last call wins.
+  void SetHelp(std::string name, std::string help);
 
   size_t size() const { return entries_.size(); }
   MetricsSnapshot Collect() const;
@@ -219,12 +303,14 @@ class MetricRegistry {
     std::unique_ptr<Histogram> histogram;
     std::unique_ptr<AtomicCounter> atomic_counter;
     std::unique_ptr<AtomicGauge> atomic_gauge;
+    std::unique_ptr<AtomicHistogram> atomic_histogram;
     std::function<int64_t()> callback;
   };
 
   Entry& NewEntry(std::string name, Labels labels, MetricType type);
 
   std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::pair<std::string, std::string>> help_;
 };
 
 // JSON string escaping shared by the exporters (quotes, backslash, control

@@ -1,0 +1,199 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace spex {
+namespace obs {
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string TelemetryWindow::ToJson() const {
+  std::string out = "{\"window_sec\": ";
+  AppendDouble(&out, seconds);
+  out += ", \"ticks\": " + std::to_string(ticks);
+  out += ", \"wall_ms_begin\": " + std::to_string(wall_ms_begin);
+  out += ", \"wall_ms_end\": " + std::to_string(wall_ms_end);
+  out += ", \"rates\": [";
+  bool first = true;
+  for (const TelemetryRate& r : rates) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + EscapeJson(r.name) +
+           "\", \"delta\": " + std::to_string(r.delta) + ", \"per_sec\": ";
+    AppendDouble(&out, r.per_sec);
+    out += "}";
+  }
+  out += "], \"quantiles\": [";
+  first = true;
+  for (const TelemetryQuantiles& q : quantiles) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"name\": \"" + EscapeJson(q.name) +
+           "\", \"count\": " + std::to_string(q.count) + ", \"p50\": ";
+    AppendDouble(&out, q.p50);
+    out += ", \"p95\": ";
+    AppendDouble(&out, q.p95);
+    out += ", \"p99\": ";
+    AppendDouble(&out, q.p99);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+TelemetrySampler::TelemetrySampler(const MetricRegistry* registry,
+                                   Options options)
+    : registry_(registry),
+      options_(options),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (options_.interval_ms <= 0) options_.interval_ms = 1000;
+  if (options_.ring_capacity < 2) options_.ring_capacity = 2;
+}
+
+TelemetrySampler::~TelemetrySampler() { Stop(); }
+
+void TelemetrySampler::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+  }
+  thread_ = std::thread(&TelemetrySampler::Loop, this);
+}
+
+void TelemetrySampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TelemetrySampler::Loop() {
+  SampleOnce();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return !running_; });
+    if (!running_) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::SampleOnce() {
+  Tick tick;
+  tick.steady_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+  tick.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
+  tick.snapshot = registry_->Collect();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(tick));
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+}
+
+size_t TelemetrySampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+TelemetryWindow TelemetrySampler::ComputeWindow(double window_sec) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetryWindow window;
+  if (ring_.empty()) return window;
+
+  const Tick& newest = ring_.back();
+  // Oldest tick still inside the window (all of them when window_sec <= 0).
+  size_t begin = 0;
+  if (window_sec > 0) {
+    const int64_t cutoff_ns =
+        newest.steady_ns - static_cast<int64_t>(window_sec * 1e9);
+    while (begin + 1 < ring_.size() &&
+           ring_[begin].steady_ns < cutoff_ns) {
+      ++begin;
+    }
+  }
+  const Tick& oldest = ring_[begin];
+
+  window.ticks = static_cast<int>(ring_.size() - begin);
+  window.wall_ms_begin = oldest.wall_ms;
+  window.wall_ms_end = newest.wall_ms;
+  window.seconds =
+      static_cast<double>(newest.steady_ns - oldest.steady_ns) / 1e9;
+
+  // Counter families folded across labels, in first-seen snapshot order.
+  auto fold = [](const MetricsSnapshot& snap,
+                 std::vector<std::pair<std::string, int64_t>>* totals) {
+    for (const MetricSample& s : snap.samples) {
+      if (s.type != MetricType::kCounter) continue;
+      bool found = false;
+      for (auto& [name, total] : *totals) {
+        if (name == s.name) {
+          total += s.value;
+          found = true;
+          break;
+        }
+      }
+      if (!found) totals->emplace_back(s.name, s.value);
+    }
+  };
+  std::vector<std::pair<std::string, int64_t>> now_totals, then_totals;
+  fold(newest.snapshot, &now_totals);
+  fold(oldest.snapshot, &then_totals);
+
+  for (const auto& [name, now] : now_totals) {
+    TelemetryRate rate;
+    rate.name = name;
+    int64_t then = 0;
+    for (const auto& [then_name, value] : then_totals) {
+      if (then_name == name) {
+        then = value;
+        break;
+      }
+    }
+    rate.delta = now - then;
+    rate.per_sec =
+        window.seconds > 0 ? static_cast<double>(rate.delta) / window.seconds
+                           : 0.0;
+    window.rates.push_back(std::move(rate));
+  }
+
+  // Histogram families: current quantiles from the newest tick.
+  std::vector<std::string> seen;
+  for (const MetricSample& s : newest.snapshot.samples) {
+    if (s.type != MetricType::kHistogram) continue;
+    if (std::find(seen.begin(), seen.end(), s.name) != seen.end()) continue;
+    seen.push_back(s.name);
+    TelemetryQuantiles q;
+    q.name = s.name;
+    for (const MetricSample& other : newest.snapshot.samples) {
+      if (other.name == s.name && other.type == MetricType::kHistogram) {
+        q.count += other.count;
+      }
+    }
+    q.p50 = newest.snapshot.QuantileAll(s.name, 0.50);
+    q.p95 = newest.snapshot.QuantileAll(s.name, 0.95);
+    q.p99 = newest.snapshot.QuantileAll(s.name, 0.99);
+    window.quantiles.push_back(std::move(q));
+  }
+
+  return window;
+}
+
+}  // namespace obs
+}  // namespace spex

@@ -1,0 +1,125 @@
+// Time-series sampling over a MetricRegistry.
+//
+// The registry is a point-in-time surface: counters say how much has
+// happened, never how fast it is happening.  The sampler closes that gap for
+// the admin plane by snapshotting the registry on a fixed interval into a
+// bounded timestamped ring, from which per-interval rates (events/s,
+// bytes/s, backpressure waits/s — any counter family) and current latency
+// quantiles are computed on demand; `/stats?window=N` serves the result.
+//
+// Rates are computed between the two ring endpoints of the requested window
+// using the *actual* elapsed time between those ticks, so a late tick (the
+// sampler thread is best-effort, not a real-time clock) skews nothing.
+// Counter families are folded across label sets (one rate per family) —
+// per-worker split-outs stay available in `/metrics`.
+//
+// Threading: the sampler owns one background thread; the ring is
+// mutex-guarded (ticks are rare and snapshots small).  The registry must be
+// safe to Collect() from the sampler thread — true of the pool's shared
+// registry, whose instruments are atomic and whose callbacks read atomics.
+
+#ifndef SPEX_OBS_SAMPLER_H_
+#define SPEX_OBS_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace spex {
+namespace obs {
+
+// One counter family's rate over a window.
+struct TelemetryRate {
+  std::string name;
+  int64_t delta = 0;     // value change across the window (labels folded)
+  double per_sec = 0.0;  // delta / actual elapsed seconds
+};
+
+// One histogram family's current quantiles (merged across label sets).
+struct TelemetryQuantiles {
+  std::string name;
+  int64_t count = 0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct TelemetryWindow {
+  // Actual elapsed seconds between the window's endpoint ticks (0 when the
+  // ring holds fewer than two ticks — rates are then all zero).
+  double seconds = 0.0;
+  int ticks = 0;          // ticks inside the window, including endpoints
+  int64_t wall_ms_begin = 0;
+  int64_t wall_ms_end = 0;
+  std::vector<TelemetryRate> rates;          // counter families, ring order
+  std::vector<TelemetryQuantiles> quantiles; // histogram families, newest tick
+
+  std::string ToJson() const;
+};
+
+struct SamplerOptions {
+  int interval_ms = 1000;
+  // Ring depth: capacity * interval is the longest answerable window
+  // (128 s of history at the defaults).
+  size_t ring_capacity = 128;
+};
+
+class TelemetrySampler {
+ public:
+  using Options = SamplerOptions;
+
+  explicit TelemetrySampler(const MetricRegistry* registry,
+                            Options options = Options());
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  // Starts/stops the interval thread.  Start samples immediately (tick 0
+  // anchors every later window), then every interval until Stop.
+  void Start();
+  void Stop();
+
+  // Takes one tick now.  Called by the interval thread; callable directly
+  // in tests and by one-shot tools that want sampler semantics without the
+  // thread.
+  void SampleOnce();
+
+  size_t ticks() const;
+  int interval_ms() const { return options_.interval_ms; }
+
+  // Rates + quantiles over (up to) the trailing `window_sec` seconds of
+  // ring history.  window_sec <= 0 means the whole ring.
+  TelemetryWindow ComputeWindow(double window_sec) const;
+
+ private:
+  struct Tick {
+    int64_t steady_ns = 0;  // since sampler construction
+    int64_t wall_ms = 0;    // unix epoch
+    MetricsSnapshot snapshot;
+  };
+
+  void Loop();
+
+  const MetricRegistry* registry_;
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::deque<Tick> ring_;        // guarded by mu_
+  bool running_ = false;         // guarded by mu_
+  std::condition_variable cv_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace spex
+
+#endif  // SPEX_OBS_SAMPLER_H_

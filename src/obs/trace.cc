@@ -28,6 +28,7 @@ int TraceRecorder::InternName(std::string_view name) {
 }
 
 void TraceRecorder::SetTrackName(int tid, std::string_view name) {
+  tid += tid_base_;
   for (auto& [id, existing] : track_names_) {
     if (id == tid) {
       existing = std::string(name);
@@ -55,21 +56,26 @@ std::vector<TraceRecorder::Event> TraceRecorder::Events() const {
   return out;
 }
 
-std::string TraceRecorder::ToChromeJson() const {
+void TraceRecorder::AppendChromeRecords(std::string* out, bool* first,
+                                        int64_t ts_offset_ns) const {
   std::vector<Event> events = Events();
   std::stable_sort(events.begin(), events.end(),
                    [](const Event& a, const Event& b) {
                      return a.ts_ns < b.ts_ns;
                    });
 
-  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
-  bool first = true;
-  auto append = [&out, &first](const std::string& record) {
-    if (!first) out += ",\n";
-    out += record;
-    first = false;
+  auto append = [out, first](const std::string& record) {
+    if (!*first) *out += ",\n";
+    *out += record;
+    *first = false;
   };
 
+  if (!process_name_.empty()) {
+    append("  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": " +
+           std::to_string(tid_base_) + ", \"args\": {\"name\": \"" +
+           EscapeJson(process_name_) + "\"}}");
+  }
   for (const auto& [tid, name] : track_names_) {
     append("  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
            "\"tid\": " +
@@ -80,13 +86,14 @@ std::string TraceRecorder::ToChromeJson() const {
   char buf[256];
   for (const Event& e : events) {
     const std::string& name = names_[static_cast<size_t>(e.name_id)];
+    const double ts_us =
+        static_cast<double>(e.ts_ns + ts_offset_ns) / 1000.0;
     switch (e.phase) {
       case 'X':
         std::snprintf(buf, sizeof buf,
                       "  {\"name\": \"%s\", \"cat\": \"spex\", \"ph\": \"X\", "
                       "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f}",
-                      EscapeJson(name).c_str(), e.tid,
-                      static_cast<double>(e.ts_ns) / 1000.0,
+                      EscapeJson(name).c_str(), e.tid, ts_us,
                       static_cast<double>(e.dur_or_value_ns) / 1000.0);
         break;
       case 'C':
@@ -95,20 +102,24 @@ std::string TraceRecorder::ToChromeJson() const {
             "  {\"name\": \"%s\", \"cat\": \"spex\", \"ph\": \"C\", "
             "\"pid\": 1, \"tid\": %d, \"ts\": %.3f, \"args\": "
             "{\"value\": %lld}}",
-            EscapeJson(name).c_str(), e.tid,
-            static_cast<double>(e.ts_ns) / 1000.0,
+            EscapeJson(name).c_str(), e.tid, ts_us,
             static_cast<long long>(e.dur_or_value_ns));
         break;
       default:
         std::snprintf(buf, sizeof buf,
                       "  {\"name\": \"%s\", \"cat\": \"spex\", \"ph\": \"i\", "
                       "\"s\": \"t\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f}",
-                      EscapeJson(name).c_str(), e.tid,
-                      static_cast<double>(e.ts_ns) / 1000.0);
+                      EscapeJson(name).c_str(), e.tid, ts_us);
         break;
     }
     append(buf);
   }
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  AppendChromeRecords(&out, &first, 0);
   out += "\n]}\n";
   return out;
 }

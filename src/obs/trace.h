@@ -13,6 +13,14 @@
 // delivery is depth-first).  Track display names are registered with
 // SetTrackName and exported as thread_name metadata.
 //
+// Multi-worker runs (the engine pool): each worker's recorder stamps its
+// worker index into the tid space via SetTidBase(worker * kWorkerTidStride),
+// so merged traces keep one distinct track group per worker instead of
+// interleaving every worker's node i into a single flame graph; a
+// process_name metadata record (SetProcessName) labels the group.  Merging
+// is AppendChromeRecords with a per-recorder timestamp offset that rebases
+// each recorder's private clock origin onto the merger's epoch.
+//
 // Span names are interned once (InternName) so recording a span is a ring
 // store plus two clock reads — cheap enough for observe=full, and entirely
 // absent from the build's hot path when no recorder is attached.
@@ -33,6 +41,10 @@ namespace obs {
 class TraceRecorder {
  public:
   static constexpr size_t kDefaultCapacity = 1 << 16;
+  // Tid spacing between pool workers: tid = worker * stride + node track.
+  // Far above any realistic network degree (§V degree is linear in the
+  // query size), so worker track ranges never collide.
+  static constexpr int32_t kWorkerTidStride = 4096;
 
   // One recorded trace event.  `dur_or_value_ns` is the duration for spans
   // ('X') and the sampled value for counter events ('C').
@@ -56,17 +68,30 @@ class TraceRecorder {
   int InternName(std::string_view name);
   const std::string& name(int id) const { return names_[static_cast<size_t>(id)]; }
 
+  // Shifts every subsequently recorded tid (Record* and SetTrackName) by
+  // `base` — the multi-worker stamp described above.  Call before any
+  // recording; typically base = worker * kWorkerTidStride.
+  void SetTidBase(int32_t base) { tid_base_ = base; }
+  int32_t tid_base() const { return tid_base_; }
+
   // Display name for track `tid` (thread_name metadata in the export).
   void SetTrackName(int tid, std::string_view name);
+  // Display name of this recorder's process group (process_name metadata in
+  // the export; empty = no record emitted).
+  void SetProcessName(std::string_view name) { process_name_ = name; }
+
+  // Clock origin (NowNs() == 0).  Mergers rebase per-recorder timestamps
+  // onto a common epoch from this.
+  std::chrono::steady_clock::time_point origin() const { return origin_; }
 
   void RecordSpan(int tid, int name_id, int64_t start_ns, int64_t end_ns) {
-    Push({'X', tid, name_id, start_ns, end_ns - start_ns});
+    Push({'X', tid + tid_base_, name_id, start_ns, end_ns - start_ns});
   }
   void RecordCounter(int name_id, int64_t ts_ns, int64_t value) {
-    Push({'C', 0, name_id, ts_ns, value});
+    Push({'C', tid_base_, name_id, ts_ns, value});
   }
   void RecordInstant(int tid, int name_id, int64_t ts_ns) {
-    Push({'i', tid, name_id, ts_ns, 0});
+    Push({'i', tid + tid_base_, name_id, ts_ns, 0});
   }
 
   // Events currently held, oldest first.
@@ -79,8 +104,16 @@ class TraceRecorder {
 
   // Chrome trace-event JSON ({"traceEvents": [...], ...}); timestamps in
   // fractional microseconds, events in chronological order, one thread_name
-  // metadata record per registered track.
+  // metadata record per registered track (plus process_name when set).
   std::string ToChromeJson() const;
+
+  // Appends this recorder's metadata + event records (the objects inside
+  // "traceEvents") to `out`, comma-separated, with every timestamp shifted
+  // by `ts_offset_ns`.  `first` tracks whether a comma is due and is shared
+  // across recorders so a merger can concatenate several calls into one
+  // valid array (see runtime/admin_server.h's capture hub).
+  void AppendChromeRecords(std::string* out, bool* first,
+                           int64_t ts_offset_ns) const;
 
  private:
   void Push(Event e) {
@@ -92,8 +125,10 @@ class TraceRecorder {
   size_t capacity_;
   std::vector<Event> ring_;
   int64_t recorded_ = 0;
+  int32_t tid_base_ = 0;
   std::vector<std::string> names_;
   std::vector<std::pair<int, std::string>> track_names_;
+  std::string process_name_;
 };
 
 }  // namespace obs

@@ -1,0 +1,312 @@
+#include "runtime/admin_server.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace spex {
+namespace {
+
+int64_t WallNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+const char* LiveStateName(LiveSessionInfo::State state) {
+  switch (state) {
+    case LiveSessionInfo::kStreaming: return "streaming";
+    case LiveSessionInfo::kFinished: return "finished";
+    case LiveSessionInfo::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+// One configured limit's headroom: {"limit": L, "used": U, "remaining": R}.
+void AppendHeadroom(std::string* out, bool* first, const char* name,
+                    int64_t limit, int64_t used) {
+  if (limit <= 0) return;  // unset limits have no headroom to report
+  if (!*first) *out += ", ";
+  *first = false;
+  *out += "\"";
+  *out += name;
+  *out += "\": {\"limit\": " + std::to_string(limit) +
+          ", \"used\": " + std::to_string(used) +
+          ", \"remaining\": " + std::to_string(std::max<int64_t>(0, limit - used)) +
+          "}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SessionDirectory
+
+SessionDirectory::SessionDirectory(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+int64_t SessionDirectory::Register(
+    const std::shared_ptr<StreamSession>& session,
+    const EngineLimits& limits) {
+  Entry entry;
+  entry.query = session->query();
+  entry.worker = session->worker();
+  entry.limits = limits;
+  entry.opened_wall_ms = WallNowMs();
+  entry.session = session;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.id = next_id_++;
+  const int64_t id = entry.id;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  return id;
+}
+
+size_t SessionDirectory::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string SessionDirectory::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"sessions\": [";
+  bool first = true;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const Entry& entry = *it;
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"id\": " + std::to_string(entry.id) + ", \"query\": \"" +
+           obs::EscapeJson(entry.query) +
+           "\", \"worker\": " + std::to_string(entry.worker) +
+           ", \"opened_wall_ms\": " + std::to_string(entry.opened_wall_ms);
+    const std::shared_ptr<StreamSession> session = entry.session.lock();
+    if (session == nullptr) {
+      out += ", \"state\": \"gone\"}";
+      continue;
+    }
+    const LiveSessionInfo live = session->Live();
+    out += ", \"state\": \"";
+    out += LiveStateName(live.state);
+    out += "\", \"events\": " + std::to_string(live.events) +
+           ", \"results\": " + std::to_string(live.results) +
+           ", \"buffered_events\": " + std::to_string(live.buffered_events) +
+           ", \"buffered_bytes\": " + std::to_string(live.buffered_bytes);
+    if (live.state == LiveSessionInfo::kFailed) {
+      out += ", \"status\": \"";
+      out += StatusCodeName(live.status_code);
+      out += "\"";
+    }
+    out += ", \"limits\": {";
+    bool first_limit = true;
+    AppendHeadroom(&out, &first_limit, "max_buffered_bytes",
+                   entry.limits.max_buffered_bytes, live.buffered_bytes);
+    AppendHeadroom(&out, &first_limit, "max_events", entry.limits.max_events,
+                   live.events);
+    AppendHeadroom(&out, &first_limit, "deadline_ms", entry.limits.deadline_ms,
+                   WallNowMs() - entry.opened_wall_ms);
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CaptureHub
+
+CaptureHub::CaptureHub()
+    : epoch_(std::chrono::steady_clock::now()),
+      trace_until_(epoch_),
+      profile_until_(epoch_) {}
+
+void CaptureHub::ArmTrace(int64_t ms) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (until > trace_until_) trace_until_ = until;
+  trace_records_.clear();
+  trace_first_ = true;
+  trace_sessions_ = 0;
+}
+
+void CaptureHub::ArmProfile(int64_t ms) {
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (until > profile_until_) profile_until_ = until;
+  profile_reports_.clear();
+}
+
+std::string CaptureHub::TraceJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  out += trace_records_;
+  out += "\n]}\n";
+  return out;
+}
+
+std::string CaptureHub::ProfileJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"profiles\": [\n";
+  bool first = true;
+  for (const std::string& report : profile_reports_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += report;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+int CaptureHub::trace_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_sessions_;
+}
+
+int CaptureHub::profile_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(profile_reports_.size());
+}
+
+bool CaptureHub::OnSessionStart(int worker, EngineOptions* options) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  bool captured = false;
+  if (now < trace_until_) {
+    options->observe = ObserveLevel::kFull;
+    options->trace_worker = worker;
+    captured = true;
+  }
+  if (now < profile_until_) {
+    options->profile = true;
+    captured = true;
+  }
+  return captured;
+}
+
+void CaptureHub::OnSessionEnd(int worker, const std::string& query,
+                              SpexEngine* engine) {
+  (void)worker;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const obs::TraceRecorder* recorder = engine->trace_recorder()) {
+    // Rebase the recorder's private clock (its 0 is engine construction)
+    // onto the hub epoch so sessions captured in one window share a
+    // timeline.
+    const int64_t offset_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            recorder->origin() - epoch_)
+            .count();
+    recorder->AppendChromeRecords(&trace_records_, &trace_first_, offset_ns);
+    ++trace_sessions_;
+  }
+  obs::ProfileReport report = engine->Profile();
+  if (report.timed) {
+    report.query = query;
+    profile_reports_.push_back(report.ToJson());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AdminServer
+
+AdminServer::AdminServer(EnginePool* pool, AdminOptions options)
+    : pool_(pool),
+      options_(options),
+      directory_(options.directory_capacity),
+      capture_(),
+      sampler_(&pool->metrics(),
+               {options.sampler_interval_ms, options.sampler_ring_capacity}),
+      http_([this](const obs::HttpRequest& request) { return Handle(request); },
+            options.http) {
+  pool_->metrics().SetHelp("spex_admin_requests",
+                           "HTTP requests served by the admin plane.");
+  pool_->metrics().AddCallbackCounter("spex_admin_requests", {},
+                                      [this] { return http_.requests(); });
+}
+
+AdminServer::~AdminServer() { Stop(); }
+
+bool AdminServer::Start(std::string* error) {
+  if (!http_.Start(error)) return false;
+  pool_->SetCaptureSink(&capture_);
+  sampler_.Start();
+  started_ = true;
+  return true;
+}
+
+void AdminServer::Stop() {
+  if (!started_) return;
+  started_ = false;
+  http_.Stop();
+  sampler_.Stop();
+  // Workers may still consult the sink while we detach it; the hub outlives
+  // the pool's sessions only because callers stop the admin server before
+  // destroying the pool — enforced here by detaching first.
+  pool_->SetCaptureSink(nullptr);
+}
+
+obs::HttpResponse AdminServer::Handle(const obs::HttpRequest& request) {
+  if (request.path == "/" || request.path == "/index") {
+    return obs::HttpResponse::Text(
+        "spex admin plane\n"
+        "  /metrics        Prometheus text exposition\n"
+        "  /metrics.json   registry snapshot as JSON\n"
+        "  /healthz        pool liveness + quarantine counts\n"
+        "  /sessions       per-session live state\n"
+        "  /stats?window=N rates + latency quantiles over N seconds\n"
+        "  /trace?ms=N     capture window -> Chrome trace JSON\n"
+        "  /profile?ms=N   capture window -> EXPLAIN/PROFILE reports\n");
+  }
+  if (request.path == "/metrics") {
+    return obs::HttpResponse::Text(
+        pool_->metrics().Collect().ToPrometheusText());
+  }
+  if (request.path == "/metrics.json") {
+    return obs::HttpResponse::Json(pool_->metrics().Collect().ToJson());
+  }
+  if (request.path == "/healthz") {
+    const obs::MetricsSnapshot snap = pool_->metrics().Collect();
+    const int64_t opened = snap.Value("spex_pool_sessions_opened");
+    const int64_t finished = snap.Value("spex_pool_sessions_finished");
+    const int64_t failed = snap.SumAll("spex_pool_sessions_failed");
+    std::string body = "{\"status\": \"ok\", \"workers\": " +
+                       std::to_string(snap.Value("spex_pool_workers")) +
+                       ", \"sessions_open\": " +
+                       std::to_string(opened - finished) +
+                       ", \"sessions_finished\": " + std::to_string(finished) +
+                       ", \"sessions_quarantined\": " + std::to_string(failed) +
+                       ", \"backpressure_waits\": " +
+                       std::to_string(
+                           snap.Value("spex_pool_backpressure_waits")) +
+                       ", \"admin_requests\": " +
+                       std::to_string(http_.requests()) + "}\n";
+    return obs::HttpResponse::Json(std::move(body));
+  }
+  if (request.path == "/sessions") {
+    return obs::HttpResponse::Json(directory_.ToJson());
+  }
+  if (request.path == "/stats") {
+    const int64_t window = request.QueryParamInt("window", 60);
+    return obs::HttpResponse::Json(
+        sampler_.ComputeWindow(static_cast<double>(window)).ToJson());
+  }
+  if (request.path == "/trace" || request.path == "/profile") {
+    const bool trace = request.path == "/trace";
+    const int64_t ms =
+        std::clamp<int64_t>(request.QueryParamInt("ms", 500), 1, kMaxCaptureMs);
+    if (trace) {
+      capture_.ArmTrace(ms);
+    } else {
+      capture_.ArmProfile(ms);
+    }
+    // The capture window observes sessions born while we sleep; blocking
+    // the (single-connection) exposition thread for it is deliberate.
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    return obs::HttpResponse::Json(trace ? capture_.TraceJson()
+                                         : capture_.ProfileJson());
+  }
+  return obs::HttpResponse::Error(404, "unknown endpoint; see /");
+}
+
+}  // namespace spex

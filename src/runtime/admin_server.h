@@ -1,0 +1,175 @@
+// The live telemetry plane (DESIGN.md §12): an embedded HTTP admin endpoint
+// over an EnginePool.
+//
+// Endpoints (all GET, all loopback by default):
+//   /           — plain-text index
+//   /metrics    — Prometheus text exposition of the pool registry
+//   /metrics.json
+//   /healthz    — liveness: worker count, open/finished/quarantined
+//                 sessions, backpressure; JSON
+//   /sessions   — per-session live state (events fed, results, buffered
+//                 events/bytes, limits headroom, status), newest first
+//   /stats?window=N  — per-interval rates + latency quantiles over the
+//                 trailing N seconds of sampler history
+//   /trace?ms=N — arms an N-millisecond capture window: sessions *starting*
+//                 inside it run observe=full with worker-stamped trace
+//                 tracks; returns the merged Chrome trace JSON
+//   /profile?ms=N — same window mechanism at profile granularity; returns
+//                 an array of per-session EXPLAIN/PROFILE reports
+//
+// The capture windows piggyback on EnginePool::SetCaptureSink: the pool's
+// workers consult the CaptureHub when a session's engine is built (upgrade
+// its options if a window is armed) and offer the engine back at teardown
+// (merge its trace/profile out).  Capture is therefore *session-granular* —
+// a window observes the sessions born inside it, which is the natural unit
+// here: engines are per-session and short-lived relative to the server.
+//
+// The HTTP handler runs on the exposition server's accept thread; /trace
+// and /profile block that thread for the window (bounded by kMaxCaptureMs).
+// Everything it touches is thread-safe by construction: the registry's
+// atomic instruments, the sampler's mutex-guarded ring, the directory's
+// mutex-guarded table, and sessions' Live() atomics.
+
+#ifndef SPEX_RUNTIME_ADMIN_SERVER_H_
+#define SPEX_RUNTIME_ADMIN_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/http_exposition.h"
+#include "obs/sampler.h"
+#include "runtime/engine_pool.h"
+
+namespace spex {
+
+// Bounded registry of the sessions a server has opened, for /sessions.
+// Holds weak references: a session whose owner dropped it reports "gone"
+// rather than pinning the run's memory.  Oldest entries are evicted at
+// capacity — /sessions is a live-state window, not an audit log.
+class SessionDirectory {
+ public:
+  explicit SessionDirectory(size_t capacity = 256);
+
+  // Registers a session with the limits it will actually run under (the
+  // caller knows whether pool defaults or an override apply); returns the
+  // directory id.
+  int64_t Register(const std::shared_ptr<StreamSession>& session,
+                   const EngineLimits& limits);
+
+  size_t size() const;
+
+  // {"sessions":[{...}, ...]} — newest first.  Limits headroom is reported
+  // for each configured limit as remaining = limit - used.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    int64_t id = 0;
+    std::string query;
+    int worker = 0;
+    EngineLimits limits;
+    int64_t opened_wall_ms = 0;
+    std::weak_ptr<StreamSession> session;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> entries_;  // guarded by mu_
+  int64_t next_id_ = 1;        // guarded by mu_
+};
+
+// SessionCaptureSink implementation behind /trace and /profile: an armed
+// window upgrades sessions starting inside it, and their traces/profiles
+// are merged here at engine teardown.  Trace timestamps are rebased from
+// each recorder's private clock origin onto the hub's epoch so merged
+// tracks align on one timeline.
+class CaptureHub : public SessionCaptureSink {
+ public:
+  CaptureHub();
+
+  // Arms the respective window for `ms` milliseconds from now (extends, if
+  // already armed) and clears previously drained capture state.
+  void ArmTrace(int64_t ms);
+  void ArmProfile(int64_t ms);
+
+  // Merged Chrome trace JSON / JSON array of profile reports accumulated
+  // since arming.  Draining leaves the data in place (a second scrape of a
+  // window sees the same capture) — the next Arm* clears it.
+  std::string TraceJson() const;
+  std::string ProfileJson() const;
+  int trace_sessions() const;
+  int profile_sessions() const;
+
+  // SessionCaptureSink (worker threads):
+  bool OnSessionStart(int worker, EngineOptions* options) override;
+  void OnSessionEnd(int worker, const std::string& query,
+                    SpexEngine* engine) override;
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::chrono::steady_clock::time_point trace_until_;    // guarded by mu_
+  std::chrono::steady_clock::time_point profile_until_;  // guarded by mu_
+  std::string trace_records_;                            // guarded by mu_
+  bool trace_first_ = true;                              // guarded by mu_
+  int trace_sessions_ = 0;                               // guarded by mu_
+  std::vector<std::string> profile_reports_;             // guarded by mu_
+};
+
+struct AdminOptions {
+  obs::HttpServerOptions http;
+  // Sampler cadence/history backing /stats.
+  int sampler_interval_ms = 1000;
+  size_t sampler_ring_capacity = 128;
+  size_t directory_capacity = 256;
+};
+
+class AdminServer {
+ public:
+  // Longest /trace / /profile capture window; larger requests are clamped.
+  static constexpr int64_t kMaxCaptureMs = 10000;
+
+  // Registers the admin plane's own meters (spex_admin_requests) on the
+  // pool registry — construct before the registry is scraped from other
+  // threads, like every other registration.
+  AdminServer(EnginePool* pool, AdminOptions options = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Installs the capture sink on the pool, starts the sampler and the HTTP
+  // listener.  False (with *error filled) on socket failure.
+  bool Start(std::string* error = nullptr);
+  void Stop();
+
+  uint16_t port() const { return http_.port(); }
+  bool running() const { return http_.running(); }
+
+  SessionDirectory& directory() { return directory_; }
+  CaptureHub& capture() { return capture_; }
+  obs::TelemetrySampler& sampler() { return sampler_; }
+
+  // The endpoint dispatcher (exposed for unit tests; normally invoked by
+  // the HTTP server's accept thread).
+  obs::HttpResponse Handle(const obs::HttpRequest& request);
+
+ private:
+  EnginePool* pool_;
+  AdminOptions options_;
+  SessionDirectory directory_;
+  CaptureHub capture_;
+  obs::TelemetrySampler sampler_;
+  obs::HttpServer http_;
+  bool started_ = false;
+};
+
+}  // namespace spex
+
+#endif  // SPEX_RUNTIME_ADMIN_SERVER_H_

@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <utility>
 
 namespace spex {
+namespace {
+
+int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // StreamSession
@@ -15,6 +25,9 @@ namespace spex {
 void StreamSession::Feed(EventBatch batch) {
   if (batch == nullptr || batch->empty()) return;
   if (closed_.load(std::memory_order_relaxed)) return;
+  if (first_feed_ns_.load(std::memory_order_relaxed) == 0) {
+    first_feed_ns_.store(SteadyNowNs(), std::memory_order_relaxed);
+  }
   pool_->Submit(worker_,
                 EnginePool::Task{shared_from_this(), std::move(batch), false});
 }
@@ -52,6 +65,19 @@ const std::vector<std::string>& StreamSession::Wait() {
   return results_;
 }
 
+LiveSessionInfo StreamSession::Live() const {
+  LiveSessionInfo info;
+  info.events = live_events_.load(std::memory_order_relaxed);
+  info.results = live_results_.load(std::memory_order_relaxed);
+  info.buffered_events = live_buffered_events_.load(std::memory_order_relaxed);
+  info.buffered_bytes = live_buffered_bytes_.load(std::memory_order_relaxed);
+  info.state = static_cast<LiveSessionInfo::State>(
+      live_state_.load(std::memory_order_relaxed));
+  info.status_code = static_cast<StatusCode>(
+      live_status_code_.load(std::memory_order_relaxed));
+  return info;
+}
+
 void StreamSession::ProcessBatch(const EventBatch& batch,
                                  const EngineOptions& base) {
   if (finished_) return;  // quarantined: the stream's remainder is dropped
@@ -67,6 +93,12 @@ void StreamSession::ProcessBatch(const EventBatch& batch,
       // Every pool session is sealable: failure/cancellation must be able
       // to close the stream virtually whether or not limits are set.
       options.track_open_elements = true;
+      // Admin-plane capture window: the sink may upgrade this session to
+      // observe=full / profile and will be offered the engine at teardown.
+      if (SessionCaptureSink* sink =
+              pool_->capture_sink_.load(std::memory_order_acquire)) {
+        captured_ = sink->OnSessionStart(worker_, &options);
+      }
       engine_ = std::make_unique<SpexEngine>(query_template_, sink_.get(),
                                              std::move(options));
     }
@@ -111,6 +143,17 @@ void StreamSession::ProcessBatch(const EventBatch& batch,
   if (run_status_.ok() && engine_ != nullptr && !engine_->status().ok()) {
     run_status_ = engine_->status();
   }
+  // Publish live telemetry at the batch boundary (the engine is between
+  // messages here, so the buffered-occupancy reads are consistent).
+  if (engine_ != nullptr) {
+    live_events_.fetch_add(static_cast<int64_t>(batch->size()),
+                           std::memory_order_relaxed);
+    live_results_.store(engine_->result_count(), std::memory_order_relaxed);
+    live_buffered_events_.store(engine_->buffered_events(),
+                                std::memory_order_relaxed);
+    live_buffered_bytes_.store(engine_->buffered_bytes(),
+                               std::memory_order_relaxed);
+  }
   // Quarantine: seal and publish now so Wait()ers are released without
   // needing a Close() the producer may never send; remaining batches are
   // dropped at the top of this function.
@@ -148,11 +191,35 @@ void StreamSession::Finalize(const Status& shutdown_fallback) {
     // else: the exception barrier fired — the network's state is suspect,
     // so no sealing events are pushed and the partials are discarded.
 
+    // Offer a captured session's engine to the admin plane before teardown
+    // (even after an exception barrier: the trace ring and profiler are
+    // per-engine side tables, still safe to read).
+    if (captured_) {
+      if (SessionCaptureSink* sink =
+              pool_->capture_sink_.load(std::memory_order_acquire)) {
+        sink->OnSessionEnd(worker_, query(), engine_.get());
+      }
+    }
+
     // The engine (its network, formula nodes, symbol table) was built on
     // this worker thread; destroy it here too, before handing results back.
     engine_.reset();
     sink_.reset();
   }
+  // End-to-end latency: first Feed to sealed result, on the worker that
+  // owned the run.  Sessions that were never fed observe nothing.
+  if (const int64_t t0 = first_feed_ns_.load(std::memory_order_relaxed)) {
+    pool_->workers_[static_cast<size_t>(worker_)]->feed_to_result_us->Observe(
+        (SteadyNowNs() - t0) / 1000);
+  }
+  live_results_.store(count, std::memory_order_relaxed);
+  live_buffered_events_.store(0, std::memory_order_relaxed);
+  live_buffered_bytes_.store(0, std::memory_order_relaxed);
+  live_status_code_.store(static_cast<int>(status.code()),
+                          std::memory_order_relaxed);
+  live_state_.store(status.ok() ? LiveSessionInfo::kFinished
+                                : LiveSessionInfo::kFailed,
+                    std::memory_order_relaxed);
   pool_->results_total_->Increment(count);
   pool_->sessions_finished_->Increment();
   if (!status.ok()) {
@@ -183,6 +250,22 @@ EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
   // Register every instrument before the first worker starts: registration
   // is not thread-safe, publishing afterwards is.
+  metrics_.SetHelp("spex_pool_workers", "Worker threads in the engine pool.");
+  metrics_.SetHelp("spex_pool_sessions_opened", "Sessions opened.");
+  metrics_.SetHelp("spex_pool_sessions_finished", "Sessions finalized.");
+  metrics_.SetHelp("spex_pool_sessions_failed",
+                   "Sessions quarantined, by failure reason.");
+  metrics_.SetHelp("spex_pool_events_processed",
+                   "Document events processed across all workers.");
+  metrics_.SetHelp("spex_pool_worker_events",
+                   "Document events processed, per worker.");
+  metrics_.SetHelp("spex_pool_backpressure_waits",
+                   "Feed calls that blocked on a full worker queue.");
+  metrics_.SetHelp("spex_pool_queue_wait_us",
+                   "Submit-to-dequeue task latency in microseconds, "
+                   "per worker.");
+  metrics_.SetHelp("spex_pool_feed_to_result_us",
+                   "First Feed to sealed result in microseconds, per worker.");
   metrics_.AddCallbackGauge(
       "spex_pool_workers", {},
       [this] { return static_cast<int64_t>(workers_.size()); });
@@ -195,15 +278,32 @@ EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
   }
   batches_submitted_ = metrics_.AddAtomicCounter("spex_pool_batches_submitted");
   batches_completed_ = metrics_.AddAtomicCounter("spex_pool_batches_completed");
-  events_processed_ = metrics_.AddAtomicCounter("spex_pool_events_processed");
+  // The pool total is a pull-style sum over the per-worker counters,
+  // registered *before* them: Collect reads entries in registration order,
+  // so a concurrent scrape always observes sum-of-workers >= total — the
+  // "no torn snapshot" invariant the admin plane's tests pin.
+  metrics_.AddCallbackCounter("spex_pool_events_processed", {}, [this] {
+    int64_t total = 0;
+    for (const auto& worker : workers_) {
+      if (worker->events != nullptr) total += worker->events->value();
+    }
+    return total;
+  });
   results_total_ = metrics_.AddAtomicCounter("spex_pool_results_total");
   backpressure_waits_ =
       metrics_.AddAtomicCounter("spex_pool_backpressure_waits");
   workers_.reserve(static_cast<size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->queue_depth = metrics_.AddAtomicGauge(
-        "spex_pool_queue_depth", {{"worker", std::to_string(i)}});
+    const obs::Labels labels = {{"worker", std::to_string(i)}};
+    worker->queue_depth =
+        metrics_.AddAtomicGauge("spex_pool_queue_depth", labels);
+    worker->events =
+        metrics_.AddAtomicCounter("spex_pool_worker_events", labels);
+    worker->queue_wait_us =
+        metrics_.AddAtomicHistogram("spex_pool_queue_wait_us", labels);
+    worker->feed_to_result_us =
+        metrics_.AddAtomicHistogram("spex_pool_feed_to_result_us", labels);
     workers_.push_back(std::move(worker));
   }
   for (int i = 0; i < options_.threads; ++i) {
@@ -264,6 +364,7 @@ void EnginePool::Submit(int worker_index, Task task) {
     // A stopping pool accepts no more work; sessions must not be fed once
     // pool destruction has begun (their Wait() would deadlock anyway).
     if (worker.stop) return;
+    task.enqueue_ns = SteadyNowNs();
     worker.queue.push_back(std::move(task));
     worker.queue_depth->Set(static_cast<int64_t>(worker.queue.size()));
   }
@@ -285,6 +386,7 @@ void EnginePool::WorkerLoop(int index) {
       worker.queue_depth->Set(static_cast<int64_t>(worker.queue.size()));
     }
     worker.not_full.notify_one();
+    worker.queue_wait_us->Observe((SteadyNowNs() - task.enqueue_ns) / 1000);
     if (task.close) {
       // Count the close task before Finalize releases Wait()ers: a thread
       // that has returned from Wait() on every session must observe
@@ -316,7 +418,7 @@ void EnginePool::WorkerLoop(int index) {
           }
         }
       }
-      events_processed_->Increment(static_cast<int64_t>(task.batch->size()));
+      worker.events->Increment(static_cast<int64_t>(task.batch->size()));
       batches_completed_->Increment();
     }
   }

@@ -55,6 +55,35 @@ namespace spex {
 
 class EnginePool;
 
+// On-demand capture hook for the admin plane (runtime/admin_server.h): when
+// installed via EnginePool::SetCaptureSink, the workers consult it around
+// every session's engine lifetime.  OnSessionStart may upgrade the engine
+// options of a session whose engine is about to be built (observe=full /
+// profile for a capture window) and returns whether it did; OnSessionEnd is
+// invoked — only for captured sessions — right before that engine is torn
+// down, with the engine still alive, so traces and profiles can be merged
+// out.  Both run on worker threads and must be thread-safe.
+class SessionCaptureSink {
+ public:
+  virtual ~SessionCaptureSink() = default;
+  virtual bool OnSessionStart(int worker, EngineOptions* options) = 0;
+  virtual void OnSessionEnd(int worker, const std::string& query,
+                            SpexEngine* engine) = 0;
+};
+
+// Point-in-time view of one session for the admin plane's /sessions
+// endpoint; published by the worker at batch boundaries through relaxed
+// atomics, so readers see a recent (not instantaneous) state.
+struct LiveSessionInfo {
+  enum State { kStreaming = 0, kFinished = 1, kFailed = 2 };
+  int64_t events = 0;           // events fed through the engine so far
+  int64_t results = 0;          // results emitted so far
+  int64_t buffered_events = 0;  // output-buffer occupancy (undecided)
+  int64_t buffered_bytes = 0;
+  State state = kStreaming;
+  StatusCode status_code = StatusCode::kOk;  // failure code when kFailed
+};
+
 struct PoolOptions {
   // Worker thread count (values < 1 are clamped to 1).
   int threads = 1;
@@ -140,6 +169,10 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
   const std::string& query() const { return query_template_->canonical_text(); }
   int worker() const { return worker_; }
 
+  // Live state for the admin plane; callable from any thread at any time
+  // (before the first batch it reports zeros / kStreaming).
+  LiveSessionInfo Live() const;
+
  private:
   friend class EnginePool;
 
@@ -171,6 +204,10 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
   // Worker-thread-only run state.
   std::unique_ptr<SerializingResultSink> sink_;
   std::unique_ptr<SpexEngine> engine_;
+  // True when the capture sink upgraded this session's engine options
+  // (worker-thread-only); Finalize then offers the engine back to the sink
+  // before teardown.
+  bool captured_ = false;
   // Worker-side failure that quarantined the session (engine breach or
   // exception barrier); worker-thread-only until published by Finalize.
   Status run_status_;
@@ -182,6 +219,21 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
 
   // Producer-side guard (Feed/Close) — not contended with the worker.
   std::atomic<bool> closed_{false};
+
+  // Steady-clock stamp of the first Feed (0 = not yet fed); written by the
+  // producer, read by the worker at Finalize for the feed-to-result
+  // histogram.
+  std::atomic<int64_t> first_feed_ns_{0};
+
+  // Live telemetry for the admin plane: worker-written at batch boundaries,
+  // read by Live() from any thread.  Relaxed is enough — each field is an
+  // independent recent-value read, not a consistent tuple.
+  std::atomic<int64_t> live_events_{0};
+  std::atomic<int64_t> live_results_{0};
+  std::atomic<int64_t> live_buffered_events_{0};
+  std::atomic<int64_t> live_buffered_bytes_{0};
+  std::atomic<int> live_state_{LiveSessionInfo::kStreaming};
+  std::atomic<int> live_status_code_{static_cast<int>(StatusCode::kOk)};
 
   // Completion handshake and captured outputs.
   std::mutex mu_;
@@ -226,9 +278,21 @@ class EnginePool {
   //   spex_pool_sessions_failed{reason=<status code>},
   //   spex_pool_batches_submitted/_completed, spex_pool_events_processed,
   //   spex_pool_results_total, spex_pool_backpressure_waits,
-  //   spex_pool_queue_depth{worker=i} (with high-water max).
+  //   spex_pool_queue_depth{worker=i} (with high-water max),
+  //   spex_pool_worker_events{worker=i}, and the per-worker latency
+  //   histograms spex_pool_queue_wait_us{worker=i} (submit-to-dequeue) and
+  //   spex_pool_feed_to_result_us{worker=i} (first Feed to sealed result).
+  // spex_pool_events_processed is a pull-style sum of the per-worker event
+  // counters, registered before them, so sum-of-workers >= total holds
+  // within any one Collect pass (no torn totals under concurrent scraping).
   obs::MetricRegistry& metrics() { return metrics_; }
   const obs::MetricRegistry& metrics() const { return metrics_; }
+
+  // Installs (or, with nullptr, removes) the admin plane's capture hook.
+  // The sink must outlive every session that starts while it is installed.
+  void SetCaptureSink(SessionCaptureSink* sink) {
+    capture_sink_.store(sink, std::memory_order_release);
+  }
 
  private:
   friend class StreamSession;
@@ -237,6 +301,7 @@ class EnginePool {
     std::shared_ptr<StreamSession> session;
     StreamSession::EventBatch batch;  // null for a close task
     bool close = false;
+    int64_t enqueue_ns = 0;  // steady-clock stamp at Submit
   };
 
   struct Worker {
@@ -246,7 +311,10 @@ class EnginePool {
     std::condition_variable not_full;
     std::deque<Task> queue;
     bool stop = false;
-    obs::AtomicGauge* queue_depth = nullptr;  // owned by metrics_
+    obs::AtomicGauge* queue_depth = nullptr;        // owned by metrics_
+    obs::AtomicCounter* events = nullptr;           // owned by metrics_
+    obs::AtomicHistogram* queue_wait_us = nullptr;  // owned by metrics_
+    obs::AtomicHistogram* feed_to_result_us = nullptr;
     // Sessions whose engine is live on this worker; worker-thread-only.
     std::vector<std::shared_ptr<StreamSession>> active;
   };
@@ -263,11 +331,11 @@ class EnginePool {
   obs::AtomicCounter* sessions_failed_[kStatusCodeCount] = {};
   obs::AtomicCounter* batches_submitted_ = nullptr;
   obs::AtomicCounter* batches_completed_ = nullptr;
-  obs::AtomicCounter* events_processed_ = nullptr;
   obs::AtomicCounter* results_total_ = nullptr;
   obs::AtomicCounter* backpressure_waits_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> next_worker_{0};
+  std::atomic<SessionCaptureSink*> capture_sink_{nullptr};
 };
 
 }  // namespace spex

@@ -131,6 +131,12 @@ class SpexEngine : public EventSink {
     return certain_results_ >= 0 ? certain_results_ : result_count();
   }
 
+  // Output-buffer occupancy right now: events held for undecided candidate
+  // fragments and their byte cost (the quantities the §V memory bounds and
+  // the governor's max_buffered_bytes limit speak about).
+  int64_t buffered_events() const { return compiled_.output->buffered_events(); }
+  int64_t buffered_bytes() const { return compiled_.output->buffered_bytes(); }
+
   // Resource accounting.  Reads the observability registry (which exposes
   // the per-transducer stats at every observe level) and folds it into the
   // aggregate §V view; callable at any point of the stream.

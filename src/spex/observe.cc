@@ -61,9 +61,19 @@ EngineObservability::EngineObservability(RunContext* context, Network* network,
       event_name_ids_[k] =
           trace_->InternName(EventKindName(static_cast<EventKind>(k)));
     }
-    trace_->SetTrackName(0, "stream");
+    const int worker = context->options.trace_worker;
+    std::string prefix;
+    if (worker >= 0) {
+      // Stamp the worker index into the tid space before any track names or
+      // events are recorded, so every tid this recorder emits lands in the
+      // worker's reserved range and merged pool traces stay separable.
+      trace_->SetTidBase(worker * obs::TraceRecorder::kWorkerTidStride);
+      trace_->SetProcessName("spex worker " + std::to_string(worker));
+      prefix = "w" + std::to_string(worker) + "/";
+    }
+    trace_->SetTrackName(0, prefix + "stream");
     for (int i = 0; i < network->node_count(); ++i) {
-      trace_->SetTrackName(i + 1, network->node(i)->name());
+      trace_->SetTrackName(i + 1, prefix + network->node(i)->name());
     }
     network->SetTraceRecorder(trace_.get());
   }

@@ -347,6 +347,11 @@ struct EngineOptions {
   // governor/observability semantics are required, so results, statuses and
   // counters are identical at every batch size.
   int batch_size = 64;
+  // Pool-worker index stamped into the observe=full trace recorder's tid
+  // space (tid = worker * obs::TraceRecorder::kWorkerTidStride + node) so
+  // merged multi-worker traces keep one track group per worker.  -1 = not a
+  // pool run: tids start at 0 and no process_name metadata is emitted.
+  int trace_worker = -1;
 };
 
 // State shared by the transducers of one network instance.

@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -674,6 +677,306 @@ TEST(ObsEngineTest, MultiQueryRegistryLabelsPerQueryOutputs) {
   EXPECT_EQ(snap.SumAll("spex_output_candidates_emitted"),
             sink_a.results() + sink_b.results());
   EXPECT_GT(snap.SumAll("spex_transducer_messages_in"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles.  These pin the boundary semantics documented on
+// HistogramQuantileFromBuckets; the admin plane's /stats endpoint and the
+// spexserve exit summary both rely on them.
+
+TEST(QuantileTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(QuantileTest, SingleObservationInterpolatesWithinBucket) {
+  Histogram h;
+  h.Observe(5);  // bucket 3: range [4, 7]
+  // Rank q*count = 0.5 of one observation, spread uniformly over [4, 7]:
+  // lower + 0.5 * (upper - lower + ... ) — pinned to the implementation's
+  // linear interpolation midpoint.
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, static_cast<double>(Histogram::BucketLowerBound(3)) - 1.0);
+  EXPECT_LE(p50, static_cast<double>(Histogram::BucketUpperBound(3)));
+  EXPECT_DOUBLE_EQ(p50, 4.5);
+}
+
+TEST(QuantileTest, ZeroAndOneHitBucketBounds) {
+  Histogram h;
+  h.Observe(9);    // bucket 4: [8, 15]
+  h.Observe(100);  // bucket 7: [64, 127]
+  h.Observe(70);   // bucket 7
+  // Quantile(0) = lower bound of the first non-empty bucket.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 8.0);
+  // Quantile(1) = upper bound of the last non-empty bucket, clamped to the
+  // observed max (100 < 127).
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 100.0);
+  // Out-of-range q is clamped, not undefined.
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), h.Quantile(1.0));
+}
+
+TEST(QuantileTest, MedianLandsInMiddleBucket) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(2);    // bucket 2: [2, 3]
+  for (int i = 0; i < 100; ++i) h.Observe(40);   // bucket 6: [32, 63]
+  for (int i = 0; i < 100; ++i) h.Observe(500);  // bucket 9: [256, 511]
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 63.0);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p99, 256.0);
+  EXPECT_LE(p99, 500.0);  // clamped to observed max
+  // Quantiles are monotone in q.
+  EXPECT_LE(h.Quantile(0.25), p50);
+  EXPECT_LE(p50, h.Quantile(0.95));
+}
+
+TEST(QuantileTest, SampleQuantileMatchesLiveHistogram) {
+  MetricRegistry registry;
+  Histogram* h = registry.AddHistogram("lat");
+  for (int v : {1, 3, 5, 9, 17, 33, 65, 200}) h->Observe(v);
+  MetricsSnapshot snap = registry.Collect();
+  const MetricSample* s = snap.Find("lat");
+  ASSERT_NE(s, nullptr);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(s->Quantile(q), h->Quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileTest, QuantileAllMergesLabelledSamples) {
+  MetricRegistry registry;
+  Histogram* a = registry.AddHistogram("wait", {{"worker", "0"}});
+  Histogram* b = registry.AddHistogram("wait", {{"worker", "1"}});
+  for (int i = 0; i < 50; ++i) a->Observe(4);
+  for (int i = 0; i < 50; ++i) b->Observe(600);
+  MetricsSnapshot snap = registry.Collect();
+  // Merged median must sit between the two per-worker medians.
+  const double p50 = snap.QuantileAll("wait", 0.5);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 600.0);
+  EXPECT_DOUBLE_EQ(snap.QuantileAll("wait", 0.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap.QuantileAll("wait", 1.0), 600.0);
+  EXPECT_EQ(snap.QuantileAll("missing", 0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// AtomicHistogram: the pool's thread-safe latency instrument.
+
+TEST(MetricsTest, AtomicHistogramMatchesHistogramShape) {
+  obs::AtomicHistogram ah;
+  Histogram h;
+  for (int v : {0, 1, 2, 3, 4, 7, 8, 1000, -5}) {
+    ah.Observe(v);
+    h.Observe(v);
+  }
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(ah.bucket(i), h.bucket(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(ah.sum(), h.sum());
+  EXPECT_EQ(ah.max(), h.max());
+}
+
+TEST(MetricsTest, AtomicHistogramCollectDerivesCountFromBuckets) {
+  MetricRegistry registry;
+  obs::AtomicHistogram* ah = registry.AddAtomicHistogram("lat");
+  for (int i = 0; i < 17; ++i) ah->Observe(i);
+  MetricsSnapshot snap = registry.Collect();
+  const MetricSample* s = snap.Find("lat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->type, MetricType::kHistogram);
+  int64_t bucket_sum = 0;
+  for (int64_t b : s->buckets) bucket_sum += b;
+  // No stored count: the snapshot's count is definitionally the bucket sum,
+  // so a concurrent scrape can never see a torn count/bucket pair.
+  EXPECT_EQ(s->count, bucket_sum);
+  EXPECT_EQ(s->count, 17);
+  EXPECT_EQ(s->max, 16);
+}
+
+TEST(MetricsTest, CallbackCounterReadsAtCollectTime) {
+  MetricRegistry registry;
+  std::atomic<int64_t> total{5};
+  registry.AddCallbackCounter("derived_total", {},
+                              [&total] { return total.load(); });
+  MetricsSnapshot snap = registry.Collect();
+  const MetricSample* s = snap.Find("derived_total");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->type, MetricType::kCounter);
+  EXPECT_EQ(s->value, 5);
+  total = 42;
+  EXPECT_EQ(registry.Collect().Value("derived_total"), 42);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance: a scrape-side parse-back that enforces
+// the text-format rules an actual Prometheus server cares about.
+
+TEST(MetricsTest, PrometheusExpositionConformance) {
+  MetricRegistry registry;
+  registry.SetHelp("spex_events_total", "Total events\nacross \\ \"runs\".");
+  registry.AddCounter("spex_events_total", {{"worker", "0"}})->Increment(10);
+  registry.AddCounter("spex_events_total", {{"worker", "1"}})->Increment(32);
+  registry.SetHelp("spex_lat", "Latency in us.");
+  registry.AddHistogram("spex_lat", {{"worker", "0"}})->Observe(3);
+  registry.AddHistogram("spex_lat", {{"worker", "1"}})->Observe(5);
+  // Label values exercising every escape: backslash, quote, newline.
+  registry.AddGauge("spex_g", {{"path", "a\\b\"c\nd"}})->Set(1);
+  std::string text = registry.Collect().ToPrometheusText();
+
+  std::map<std::string, int> help_lines, type_lines;
+  std::map<std::string, std::string> type_of;
+  std::istringstream in(text);
+  std::string line;
+  bool saw_escaped_label = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) {
+      std::string rest = line.substr(7);
+      std::string family = rest.substr(0, rest.find(' '));
+      ++help_lines[family];
+      // HELP text escapes: backslash and newline (not quotes).
+      std::string help_text = rest.substr(rest.find(' ') + 1);
+      EXPECT_EQ(help_text.find('\n'), std::string::npos);
+      if (family == "spex_events_total") {
+        EXPECT_NE(help_text.find("\\n"), std::string::npos);
+        EXPECT_NE(help_text.find("\\\\"), std::string::npos);
+      }
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::string rest = line.substr(7);
+      std::string family = rest.substr(0, rest.find(' '));
+      ++type_lines[family];
+      type_of[family] = rest.substr(rest.find(' ') + 1);
+      continue;
+    }
+    // Sample line: name{labels} value.  Label values must escape \, ", \n.
+    if (line.find("spex_g{") == 0) {
+      EXPECT_NE(line.find("path=\"a\\\\b\\\"c\\nd\""), std::string::npos)
+          << line;
+      saw_escaped_label = true;
+    }
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_TRUE(saw_escaped_label);
+  // Exactly one # HELP and one # TYPE per family, even with two labelled
+  // instances of the family.
+  EXPECT_EQ(help_lines["spex_events_total"], 1);
+  EXPECT_EQ(type_lines["spex_events_total"], 1);
+  EXPECT_EQ(type_lines["spex_lat"], 1);
+  EXPECT_EQ(type_of["spex_events_total"], "counter");
+  EXPECT_EQ(type_of["spex_lat"], "histogram");
+  EXPECT_EQ(type_of["spex_g"], "gauge");
+
+  // Histogram conformance per labelled instance: cumulative buckets ending
+  // at +Inf == _count.
+  for (const char* worker : {"0", "1"}) {
+    std::string inf_line = "spex_lat_bucket{worker=\"" + std::string(worker) +
+                           "\",le=\"+Inf\"} 1";
+    std::string count_line =
+        "spex_lat_count{worker=\"" + std::string(worker) + "\"} 1";
+    EXPECT_NE(text.find(inf_line), std::string::npos) << text;
+    EXPECT_NE(text.find(count_line), std::string::npos) << text;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker-stamped trace tracks: each pool worker records into its own tid
+// range and merges into one Chrome trace with per-worker process groups.
+
+TEST(TraceTest, TidBaseStampsWorkerTracks) {
+  TraceRecorder recorder(16);
+  recorder.SetTidBase(2 * TraceRecorder::kWorkerTidStride);
+  recorder.SetProcessName("spex worker 2");
+  recorder.SetTrackName(0, "w2/stream");
+  recorder.SetTrackName(3, "w2/CH(a)");
+  int doc = recorder.InternName("document");
+  recorder.RecordSpan(0, doc, 1000, 5000);
+  recorder.RecordSpan(3, doc, 2000, 3000);
+  JsonValue root = MustParseJson(recorder.ToChromeJson());
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  const double base = 2 * TraceRecorder::kWorkerTidStride;
+  bool saw_process_name = false;
+  int thread_names = 0, spans = 0;
+  for (const JsonValue& e : events->array) {
+    const std::string& ph = e.Get("ph")->str;
+    if (ph == "M" && e.Get("name")->str == "process_name") {
+      saw_process_name = true;
+      EXPECT_EQ(e.Get("tid")->number, base);
+      EXPECT_EQ(e.Get("args")->Get("name")->str, "spex worker 2");
+    } else if (ph == "M" && e.Get("name")->str == "thread_name") {
+      ++thread_names;
+      // Track tids are shifted into the worker's range.
+      EXPECT_GE(e.Get("tid")->number, base);
+      EXPECT_LT(e.Get("tid")->number,
+                base + TraceRecorder::kWorkerTidStride);
+    } else if (ph == "X") {
+      ++spans;
+      EXPECT_GE(e.Get("tid")->number, base);
+      EXPECT_LT(e.Get("tid")->number,
+                base + TraceRecorder::kWorkerTidStride);
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_EQ(thread_names, 2);
+  EXPECT_EQ(spans, 2);
+}
+
+TEST(TraceTest, AppendChromeRecordsMergesWithOffset) {
+  TraceRecorder a(8), b(8);
+  a.SetTidBase(0);
+  b.SetTidBase(TraceRecorder::kWorkerTidStride);
+  int name_a = a.InternName("s");
+  int name_b = b.InternName("s");
+  a.RecordSpan(0, name_a, 0, 100);
+  b.RecordSpan(0, name_b, 0, 100);
+  std::string out = "[";
+  bool first = true;
+  a.AppendChromeRecords(&out, &first, /*ts_offset_ns=*/0);
+  b.AppendChromeRecords(&out, &first, /*ts_offset_ns=*/50'000);
+  out += "]";
+  JsonValue root = MustParseJson(out);
+  ASSERT_EQ(root.kind, JsonValue::kArray);
+  std::vector<double> ts, tids;
+  for (const JsonValue& e : root.array) {
+    if (e.Get("ph")->str != "X") continue;
+    ts.push_back(e.Get("ts")->number);
+    tids.push_back(e.Get("tid")->number);
+  }
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts[0], 0.0);
+  EXPECT_DOUBLE_EQ(ts[1], 50.0);  // rebased by 50 us onto the merge epoch
+  EXPECT_DOUBLE_EQ(tids[0], 0.0);
+  EXPECT_DOUBLE_EQ(tids[1], TraceRecorder::kWorkerTidStride);
+}
+
+// ---------------------------------------------------------------------------
+// Engine capture knob: trace_worker stamps tracks into the worker's range.
+
+TEST(ObsEngineTest, TraceWorkerOptionPrefixesTracks) {
+  ExprPtr query = MustParseRpeq("_*.title");
+  EngineOptions options;
+  options.observe = ObserveLevel::kFull;
+  options.trace_worker = 1;
+  CountingResultSink sink;
+  SpexEngine engine(*query, &sink, options);
+  for (const StreamEvent& e : Events(kDoc)) engine.OnEvent(e);
+  ASSERT_NE(engine.trace_recorder(), nullptr);
+  std::string json = engine.trace_recorder()->ToChromeJson();
+  EXPECT_NE(json.find("spex worker 1"), std::string::npos);
+  EXPECT_NE(json.find("w1/stream"), std::string::npos);
+  // Every event lives in worker 1's tid range.
+  JsonValue root = MustParseJson(json);
+  const JsonValue* events = root.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const JsonValue& e : events->array) {
+    EXPECT_GE(e.Get("tid")->number, TraceRecorder::kWorkerTidStride);
+    EXPECT_LT(e.Get("tid")->number, 2 * TraceRecorder::kWorkerTidStride);
+  }
 }
 
 }  // namespace

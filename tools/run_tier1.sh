@@ -68,13 +68,85 @@ serve_out="$("$binary_dir/tools/spexserve" --queries="$serve_dir/queries.txt" \
   rm -rf "$serve_dir"
   exit 1
 }
-echo "$serve_out" | grep -q 'sessions on 2 threads' || {
+# The serving summary is a structured logfmt line now:
+#   ts=... level=info msg="run complete" documents=1 queries=2 sessions=2 threads=2
+echo "$serve_out" | grep -q 'msg="run complete".*sessions=2 threads=2' || {
   echo "tier1: spexserve smoke failed:" >&2
   echo "$serve_out" >&2
   rm -rf "$serve_dir"
   exit 1
 }
+echo "$serve_out" | grep -q 'msg=latency feed_to_result_p50_us=' || {
+  echo "tier1: spexserve smoke missing latency summary:" >&2
+  echo "$serve_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
 echo "tier1: spexserve smoke OK"
+
+# Admin-plane smoke: serve with --admin-port=0 (ephemeral), scrape /metrics
+# and /healthz off the logged port while the server lingers, then SIGTERM
+# and require a clean (exit 0) drain.  Scraping uses bash /dev/tcp so the
+# smoke needs no curl on tier-1 machines.
+admin_log="$serve_dir/admin.log"
+"$binary_dir/tools/spexserve" --queries="$serve_dir/queries.txt" \
+  --threads=2 --admin-port=0 "$serve_dir/docs" \
+  >"$serve_dir/admin.out" 2>"$admin_log" &
+admin_pid=$!
+admin_port=""
+for _ in $(seq 1 100); do
+  admin_port="$(sed -n 's/.*msg="admin plane listening" port=\([0-9]*\).*/\1/p' \
+    "$admin_log" | head -1)"
+  [ -n "$admin_port" ] && break
+  kill -0 "$admin_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if [ -z "$admin_port" ]; then
+  echo "tier1: admin smoke: no listening port logged" >&2
+  cat "$admin_log" >&2
+  kill "$admin_pid" 2>/dev/null || true
+  rm -rf "$serve_dir"
+  exit 1
+fi
+scrape() {
+  # Minimal HTTP GET via /dev/tcp; prints the response (headers + body).
+  exec 3<>"/dev/tcp/127.0.0.1/$admin_port" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' \
+    "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+metrics_scrape="$(scrape /metrics)"
+echo "$metrics_scrape" | grep -q '# TYPE spex_pool_events_processed counter' || {
+  echo "tier1: admin smoke: /metrics scrape missing pool counters" >&2
+  echo "$metrics_scrape" | head -20 >&2
+  kill "$admin_pid" 2>/dev/null || true
+  rm -rf "$serve_dir"
+  exit 1
+}
+healthz_scrape="$(scrape /healthz)"
+echo "$healthz_scrape" | grep -q '"status": "ok"' || {
+  echo "tier1: admin smoke: /healthz scrape unhealthy" >&2
+  echo "$healthz_scrape" >&2
+  kill "$admin_pid" 2>/dev/null || true
+  rm -rf "$serve_dir"
+  exit 1
+}
+kill -TERM "$admin_pid"
+admin_rc=0
+wait "$admin_pid" || admin_rc=$?
+if [ "$admin_rc" -ne 0 ]; then
+  echo "tier1: admin smoke: server exited $admin_rc after SIGTERM" >&2
+  cat "$admin_log" >&2
+  rm -rf "$serve_dir"
+  exit 1
+fi
+grep -q 'catalog.xml' "$serve_dir/admin.out" || {
+  echo "tier1: admin smoke: no results on stdout" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+echo "tier1: admin plane smoke OK (port $admin_port)"
 
 # Chaos smoke: the same serving run with every session faulted (seeded
 # corruption / truncation / tiny limits / worker stalls).  The server must
@@ -88,7 +160,7 @@ chaos_out="$("$binary_dir/tools/spexserve" --queries="$serve_dir/queries.txt" \
   rm -rf "$serve_dir"
   exit 1
 }
-echo "$chaos_out" | grep -q 'chaos injection on, seed=7' || {
+echo "$chaos_out" | grep -q 'msg="chaos injection on" seed=7' || {
   echo "tier1: spexserve chaos smoke missing chaos banner:" >&2
   echo "$chaos_out" >&2
   rm -rf "$serve_dir"

@@ -46,9 +46,13 @@
 #include <sstream>
 #include <string>
 
+#include "obs/log.h"
 #include "spex/spex.h"
 
 namespace {
+
+using spex::obs::LogError;
+using spex::obs::LogInfo;
 
 struct Options {
   std::string query;
@@ -147,7 +151,7 @@ int main(int argc, char** argv) {
       opts.profile_format = arg.substr(10);
       if (opts.profile_format != "text" && opts.profile_format != "json" &&
           opts.profile_format != "dot") {
-        std::fprintf(stderr, "bad profile format in %s\n", arg.c_str());
+        LogError("bad profile format", {{"arg", arg}});
         return Usage();
       }
     } else if (arg == "--order=det") {
@@ -156,7 +160,7 @@ int main(int argc, char** argv) {
       opts.order = spex::OutputOrder::kDocumentStart;
     } else if (arg.rfind("--observe=", 0) == 0) {
       if (!spex::ParseObserveLevel(arg.substr(10), &opts.observe)) {
-        std::fprintf(stderr, "bad observe level in %s\n", arg.c_str());
+        LogError("bad observe level", {{"arg", arg}});
         return Usage();
       }
       opts.observe_set = true;
@@ -178,7 +182,7 @@ int main(int argc, char** argv) {
       opts.batch_size = std::atoi(arg.c_str() + 13);
       if (opts.batch_size < 1) return Usage();
     } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      LogError("unknown option", {{"arg", arg}});
       return Usage();
     } else if (opts.query.empty()) {
       opts.query = arg;
@@ -194,13 +198,14 @@ int main(int argc, char** argv) {
   spex::ParseResult parsed = opts.xpath ? spex::ParseXPath(opts.query)
                                         : spex::ParseRpeq(opts.query);
   if (!parsed.ok()) {
-    std::fprintf(stderr, "query error at offset %zu: %s\n",
-                 parsed.error_position, parsed.error.c_str());
+    LogError("query parse error",
+             {{"offset", static_cast<long long>(parsed.error_position)},
+              {"error", parsed.error}});
     return 1;
   }
   std::string validation_error;
   if (!spex::ValidateQuery(*parsed.expr, &validation_error)) {
-    std::fprintf(stderr, "query error: %s\n", validation_error.c_str());
+    LogError("query validation error", {{"error", validation_error}});
     return 1;
   }
 
@@ -217,7 +222,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!opts.trace_out.empty() && opts.observe != spex::ObserveLevel::kFull) {
-    std::fprintf(stderr, "--trace-out requires --observe=full\n");
+    LogError("--trace-out requires --observe=full", {});
     return 2;
   }
   engine_options.observe = opts.observe;
@@ -225,7 +230,7 @@ int main(int argc, char** argv) {
   if (opts.progress_every > 0) {
     engine_options.progress.every_events = opts.progress_every;
     engine_options.progress.callback = [](const spex::Watermark& w) {
-      std::fprintf(stderr, "progress: %s\n", w.ToString().c_str());
+      LogInfo("progress", {{"watermark", w.ToString()}});
     };
   }
 
@@ -287,7 +292,7 @@ int main(int argc, char** argv) {
   } else {
     std::ifstream in(opts.file, std::ios::binary);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", opts.file.c_str());
+      LogError("cannot open input file", {{"file", opts.file}});
       return 1;
     }
     std::string chunk(1 << 16, '\0');
@@ -299,7 +304,7 @@ int main(int argc, char** argv) {
     if (ok) ok = parser.Finish();
   }
   if (!ok) {
-    std::fprintf(stderr, "XML error: %s\n", parser.error().c_str());
+    LogError("XML parse error", {{"error", parser.error()}});
     return 1;
   }
 
@@ -337,14 +342,12 @@ int main(int argc, char** argv) {
     const spex::obs::TraceRecorder* recorder = engine.trace_recorder();
     std::ofstream trace_file(opts.trace_out, std::ios::binary);
     if (!trace_file || recorder == nullptr) {
-      std::fprintf(stderr, "cannot write trace to %s\n",
-                   opts.trace_out.c_str());
+      LogError("cannot write trace file", {{"file", opts.trace_out}});
       return 1;
     }
     trace_file << recorder->ToChromeJson();
     if (!trace_file.flush()) {
-      std::fprintf(stderr, "error writing trace to %s\n",
-                   opts.trace_out.c_str());
+      LogError("error writing trace file", {{"file", opts.trace_out}});
       return 1;
     }
   }

@@ -24,6 +24,17 @@
 //   --print             print result fragments (default: counts only)
 //   --metrics=json|prom dump the pool + cache metrics registry to stderr
 //
+// Telemetry plane (DESIGN.md §12):
+//   --admin-port=P      serve /metrics, /metrics.json, /healthz, /sessions,
+//                       /stats, /trace and /profile over HTTP on 127.0.0.1:P
+//                       (0 = ephemeral; the bound port is logged as
+//                       msg="admin plane listening" port=P).  After the
+//                       input is drained the process keeps serving the
+//                       admin plane until SIGTERM/SIGINT, then exits 0.
+//   --log=text|json     structured log format on stderr (default text:
+//                       logfmt `ts=... level=... msg="..." k=v`)
+//   --log-level=LVL     debug|info|warn|error (default info)
+//
 // Robustness (DESIGN.md §10):
 //   --max-depth=N       parser element-depth bound (default 10000, 0 = off)
 //   --max-text=BYTES    parser token-size bound (default 16 MiB, 0 = off)
@@ -43,12 +54,16 @@
 // Output: one line per (document, query) session, tab-separated:
 //   <document>  <query>  <result count>                     (success)
 //   <document>  <query>  ERROR(<code>)  certain=<n>/<m>  <message>
-// in (document, query) submission order, plus a throughput summary on
-// stderr.  certain=n/m: of the m partial results harvested, the first n are
-// exact (see SpexEngine::FinalizeTruncated).
+// in (document, query) submission order, plus structured summary log lines
+// on stderr.  certain=n/m: of the m partial results harvested, the first n
+// are exact (see SpexEngine::FinalizeTruncated).
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -62,12 +77,18 @@
 #include <vector>
 
 #include "base/status.h"
+#include "obs/log.h"
+#include "runtime/admin_server.h"
 #include "runtime/engine_pool.h"
 #include "runtime/fault_injector.h"
 #include "runtime/query_cache.h"
 #include "xml/xml_parser.h"
 
 namespace {
+
+using spex::obs::LogError;
+using spex::obs::LogInfo;
+using spex::obs::LogWarn;
 
 struct Options {
   std::string queries_file;
@@ -84,6 +105,9 @@ struct Options {
   int engine_batch = 64;
   bool print_results = false;
   std::string metrics_format;  // "", "json" or "prom"
+  // Admin plane: serve HTTP telemetry on this port (-1 = disabled, 0 =
+  // ephemeral) and linger after the input drains until SIGTERM/SIGINT.
+  int admin_port = -1;
   // Parser bounds (0 = unlimited).  The defaults keep an adversarial
   // document from exhausting the parser while far exceeding anything a
   // legitimate stream carries.
@@ -102,7 +126,8 @@ int Usage() {
                "usage: spexserve --queries=FILE [--threads=N] [--queue=N]\n"
                "                 [--cache=N] [--batch=N] [--batch-size=N] "
                "[--print]\n"
-               "                 [--metrics=json|prom]\n"
+               "                 [--metrics=json|prom] [--admin-port=P]\n"
+               "                 [--log=text|json] [--log-level=LVL]\n"
                "                 [--max-depth=N] [--max-text=BYTES]\n"
                "                 [--max-buffered-bytes=N] [--max-formula-bytes=N]\n"
                "                 [--max-events=N] [--deadline-ms=N]\n"
@@ -169,6 +194,15 @@ struct PendingSession {
   spex::Status rejected;  // non-OK when no session was opened
 };
 
+// Self-pipe shutdown handshake: the signal handler writes one byte, the
+// linger loop in main() blocks on the read end.  Async-signal-safe.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = write(g_shutdown_pipe[1], &byte, 1);
+}
+
 class Server {
  public:
   explicit Server(const Options& options)
@@ -195,10 +229,11 @@ class Server {
           return pool_options;
         }()) {
     cache_.RegisterCollectors(&pool_.metrics());
+    spex::obs::Logger::Global().RegisterCollectors(&pool_.metrics());
     if (options.chaos) {
-      std::fprintf(stderr, "spexserve: chaos injection on, seed=%llu rate=%d%%\n",
-                   static_cast<unsigned long long>(options.chaos_seed),
-                   options.chaos_rate);
+      LogInfo("chaos injection on",
+              {{"seed", static_cast<long long>(options.chaos_seed)},
+               {"rate_pct", options.chaos_rate}});
     }
   }
 
@@ -206,25 +241,44 @@ class Server {
     bool ok = false;
     queries_ = ::LoadQueries(options_.queries_file, &ok);
     if (!ok) {
-      std::fprintf(stderr, "spexserve: cannot read queries file '%s'\n",
-                   options_.queries_file.c_str());
+      LogError("cannot read queries file", {{"file", options_.queries_file}});
       return false;
     }
     if (queries_.empty()) {
-      std::fprintf(stderr, "spexserve: no queries in '%s'\n",
-                   options_.queries_file.c_str());
+      LogError("no queries in file", {{"file", options_.queries_file}});
       return false;
     }
     // Fail fast on bad queries, before any document work.
     for (const std::string& q : queries_) {
       std::string error;
       if (cache_.Get(q, &error) == nullptr) {
-        std::fprintf(stderr, "spexserve: bad query '%s': %s\n", q.c_str(),
-                     error.c_str());
+        LogError("bad query", {{"query", q}, {"error", error}});
         return false;
       }
     }
     return true;
+  }
+
+  // Starts the telemetry plane before any documents are dispatched, so the
+  // whole run is observable.  Fatal on socket failure: an operator who
+  // asked for the admin plane should not silently run without it.
+  bool StartAdmin(uint16_t port) {
+    spex::AdminOptions admin_options;
+    admin_options.http.port = port;
+    admin_ = std::make_unique<spex::AdminServer>(&pool_, admin_options);
+    std::string error;
+    if (!admin_->Start(&error)) {
+      LogError("admin plane failed to start", {{"error", error}});
+      return false;
+    }
+    LogInfo("admin plane listening",
+            {{"port", static_cast<int>(admin_->port())},
+             {"address", "127.0.0.1"}});
+    return true;
+  }
+
+  void StopAdmin() {
+    if (admin_ != nullptr) admin_->Stop();
   }
 
   // Parses one document and opens a session per query against it.  A
@@ -249,8 +303,10 @@ class Server {
     const spex::Status parse_status =
         spex::ParseXmlToEvents(*doc, &events, parser_options);
     if (!parse_status.ok()) {
-      std::fprintf(stderr, "spexserve: %s: %s (serving continues)\n",
-                   name.c_str(), parse_status.ToString().c_str());
+      LogWarn("document parse failed, serving continues",
+              {{"document", name},
+               {"status", spex::StatusCodeName(parse_status.code())},
+               {"error", parse_status.message()}});
     }
     ++documents_;
     document_events_ += static_cast<int64_t>(events.size());
@@ -265,10 +321,13 @@ class Server {
         pending_.push_back(PendingSession{name, q, nullptr, session.status()});
         continue;
       }
+      spex::EngineLimits limits = options_.limits;
       if (options_.chaos) {
-        spex::EngineLimits limits = options_.limits;
         spex::FaultInjector::ApplyToLimits(plan, &limits);
         if (limits.enabled()) (*session)->OverrideLimits(limits);
+      }
+      if (admin_ != nullptr) {
+        admin_->directory().Register(*session, limits);
       }
       if (options_.batch_events == 0) {
         (*session)->Feed(batch);
@@ -324,8 +383,8 @@ class Server {
       }
     }
     if (failed_sessions > 0) {
-      std::fprintf(stderr, "spexserve: %lld sessions failed (see ERROR lines)\n",
-                   static_cast<long long>(failed_sessions));
+      LogWarn("sessions failed, see ERROR lines",
+              {{"failed", static_cast<long long>(failed_sessions)}});
     }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -333,18 +392,29 @@ class Server {
             .count();
     const spex::obs::MetricsSnapshot snapshot = pool_.metrics().Collect();
     const int64_t pool_events = snapshot.Value("spex_pool_events_processed");
-    std::fprintf(stderr,
-                 "spexserve: %lld documents x %zu queries = %zu sessions on "
-                 "%d threads\n",
-                 static_cast<long long>(documents_), queries_.size(),
-                 pending_.size(), pool_.threads());
-    std::fprintf(stderr,
-                 "spexserve: %lld document events, %lld engine events, "
-                 "%lld results, %.3fs (%.0f ev/s aggregate)\n",
-                 static_cast<long long>(document_events_),
-                 static_cast<long long>(pool_events),
-                 static_cast<long long>(total_results), elapsed,
-                 elapsed > 0 ? static_cast<double>(pool_events) / elapsed : 0);
+    LogInfo("run complete",
+            {{"documents", static_cast<long long>(documents_)},
+             {"queries", static_cast<long long>(queries_.size())},
+             {"sessions", static_cast<long long>(pending_.size())},
+             {"threads", pool_.threads()}});
+    LogInfo("throughput",
+            {{"document_events", static_cast<long long>(document_events_)},
+             {"engine_events", static_cast<long long>(pool_events)},
+             {"results", static_cast<long long>(total_results)},
+             {"elapsed_sec", elapsed},
+             {"events_per_sec",
+              elapsed > 0 ? static_cast<double>(pool_events) / elapsed : 0.0}});
+    LogInfo("latency",
+            {{"feed_to_result_p50_us",
+              snapshot.QuantileAll("spex_pool_feed_to_result_us", 0.50)},
+             {"feed_to_result_p95_us",
+              snapshot.QuantileAll("spex_pool_feed_to_result_us", 0.95)},
+             {"feed_to_result_p99_us",
+              snapshot.QuantileAll("spex_pool_feed_to_result_us", 0.99)},
+             {"queue_wait_p50_us",
+              snapshot.QuantileAll("spex_pool_queue_wait_us", 0.50)},
+             {"queue_wait_p99_us",
+              snapshot.QuantileAll("spex_pool_queue_wait_us", 0.99)}});
     if (options_.metrics_format == "json") {
       std::fprintf(stderr, "%s\n", snapshot.ToJson().c_str());
     } else if (options_.metrics_format == "prom") {
@@ -360,6 +430,7 @@ class Server {
   std::atomic<uint64_t> chaos_batches_{0};  // worker-stall schedule cursor
   uint64_t chaos_sessions_ = 0;             // document fault schedule cursor
   spex::EnginePool pool_;
+  std::unique_ptr<spex::AdminServer> admin_;
   std::vector<std::string> queries_;
   std::vector<PendingSession> pending_;
   int64_t documents_ = 0;
@@ -390,6 +461,17 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->batch_events = static_cast<size_t>(std::atoll(v));
     } else if (arg == "--print") {
       options->print_results = true;
+    } else if (const char* v = value("--admin-port=")) {
+      options->admin_port = std::atoi(v);
+      if (options->admin_port < 0 || options->admin_port > 65535) return false;
+    } else if (const char* v = value("--log=")) {
+      spex::obs::LogFormat format;
+      if (!spex::obs::ParseLogFormat(v, &format)) return false;
+      spex::obs::Logger::Global().SetFormat(format);
+    } else if (const char* v = value("--log-level=")) {
+      spex::obs::LogLevel level;
+      if (!spex::obs::ParseLogLevel(v, &level)) return false;
+      spex::obs::Logger::Global().SetLevel(level);
     } else if (const char* v = value("--max-depth=")) {
       options->max_depth = std::atoi(v);
     } else if (const char* v = value("--max-text=")) {
@@ -439,8 +521,23 @@ int main(int argc, char** argv) {
   Options options;
   if (!ParseArgs(argc, argv, &options)) return Usage();
 
+  // Install the shutdown handshake before any serving starts so a SIGTERM
+  // during the run already drains cleanly.
+  if (options.admin_port >= 0) {
+    if (pipe(g_shutdown_pipe) != 0) {
+      LogError("cannot create shutdown pipe", {});
+      return 1;
+    }
+    std::signal(SIGTERM, HandleShutdownSignal);
+    std::signal(SIGINT, HandleShutdownSignal);
+  }
+
   Server server(options);
   if (!server.LoadQueries()) return 1;
+  if (options.admin_port >= 0 &&
+      !server.StartAdmin(static_cast<uint16_t>(options.admin_port))) {
+    return 1;
+  }
 
   if (!options.directory.empty()) {
     namespace fs = std::filesystem;
@@ -451,20 +548,19 @@ int main(int argc, char** argv) {
       if (entry.is_regular_file()) paths.push_back(entry.path().string());
     }
     if (ec) {
-      std::fprintf(stderr, "spexserve: cannot read directory '%s': %s\n",
-                   options.directory.c_str(), ec.message().c_str());
+      LogError("cannot read directory",
+               {{"directory", options.directory}, {"error", ec.message()}});
       return 1;
     }
     std::sort(paths.begin(), paths.end());
     if (paths.empty()) {
-      std::fprintf(stderr, "spexserve: no files in '%s'\n",
-                   options.directory.c_str());
+      LogError("no files in directory", {{"directory", options.directory}});
       return 1;
     }
     for (const std::string& path : paths) {
       std::string xml;
       if (!ReadFile(path, &xml)) {
-        std::fprintf(stderr, "spexserve: cannot read '%s'\n", path.c_str());
+        LogError("cannot read document", {{"file", path}});
         return 1;
       }
       server.Dispatch(fs::path(path).filename().string(), xml);
@@ -474,8 +570,7 @@ int main(int argc, char** argv) {
     if (!options.frames_file.empty()) {
       file.open(options.frames_file, std::ios::binary);
       if (!file) {
-        std::fprintf(stderr, "spexserve: cannot read '%s'\n",
-                     options.frames_file.c_str());
+        LogError("cannot read frames file", {{"file", options.frames_file}});
         return 1;
       }
     }
@@ -490,13 +585,25 @@ int main(int argc, char** argv) {
       // A truncated trailing frame is a client error, not a server fault:
       // evaluate its payload as-is (the parser will classify the damage),
       // report the condition, and still answer everything already queued.
-      std::fprintf(stderr, "spexserve: frame stream: %s (serving continues)\n",
-                   error.c_str());
+      LogWarn("frame stream truncated, serving continues", {{"error", error}});
       if (!payload.empty()) {
         server.Dispatch("frame#" + std::to_string(frame) + "(truncated)",
                         payload);
       }
     }
   }
-  return server.Finish();
+  const int rc = server.Finish();
+
+  if (options.admin_port >= 0) {
+    // Input drained, results printed; keep the telemetry plane up until the
+    // operator says stop (this is what makes `spexserve --admin-port=P`
+    // scrapeable by a Prometheus loop rather than a one-shot).
+    LogInfo("serving admin plane until SIGTERM", {});
+    char byte;
+    while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    LogInfo("shutdown signal received, draining", {});
+    server.StopAdmin();
+  }
+  return rc;
 }
