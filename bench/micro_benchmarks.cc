@@ -74,6 +74,7 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 #include "baseline/dom_evaluator.h"
 #include "baseline/nfa_evaluator.h"
 #include "bench_util.h"
+#include "obs/sampling_profiler.h"
 #include "xml/simd_scan.h"
 #include "rpeq/parser.h"
 #include "spex/engine.h"
@@ -338,6 +339,11 @@ ObserveLevel g_observe = ObserveLevel::kOff;
 // Recorded as the pseudo-level "profile" so BENCH_PR3.json prices the
 // EXPLAIN/PROFILE instrumentation alongside off/full.
 bool g_profile = false;
+// --sampling=N: attach the batch-granular sampling profiler (obs/
+// sampling_profiler.h) at period N.  The observe name stays "off" — the
+// whole point is pricing the always-on sampler against observe=off records,
+// which is how the PR8 bench gate proves the ≤2% overhead budget.
+int g_sampling = 0;
 
 const char* ObserveName() {
   if (g_profile) return "profile";
@@ -386,11 +392,18 @@ Record RunWorkload(const Workload& w) {
   options.observe = g_observe;
   options.profile = g_profile;
 
+  // One process-wide sampler (as EnginePool holds one) so --sampling prices
+  // the production wiring: relaxed-load draw per batch, instrumented path on
+  // the stride.
+  static obs::SamplingProfiler sampler(
+      obs::SamplingProfiler::Options{g_sampling});
+
   // Warm-up run: faults in the event vector and fills allocator caches so
   // the measured runs see steady state.
   {
     CountingResultSink sink;
     SpexEngine engine(*query, &sink, options);
+    if (g_sampling > 0) engine.SetBatchSampler(&sampler);
     FeedStream(&engine, events, options.batch_size);
     rec.results = sink.results();
   }
@@ -400,6 +413,7 @@ Record RunWorkload(const Workload& w) {
   {
     CountingResultSink sink;
     SpexEngine engine(*query, &sink, options);
+    if (g_sampling > 0) engine.SetBatchSampler(&sampler);
     const int64_t before = g_alloc_count.load(std::memory_order_relaxed);
     FeedStream(&engine, events, options.batch_size);
     const int64_t after = g_alloc_count.load(std::memory_order_relaxed);
@@ -414,6 +428,7 @@ Record RunWorkload(const Workload& w) {
   for (int r = 0; r < reps; ++r) {
     CountingResultSink sink;
     SpexEngine engine(*query, &sink, options);
+    if (g_sampling > 0) engine.SetBatchSampler(&sampler);
     auto start = std::chrono::steady_clock::now();
     FeedStream(&engine, events, options.batch_size);
     double secs = std::chrono::duration<double>(
@@ -533,6 +548,12 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       spex::benchjson::g_profile = true;
+    } else if (std::strncmp(argv[i], "--sampling=", 11) == 0) {
+      spex::benchjson::g_sampling = std::atoi(argv[i] + 11);
+      if (spex::benchjson::g_sampling < 0) {
+        std::fprintf(stderr, "bad --sampling period: %s\n", argv[i] + 11);
+        return 1;
+      }
     } else {
       passthrough.push_back(argv[i]);
     }

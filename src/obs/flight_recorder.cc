@@ -1,0 +1,75 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace spex {
+namespace obs {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::Record(const FlightFrame& frame, int64_t steady_ns) {
+  if (frozen_) return;
+  if (origin_ns_ < 0) origin_ns_ = steady_ns;
+  FlightFrame stamped = frame;
+  stamped.seq = next_seq_++;
+  stamped.rel_ms = (steady_ns - origin_ns_) / 1000000;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(stamped);
+  } else {
+    ring_[count_ % capacity_] = stamped;
+  }
+  ++count_;
+}
+
+bool FlightRecorder::Freeze(const std::string& reason) {
+  if (frozen_) return false;
+  frozen_ = true;
+  reason_ = reason;
+  return true;
+}
+
+std::string FlightRecorder::ToJson() const {
+  std::string out = "{\"reason\": \"";
+  // Reasons are status-code names / short identifiers; escape the two
+  // characters that could break the quoting anyway.
+  for (char c : reason_) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\", \"frozen\": ";
+  out += frozen_ ? "true" : "false";
+  const int64_t dropped =
+      next_seq_ > static_cast<int64_t>(capacity_)
+          ? next_seq_ - static_cast<int64_t>(capacity_)
+          : 0;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), ", \"recorded\": %" PRId64
+                ", \"dropped\": %" PRId64 ", \"frames\": [",
+                next_seq_, dropped);
+  out += buf;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    // Oldest-first: once wrapped, the oldest live frame sits at the write
+    // cursor (count_ % capacity_).
+    const FlightFrame& f =
+        ring_[(count_ >= capacity_ ? (count_ + i) % capacity_ : i)];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"seq\": %" PRId64 ", \"rel_ms\": %" PRId64
+                  ", \"events\": %" PRId64 ", \"results\": %" PRId64
+                  ", \"buffered_events\": %" PRId64
+                  ", \"buffered_bytes\": %" PRId64
+                  ", \"queue_depth\": %" PRId64 "}",
+                  i == 0 ? "" : ", ", f.seq, f.rel_ms, f.events, f.results,
+                  f.buffered_events, f.buffered_bytes, f.queue_depth);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spex

@@ -1,0 +1,81 @@
+// Post-mortem flight recorder (DESIGN.md §13).
+//
+// A bounded ring of batch-boundary snapshots kept per streaming session.
+// While the session is healthy the ring just overwrites itself — constant
+// memory, no locks, no syscalls (the caller supplies the timestamp it
+// already took for live telemetry).  When something goes wrong (governor
+// breach, quarantine, exception barrier) the owner freezes the ring with
+// the failure reason and the last `capacity` snapshots become a timeline:
+// how fast events were arriving, how buffering grew, how deep the worker
+// queue was — in the moments before the failure, not just the status code
+// it produced.
+//
+// Threading: Record/Freeze are called only from the worker thread that owns
+// the session (the same thread that publishes the live-telemetry atomics).
+// Readers never touch a live ring — the frozen ring is serialised once
+// (ToJson) under the session teardown path and the *copy* is what the
+// /flight endpoint and the structured log carry.
+
+#ifndef SPEX_OBS_FLIGHT_RECORDER_H_
+#define SPEX_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spex {
+namespace obs {
+
+// One batch-boundary snapshot.  `seq` and `rel_ms` are stamped by the
+// recorder (sequence number since session start; milliseconds since the
+// first recorded frame), the rest is copied from the session's live
+// counters at the moment the batch finished.
+struct FlightFrame {
+  int64_t seq = 0;
+  int64_t rel_ms = 0;           // since first frame (steady clock)
+  int64_t events = 0;           // cumulative events fed (watermark)
+  int64_t results = 0;          // cumulative results emitted
+  int64_t buffered_events = 0;  // OU-buffered candidate events right now
+  int64_t buffered_bytes = 0;   // OU-buffered candidate bytes right now
+  int64_t queue_depth = 0;      // owning worker's queue depth right now
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(size_t capacity = 32);
+
+  // Append a snapshot, overwriting the oldest once the ring is full.
+  // `steady_ns` is the caller's already-taken monotonic timestamp.  No-op
+  // after Freeze — the post-mortem timeline must not drift while teardown
+  // is still feeding shutdown bookkeeping through the same code path.
+  void Record(const FlightFrame& frame, int64_t steady_ns);
+
+  // Freeze the ring with a failure reason.  First caller wins: a governor
+  // breach followed by the quarantine it causes keeps the breach as the
+  // reason.  Returns true if this call did the freeze.
+  bool Freeze(const std::string& reason);
+
+  bool frozen() const { return frozen_; }
+  const std::string& reason() const { return reason_; }
+  size_t size() const { return count_ < capacity_ ? count_ : capacity_; }
+  int64_t total_recorded() const { return next_seq_; }
+
+  // {"reason": ..., "dropped": N, "frames": [oldest ... newest]}.
+  // Valid frozen or not (tests snapshot live rings); `dropped` counts the
+  // frames the ring has already overwritten.
+  std::string ToJson() const;
+
+ private:
+  size_t capacity_;
+  std::vector<FlightFrame> ring_;
+  size_t count_ = 0;      // total ever recorded, saturating at use sites
+  int64_t next_seq_ = 0;  // total ever recorded (monotone)
+  int64_t origin_ns_ = -1;
+  bool frozen_ = false;
+  std::string reason_;
+};
+
+}  // namespace obs
+}  // namespace spex
+
+#endif  // SPEX_OBS_FLIGHT_RECORDER_H_

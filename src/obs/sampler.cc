@@ -21,6 +21,9 @@ std::string TelemetryWindow::ToJson() const {
   out += ", \"ticks\": " + std::to_string(ticks);
   out += ", \"wall_ms_begin\": " + std::to_string(wall_ms_begin);
   out += ", \"wall_ms_end\": " + std::to_string(wall_ms_end);
+  out += ", \"partial\": ";
+  out += partial ? "true" : "false";
+  if (!note.empty()) out += ", \"note\": \"" + EscapeJson(note) + "\"";
   out += ", \"rates\": [";
   bool first = true;
   for (const TelemetryRate& r : rates) {
@@ -115,7 +118,18 @@ size_t TelemetrySampler::ticks() const {
 TelemetryWindow TelemetrySampler::ComputeWindow(double window_sec) const {
   std::lock_guard<std::mutex> lock(mu_);
   TelemetryWindow window;
-  if (ring_.empty()) return window;
+  if (ring_.empty()) {
+    window.partial = true;
+    window.note = "no samples yet";
+    return window;
+  }
+  if (ring_.size() == 1) {
+    // A single tick can still answer quantiles (they are point-in-time) but
+    // rates need two endpoints; say so rather than fabricating zeros
+    // silently.
+    window.partial = true;
+    window.note = "single sample; rates need two ticks";
+  }
 
   const Tick& newest = ring_.back();
   // Oldest tick still inside the window (all of them when window_sec <= 0).
@@ -123,6 +137,12 @@ TelemetryWindow TelemetrySampler::ComputeWindow(double window_sec) const {
   if (window_sec > 0) {
     const int64_t cutoff_ns =
         newest.steady_ns - static_cast<int64_t>(window_sec * 1e9);
+    // Requested window reaches past the oldest retained tick: answer from
+    // everything we still have and flag the shortfall.
+    if (!window.partial && ring_.front().steady_ns > cutoff_ns) {
+      window.partial = true;
+      window.note = "window exceeds retained history; using full ring";
+    }
     while (begin + 1 < ring_.size() &&
            ring_[begin].steady_ns < cutoff_ns) {
       ++begin;

@@ -58,6 +58,13 @@ struct TelemetryWindow {
   int ticks = 0;          // ticks inside the window, including endpoints
   int64_t wall_ms_begin = 0;
   int64_t wall_ms_end = 0;
+  // True when the answer covers less than what was asked for: the ring is
+  // empty, holds a single tick (rates need two), or the requested window
+  // reaches past the oldest retained tick.  `note` says which, in words —
+  // a partial answer is still well-formed (zero/shortened rates, whatever
+  // quantiles the newest tick has), it just admits what it is.
+  bool partial = false;
+  std::string note;
   std::vector<TelemetryRate> rates;          // counter families, ring order
   std::vector<TelemetryQuantiles> quantiles; // histogram families, newest tick
 

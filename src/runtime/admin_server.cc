@@ -5,6 +5,13 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "xml/simd_scan.h"
+
+// Injected by src/runtime/CMakeLists.txt (git short sha of the checkout);
+// the fallback covers builds outside a git checkout.
+#ifndef SPEX_BUILD_SHA
+#define SPEX_BUILD_SHA "unknown"
+#endif
 
 namespace spex {
 namespace {
@@ -50,15 +57,17 @@ int64_t SessionDirectory::Register(
     const std::shared_ptr<StreamSession>& session,
     const EngineLimits& limits) {
   Entry entry;
+  // The pool-assigned id, not a directory-private counter: /sessions, the
+  // slow-query log and /flight must agree on what "session 7" means.
+  entry.id = session->id();
   entry.query = session->query();
   entry.worker = session->worker();
   entry.limits = limits;
   entry.opened_wall_ms = WallNowMs();
   entry.session = session;
+  const int64_t id = entry.id;
 
   std::lock_guard<std::mutex> lock(mu_);
-  entry.id = next_id_++;
-  const int64_t id = entry.id;
   entries_.push_back(std::move(entry));
   while (entries_.size() > capacity_) entries_.pop_front();
   return id;
@@ -217,12 +226,22 @@ AdminServer::AdminServer(EnginePool* pool, AdminOptions options)
       capture_(),
       sampler_(&pool->metrics(),
                {options.sampler_interval_ms, options.sampler_ring_capacity}),
+      queries_(options.queries != nullptr ? options.queries : &own_queries_),
+      start_time_(std::chrono::steady_clock::now()),
       http_([this](const obs::HttpRequest& request) { return Handle(request); },
             options.http) {
   pool_->metrics().SetHelp("spex_admin_requests",
                            "HTTP requests served by the admin plane.");
   pool_->metrics().AddCallbackCounter("spex_admin_requests", {},
                                       [this] { return http_.requests(); });
+  pool_->metrics().SetHelp("spex_slow_queries",
+                           "Slow-query log records emitted.");
+  pool_->metrics().AddCallbackCounter(
+      "spex_slow_queries", {}, [this] { return queries_->slow_queries(); });
+  pool_->metrics().SetHelp("spex_flight_dumps",
+                           "Flight-recorder dumps frozen on session failure.");
+  pool_->metrics().AddCallbackCounter(
+      "spex_flight_dumps", {}, [this] { return queries_->flight_dumps(); });
 }
 
 AdminServer::~AdminServer() { Stop(); }
@@ -230,6 +249,11 @@ AdminServer::~AdminServer() { Stop(); }
 bool AdminServer::Start(std::string* error) {
   if (!http_.Start(error)) return false;
   pool_->SetCaptureSink(&capture_);
+  // Install the query registry only if the pool has none yet: a serving
+  // tier that wired its own (shared) registry keeps it.
+  if (pool_->query_registry() == nullptr) {
+    pool_->SetQueryRegistry(queries_);
+  }
   sampler_.Start();
   started_ = true;
   return true;
@@ -244,6 +268,7 @@ void AdminServer::Stop() {
   // the pool's sessions only because callers stop the admin server before
   // destroying the pool — enforced here by detaching first.
   pool_->SetCaptureSink(nullptr);
+  if (pool_->query_registry() == queries_) pool_->SetQueryRegistry(nullptr);
 }
 
 obs::HttpResponse AdminServer::Handle(const obs::HttpRequest& request) {
@@ -255,12 +280,20 @@ obs::HttpResponse AdminServer::Handle(const obs::HttpRequest& request) {
         "  /healthz        pool liveness + quarantine counts\n"
         "  /sessions       per-session live state\n"
         "  /stats?window=N rates + latency quantiles over N seconds\n"
+        "  /queries?sort=time|events|delay&k=K   per-query RED metrics +\n"
+        "                  sampled attribution (format=json for JSON;\n"
+        "                  slow_ms= / slow_delay_ms= mutate thresholds)\n"
+        "  /flight?session=N   post-mortem flight dumps of failed sessions\n"
         "  /trace?ms=N     capture window -> Chrome trace JSON\n"
         "  /profile?ms=N   capture window -> EXPLAIN/PROFILE reports\n");
   }
   if (request.path == "/metrics") {
-    return obs::HttpResponse::Text(
-        pool_->metrics().Collect().ToPrometheusText());
+    // Pool registry families, then the per-query families (rendered by the
+    // registry itself — its label sets churn with entries, which the
+    // up-front-registration MetricRegistry deliberately does not model).
+    std::string body = pool_->metrics().Collect().ToPrometheusText();
+    body += queries_->PrometheusText();
+    return obs::HttpResponse::Text(std::move(body));
   }
   if (request.path == "/metrics.json") {
     return obs::HttpResponse::Json(pool_->metrics().Collect().ToJson());
@@ -270,6 +303,10 @@ obs::HttpResponse AdminServer::Handle(const obs::HttpRequest& request) {
     const int64_t opened = snap.Value("spex_pool_sessions_opened");
     const int64_t finished = snap.Value("spex_pool_sessions_finished");
     const int64_t failed = snap.SumAll("spex_pool_sessions_failed");
+    const int64_t uptime_sec =
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start_time_)
+            .count();
     std::string body = "{\"status\": \"ok\", \"workers\": " +
                        std::to_string(snap.Value("spex_pool_workers")) +
                        ", \"sessions_open\": " +
@@ -280,11 +317,39 @@ obs::HttpResponse AdminServer::Handle(const obs::HttpRequest& request) {
                        std::to_string(
                            snap.Value("spex_pool_backpressure_waits")) +
                        ", \"admin_requests\": " +
-                       std::to_string(http_.requests()) + "}\n";
+                       std::to_string(http_.requests()) +
+                       ", \"simd_backend\": \"" + scan::BackendName() +
+                       "\", \"build\": \"" SPEX_BUILD_SHA
+                       "\", \"uptime_sec\": " + std::to_string(uptime_sec) +
+                       ", \"queries\": " + std::to_string(queries_->size()) +
+                       ", \"slow_queries\": " +
+                       std::to_string(queries_->slow_queries()) +
+                       ", \"flight_dumps\": " +
+                       std::to_string(queries_->flight_dumps()) + "}\n";
     return obs::HttpResponse::Json(std::move(body));
   }
   if (request.path == "/sessions") {
     return obs::HttpResponse::Json(directory_.ToJson());
+  }
+  if (request.path == "/queries") {
+    // Threshold mutation rides on the same endpoint (the admin plane is
+    // GET-only by design; these are runtime-tunable knobs, not state
+    // transitions).  -1 = leave unchanged.
+    const int64_t slow_ms = request.QueryParamInt("slow_ms", -1);
+    if (slow_ms >= 0) queries_->set_slow_ms(slow_ms);
+    const int64_t slow_delay_ms = request.QueryParamInt("slow_delay_ms", -1);
+    if (slow_delay_ms >= 0) queries_->set_slow_delay_ms(slow_delay_ms);
+    QueryRegistry::Sort sort = QueryRegistry::Sort::kTime;
+    QueryRegistry::ParseSort(request.QueryParam("sort", "time"), &sort);
+    const int k = static_cast<int>(request.QueryParamInt("k", 0));
+    if (request.QueryParam("format") == "json") {
+      return obs::HttpResponse::Json(queries_->ToJson(sort, k));
+    }
+    return obs::HttpResponse::Text(queries_->ToText(sort, k));
+  }
+  if (request.path == "/flight") {
+    const int64_t session = request.QueryParamInt("session", -1);
+    return obs::HttpResponse::Json(queries_->FlightJson(session));
   }
   if (request.path == "/stats") {
     const int64_t window = request.QueryParamInt("window", 60);

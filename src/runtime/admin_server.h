@@ -44,6 +44,7 @@
 #include "obs/http_exposition.h"
 #include "obs/sampler.h"
 #include "runtime/engine_pool.h"
+#include "runtime/query_registry.h"
 
 namespace spex {
 
@@ -57,7 +58,8 @@ class SessionDirectory {
 
   // Registers a session with the limits it will actually run under (the
   // caller knows whether pool defaults or an override apply); returns the
-  // directory id.
+  // session's pool-wide id (StreamSession::id() — /sessions, /flight and
+  // the slow-query log all report the same identifier).
   int64_t Register(const std::shared_ptr<StreamSession>& session,
                    const EngineLimits& limits);
 
@@ -80,7 +82,6 @@ class SessionDirectory {
   const size_t capacity_;
   mutable std::mutex mu_;
   std::deque<Entry> entries_;  // guarded by mu_
-  int64_t next_id_ = 1;        // guarded by mu_
 };
 
 // SessionCaptureSink implementation behind /trace and /profile: an armed
@@ -128,6 +129,12 @@ struct AdminOptions {
   int sampler_interval_ms = 1000;
   size_t sampler_ring_capacity = 128;
   size_t directory_capacity = 256;
+  // Per-query observability registry backing /queries and /flight.  When
+  // null the server owns a private one; either way Start() installs it on
+  // the pool and Stop() detaches it.  A caller-supplied registry lets the
+  // serving tier share one registry between the admin plane and its own
+  // slow-query thresholds (spexserve does).
+  QueryRegistry* queries = nullptr;
 };
 
 class AdminServer {
@@ -155,6 +162,9 @@ class AdminServer {
   SessionDirectory& directory() { return directory_; }
   CaptureHub& capture() { return capture_; }
   obs::TelemetrySampler& sampler() { return sampler_; }
+  // The registry /queries and /flight serve from (the caller-supplied one,
+  // or the server's own fallback).
+  QueryRegistry& queries() { return *queries_; }
 
   // The endpoint dispatcher (exposed for unit tests; normally invoked by
   // the HTTP server's accept thread).
@@ -166,6 +176,11 @@ class AdminServer {
   SessionDirectory directory_;
   CaptureHub capture_;
   obs::TelemetrySampler sampler_;
+  // Fallback registry when AdminOptions::queries is null; queries_ points
+  // at whichever one is live.
+  QueryRegistry own_queries_;
+  QueryRegistry* queries_ = nullptr;
+  std::chrono::steady_clock::time_point start_time_;
   obs::HttpServer http_;
   bool started_ = false;
 };

@@ -8,6 +8,9 @@
 #include <exception>
 #include <utility>
 
+#include "runtime/query_registry.h"
+#include "xml/simd_scan.h"
+
 namespace spex {
 namespace {
 
@@ -21,6 +24,13 @@ int64_t SteadyNowNs() {
 
 // ---------------------------------------------------------------------------
 // StreamSession
+
+StreamSession::StreamSession(EnginePool* pool, int worker,
+                             std::shared_ptr<const QueryTemplate> query_template)
+    : pool_(pool),
+      worker_(worker),
+      query_template_(std::move(query_template)),
+      flight_(pool->options_.flight_frames) {}
 
 void StreamSession::Feed(EventBatch batch) {
   if (batch == nullptr || batch->empty()) return;
@@ -101,6 +111,9 @@ void StreamSession::ProcessBatch(const EventBatch& batch,
       }
       engine_ = std::make_unique<SpexEngine>(query_template_, sink_.get(),
                                              std::move(options));
+      // Always-on sampling: the engine draws once per delivered batch from
+      // the pool-wide controller (disabled controller = one null-ish check).
+      engine_->SetBatchSampler(&pool_->sampler_);
     }
 #ifndef NDEBUG
     // Batches are shared across sessions whose engines each own a private
@@ -153,6 +166,16 @@ void StreamSession::ProcessBatch(const EventBatch& batch,
                                 std::memory_order_relaxed);
     live_buffered_bytes_.store(engine_->buffered_bytes(),
                                std::memory_order_relaxed);
+    // Flight recorder: one batch-boundary snapshot into the post-mortem
+    // ring (same consistency argument as the live telemetry above).
+    obs::FlightFrame frame;
+    frame.events = live_events_.load(std::memory_order_relaxed);
+    frame.results = engine_->result_count();
+    frame.buffered_events = engine_->buffered_events();
+    frame.buffered_bytes = engine_->buffered_bytes();
+    frame.queue_depth =
+        pool_->workers_[static_cast<size_t>(worker_)]->queue_depth->value();
+    flight_.Record(frame, SteadyNowNs());
   }
   // Quarantine: seal and publish now so Wait()ers are released without
   // needing a Close() the producer may never send; remaining batches are
@@ -176,6 +199,9 @@ void StreamSession::Finalize(const Status& shutdown_fallback) {
   bool truncated = false;
   RunStats stats;
   std::vector<std::string> results;
+  QueryRegistry* registry =
+      pool_->query_registry_.load(std::memory_order_acquire);
+  QueryRunRecord record;  // filled only when a registry is installed
   if (engine_ != nullptr) {
     if (seal_allowed_) {
       if (!engine_->stream_complete()) {
@@ -190,6 +216,35 @@ void StreamSession::Finalize(const Status& shutdown_fallback) {
     }
     // else: the exception barrier fired — the network's state is suspect,
     // so no sealing events are pushed and the partials are discarded.
+
+    if (registry != nullptr) {
+      // Harvest attribution while the engine is still alive.  Counter and
+      // profiler reads are side-table-safe even after the exception barrier
+      // (the same argument as the capture offer below).
+      record.buffered_events_peak = stats.output.buffered_events_peak;
+      const obs::MetricsSnapshot snap = engine_->metrics().Collect();
+      if (const obs::MetricSample* delay =
+              snap.Find("spex_output_decision_delay_events")) {
+        record.delay_buckets = delay->buckets;
+        record.delay_count = delay->count;
+        record.delay_sum = delay->sum;
+        record.delay_max = delay->max;
+      }
+      record.sampled_batches = engine_->sampled_batches();
+      if (record.sampled_batches > 0) {
+        const obs::ProfileReport report = engine_->SampledProfile();
+        for (const obs::ProfileNode& node : report.nodes) {
+          if (node.deliveries == 0 && node.self_ns == 0) continue;
+          QueryHotNode hot;
+          hot.name = node.name;
+          hot.fragment = node.fragment;
+          hot.cost_class = node.cost_class;
+          hot.deliveries = node.deliveries;
+          hot.self_ns = node.self_ns;
+          record.sampled_nodes.push_back(std::move(hot));
+        }
+      }
+    }
 
     // Offer a captured session's engine to the admin plane before teardown
     // (even after an exception barrier: the trace ring and profiler are
@@ -208,9 +263,34 @@ void StreamSession::Finalize(const Status& shutdown_fallback) {
   }
   // End-to-end latency: first Feed to sealed result, on the worker that
   // owned the run.  Sessions that were never fed observe nothing.
+  int64_t feed_us = 0;
   if (const int64_t t0 = first_feed_ns_.load(std::memory_order_relaxed)) {
+    feed_us = (SteadyNowNs() - t0) / 1000;
     pool_->workers_[static_cast<size_t>(worker_)]->feed_to_result_us->Observe(
-        (SteadyNowNs() - t0) / 1000);
+        feed_us);
+  }
+  if (registry != nullptr) {
+    record.canonical_text = query();
+    record.session_id = session_id_;
+    record.worker = worker_;
+    record.code = status.code();
+    record.truncated = truncated;
+    record.events = live_events_.load(std::memory_order_relaxed);
+    record.results = count;
+    record.feed_to_result_us = feed_us;
+    record.limits =
+        has_limits_override_ ? limits_override_ : pool_->options_.engine.limits;
+    if (!status.ok()) {
+      // Freeze the post-mortem timeline with the root cause (first freeze
+      // wins) and dump it; a session that failed before its engine was
+      // built dumps an empty ring — the record still marks the failure.
+      flight_.Freeze(StatusCodeName(status.code()));
+      record.flight_json = flight_.ToJson();
+    }
+    // Emits the slow-query / flight-dump log records (outside the
+    // registry's lock) before Wait()ers are released below, so a thread
+    // returning from Wait() can rely on the trail being written.
+    registry->RecordRun(record);
   }
   live_results_.store(count, std::memory_order_relaxed);
   live_buffered_events_.store(0, std::memory_order_relaxed);
@@ -245,7 +325,10 @@ void StreamSession::Finalize(const Status& shutdown_fallback) {
 // ---------------------------------------------------------------------------
 // EnginePool
 
-EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
+EnginePool::EnginePool(PoolOptions options)
+    : options_(std::move(options)),
+      // options_ is declared (and thus initialized) before sampler_.
+      sampler_(obs::SamplingProfiler::Options{options_.sampling_period}) {
   if (options_.threads < 1) options_.threads = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
   // Register every instrument before the first worker starts: registration
@@ -292,6 +375,20 @@ EnginePool::EnginePool(PoolOptions options) : options_(std::move(options)) {
   results_total_ = metrics_.AddAtomicCounter("spex_pool_results_total");
   backpressure_waits_ =
       metrics_.AddAtomicCounter("spex_pool_backpressure_waits");
+  metrics_.SetHelp("spex_pool_sampled_batches",
+                   "Event batches routed through the sampling profiler's "
+                   "instrumented delivery path.");
+  metrics_.AddCallbackCounter("spex_pool_sampled_batches", {},
+                              [this] { return sampler_.sampled_batches(); });
+  // Which SIMD scanning backend the parser's runtime dispatch resolved —
+  // PR 6 logged it to stderr only; the info-metric idiom (constant 1, the
+  // payload in the label) makes it scrapeable.
+  metrics_.SetHelp("spex_simd_backend",
+                   "Resolved SIMD scan backend (info metric; the backend is "
+                   "the label).");
+  metrics_.AddCallbackGauge("spex_simd_backend",
+                            {{"backend", scan::BackendName()}},
+                            [] { return 1; });
   workers_.reserve(static_cast<size_t>(options_.threads));
   for (int i = 0; i < options_.threads; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -332,8 +429,17 @@ std::shared_ptr<StreamSession> EnginePool::OpenSession(
   const int worker = static_cast<int>(
       next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
   sessions_opened_->Increment();
-  return std::shared_ptr<StreamSession>(
+  auto session = std::shared_ptr<StreamSession>(
       new StreamSession(this, worker, std::move(query_template)));
+  session->session_id_ =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  // Register the query with the observability registry at open, so
+  // /queries lists it from the first run — not only after one finishes.
+  if (QueryRegistry* registry =
+          query_registry_.load(std::memory_order_acquire)) {
+    registry->Intern(session->query());
+  }
+  return session;
 }
 
 std::shared_ptr<StreamSession> EnginePool::OpenSession(

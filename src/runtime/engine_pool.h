@@ -47,13 +47,16 @@
 #include <vector>
 
 #include "base/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/sampling_profiler.h"
 #include "runtime/query_cache.h"
 #include "spex/engine.h"
 
 namespace spex {
 
 class EnginePool;
+class QueryRegistry;
 
 // On-demand capture hook for the admin plane (runtime/admin_server.h): when
 // installed via EnginePool::SetCaptureSink, the workers consult it around
@@ -100,6 +103,14 @@ struct PoolOptions {
   // batch is processed (see runtime/fault_injector.h for the seeded stall
   // injector that plugs in here).  Must be thread-safe.
   std::function<void(int worker)> before_batch;
+  // Always-on sampling profiler (DESIGN.md §13): 1 of every
+  // `sampling_period` delivered event batches takes the instrumented
+  // delivery path and folds per-node self-times into the query registry.
+  // <= 0 disables sampling.
+  int sampling_period = 256;
+  // Flight-recorder ring size per session (batch-boundary snapshots kept
+  // for post-mortem dumps).
+  size_t flight_frames = 32;
 };
 
 // One document stream evaluated against one compiled query on one pool
@@ -168,6 +179,9 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
 
   const std::string& query() const { return query_template_->canonical_text(); }
   int worker() const { return worker_; }
+  // Pool-unique session id (assigned at open, stable for the session's
+  // lifetime); the id /sessions, /flight and the slow-query log all key on.
+  int64_t id() const { return session_id_; }
 
   // Live state for the admin plane; callable from any thread at any time
   // (before the first batch it reports zeros / kStreaming).
@@ -176,10 +190,10 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
  private:
   friend class EnginePool;
 
+  // Defined in engine_pool.cc (needs the complete EnginePool for the
+  // flight-ring capacity).
   StreamSession(EnginePool* pool, int worker,
-                std::shared_ptr<const QueryTemplate> query_template)
-      : pool_(pool), worker_(worker),
-        query_template_(std::move(query_template)) {}
+                std::shared_ptr<const QueryTemplate> query_template);
 
   // Worker-side: lazily builds the engine (first batch), feeds events,
   // captures results + stats and destroys the engine (close task).  Only
@@ -195,6 +209,11 @@ class StreamSession : public std::enable_shared_from_this<StreamSession> {
   EnginePool* pool_;
   const int worker_;
   std::shared_ptr<const QueryTemplate> query_template_;
+  // Assigned by OpenSession before the session is visible to anyone.
+  int64_t session_id_ = 0;
+  // Post-mortem ring of batch-boundary snapshots; worker-thread-only (same
+  // thread that publishes the live_* atomics below).
+  obs::FlightRecorder flight_;
 
   // Written producer-side before the first Feed, read by the worker at
   // engine construction (ordered by the task queue's mutex).
@@ -294,6 +313,20 @@ class EnginePool {
     capture_sink_.store(sink, std::memory_order_release);
   }
 
+  // Installs (or removes) the per-query observability registry: sessions
+  // are interned at open and report a QueryRunRecord at finalize.  The
+  // registry must outlive every session finalized while installed.
+  void SetQueryRegistry(QueryRegistry* registry) {
+    query_registry_.store(registry, std::memory_order_release);
+  }
+  QueryRegistry* query_registry() const {
+    return query_registry_.load(std::memory_order_acquire);
+  }
+
+  // The pool-wide batch sampling controller every session's engine draws
+  // from (period = PoolOptions::sampling_period; runtime-mutable).
+  obs::SamplingProfiler& sampler() { return sampler_; }
+
  private:
   friend class StreamSession;
 
@@ -336,6 +369,9 @@ class EnginePool {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<uint64_t> next_worker_{0};
   std::atomic<SessionCaptureSink*> capture_sink_{nullptr};
+  std::atomic<QueryRegistry*> query_registry_{nullptr};
+  std::atomic<int64_t> next_session_id_{1};
+  obs::SamplingProfiler sampler_;
 };
 
 }  // namespace spex

@@ -1,0 +1,595 @@
+#include "runtime/query_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/log.h"
+
+namespace spex {
+namespace {
+
+// Prometheus text-format label value escaping: backslash, double quote and
+// newline (the same rules MetricsSnapshot::ToPrometheusText applies).
+std::string EscapeLabel(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Bounded attribution map: beyond this many distinct nodes per query the
+// remainder folds into "(other)" — a query's network is small (tens of
+// nodes), so this only triggers if provenance strings churn unexpectedly.
+constexpr size_t kMaxHotNodes = 32;
+
+std::string HotKey(const QueryHotNode& node) {
+  std::string key = node.name;
+  key.push_back('\0');
+  key += node.fragment;
+  return key;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+// Snapshot row: everything the renderers need, copied out under the lock so
+// formatting (and quantile math) runs unlocked.
+struct QueryRegistry::Row {
+  int64_t id = 0;
+  std::string text;
+  int64_t runs = 0;
+  int64_t errors = 0;
+  int64_t breaches = 0;
+  int64_t truncated = 0;
+  int64_t events = 0;
+  int64_t results = 0;
+  int64_t buffered_events_peak = 0;
+  StatusCode last_code = StatusCode::kOk;
+  obs::Histogram feed_us;
+  int64_t delay_buckets[obs::Histogram::kBuckets] = {};
+  int64_t delay_count = 0;
+  int64_t delay_sum = 0;
+  int64_t delay_max = 0;
+  int64_t sampled_batches = 0;
+  int64_t sampled_self_ns = 0;
+  double time_share = 0;  // of all sampled self time across live entries
+  struct Hot {
+    std::string name;
+    std::string fragment;
+    std::string cost_class;
+    int64_t deliveries = 0;
+    int64_t self_ns = 0;
+  };
+  std::vector<Hot> hot;  // descending self_ns, top few
+};
+
+bool QueryRegistry::ParseSort(std::string_view text, Sort* out) {
+  if (text == "time") { *out = Sort::kTime; return true; }
+  if (text == "events") { *out = Sort::kEvents; return true; }
+  if (text == "delay") { *out = Sort::kDelay; return true; }
+  return false;
+}
+
+QueryRegistry::QueryRegistry() : QueryRegistry(Options()) {}
+
+QueryRegistry::QueryRegistry(Options options)
+    : options_(options),
+      slow_ms_(options.slow_ms),
+      slow_delay_ms_(options.slow_delay_ms) {}
+
+QueryRegistry::Entry* QueryRegistry::InternLocked(const std::string& text) {
+  auto it = entries_.find(text);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.id = next_id_++;
+    entry.text = text;
+    lru_.push_front(text);
+    entry.lru = lru_.begin();
+    it = entries_.emplace(text, std::move(entry)).first;
+    EvictIfNeededLocked();
+    // Re-find: eviction never removes the entry just inserted (it is at the
+    // LRU front), but may have invalidated `it` through rehashing.
+    it = entries_.find(text);
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+  return &it->second;
+}
+
+void QueryRegistry::EvictIfNeededLocked() {
+  while (entries_.size() > options_.capacity && !lru_.empty()) {
+    const std::string& victim = lru_.back();
+    entries_.erase(victim);
+    lru_.pop_back();
+  }
+}
+
+int64_t QueryRegistry::Intern(const std::string& canonical_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InternLocked(canonical_text)->id;
+}
+
+size_t QueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void QueryRegistry::RecordRun(const QueryRunRecord& record) {
+  const bool failed = record.code != StatusCode::kOk;
+  const bool breach = record.code == StatusCode::kResourceExhausted ||
+                      record.code == StatusCode::kDeadlineExceeded;
+  const int64_t feed_ms = record.feed_to_result_us / 1000;
+
+  // Decision delay is recorded in *events*; the slow threshold is in wall
+  // milliseconds.  Estimate the wall cost of the worst delay from this
+  // run's own event rate: delay_events * (elapsed_ms / events).  An
+  // estimator, not a measurement — documented in DESIGN.md §13 — but it is
+  // monotone in the delay and uses only data the run already produced.
+  int64_t delay_est_ms = 0;
+  if (record.delay_max > 0 && record.events > 0) {
+    delay_est_ms = record.delay_max * feed_ms / record.events;
+  }
+
+  const int64_t slow_ms = slow_ms_.load(std::memory_order_relaxed);
+  const int64_t slow_delay_ms = slow_delay_ms_.load(std::memory_order_relaxed);
+  // Failed runs always get the full diagnosis trail; healthy runs only when
+  // they cross an armed threshold.
+  const bool slow = failed || (slow_ms > 0 && feed_ms >= slow_ms) ||
+                    (slow_delay_ms > 0 && delay_est_ms >= slow_delay_ms);
+
+  int64_t query_id = 0;
+  std::string hot_summary;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry* entry = InternLocked(record.canonical_text);
+    query_id = entry->id;
+    ++entry->runs;
+    entry->last_run_seq = ++run_seq_;
+    entry->last_code = record.code;
+    if (failed) {
+      entry->errors_by_code[static_cast<int>(record.code)]++;
+      if (breach) {
+        ++entry->breaches;
+      } else {
+        ++entry->errors;
+      }
+    }
+    if (record.truncated) ++entry->truncated;
+    entry->events += record.events;
+    entry->results += record.results;
+    entry->buffered_events_peak =
+        std::max(entry->buffered_events_peak, record.buffered_events_peak);
+    entry->feed_us.Observe(record.feed_to_result_us);
+    const size_t n_delay =
+        std::min(record.delay_buckets.size(),
+                 static_cast<size_t>(obs::Histogram::kBuckets));
+    for (size_t i = 0; i < n_delay; ++i) {
+      entry->delay_buckets[i] += record.delay_buckets[i];
+    }
+    entry->delay_count += record.delay_count;
+    entry->delay_sum += record.delay_sum;
+    entry->delay_max = std::max(entry->delay_max, record.delay_max);
+    entry->sampled_batches += record.sampled_batches;
+    for (const QueryHotNode& node : record.sampled_nodes) {
+      entry->sampled_self_ns += node.self_ns;
+      std::string key = HotKey(node);
+      auto it = entry->hot.find(key);
+      if (it == entry->hot.end() && entry->hot.size() >= kMaxHotNodes) {
+        key = "(other)";
+        key.push_back('\0');
+        it = entry->hot.find(key);
+      }
+      if (it == entry->hot.end()) {
+        it = entry->hot.emplace(std::move(key), HotNodeAgg{}).first;
+        it->second.cost_class = node.cost_class;
+      }
+      it->second.deliveries += node.deliveries;
+      it->second.self_ns += node.self_ns;
+    }
+
+    if (slow && entry->sampled_self_ns > 0) {
+      // Top-3 hot nodes, "name fragment cost_class share%", built under the
+      // lock (reads the aggregate), emitted after unlock.
+      std::vector<std::pair<std::string_view, const HotNodeAgg*>> ranked;
+      ranked.reserve(entry->hot.size());
+      for (const auto& [key, agg] : entry->hot) ranked.emplace_back(key, &agg);
+      std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+        return a.second->self_ns > b.second->self_ns;
+      });
+      for (size_t i = 0; i < ranked.size() && i < 3; ++i) {
+        const std::string_view key = ranked[i].first;
+        const size_t split = key.find('\0');
+        if (!hot_summary.empty()) hot_summary += " | ";
+        hot_summary += key.substr(0, split);
+        const std::string_view fragment = key.substr(split + 1);
+        if (!fragment.empty()) {
+          hot_summary += " [";
+          hot_summary += fragment;
+          hot_summary += "]";
+        }
+        AppendF(&hot_summary, " %.1f%%",
+                100.0 * static_cast<double>(ranked[i].second->self_ns) /
+                    static_cast<double>(entry->sampled_self_ns));
+      }
+    }
+
+    if (failed && !record.flight_json.empty()) {
+      flights_.push_back(FlightDump{record.session_id, query_id,
+                                    StatusCodeName(record.code),
+                                    record.flight_json});
+      while (flights_.size() > options_.flight_capacity) {
+        flights_.erase(flights_.begin());
+      }
+    }
+  }
+
+  if (!slow) return;
+  slow_queries_.fetch_add(1, std::memory_order_relaxed);
+
+  // Limits headroom, compact: used/limit per armed axis.
+  std::string headroom;
+  if (record.limits.max_events > 0) {
+    AppendF(&headroom, "events=%" PRId64 "/%" PRId64, record.events,
+            record.limits.max_events);
+  }
+  if (record.limits.max_buffered_bytes > 0) {
+    AppendF(&headroom, "%sbuffered_bytes_cap=%" PRId64,
+            headroom.empty() ? "" : " ", record.limits.max_buffered_bytes);
+  }
+  if (record.limits.deadline_ms > 0) {
+    AppendF(&headroom, "%sms=%" PRId64 "/%" PRId64,
+            headroom.empty() ? "" : " ", feed_ms, record.limits.deadline_ms);
+  }
+  if (headroom.empty()) headroom = "unlimited";
+
+  obs::LogWarn(
+      "slow query",
+      {{"query_id", query_id},
+       {"query", record.canonical_text},
+       {"session", record.session_id},
+       {"worker", record.worker},
+       {"code", StatusCodeName(record.code)},
+       {"truncated", record.truncated},
+       {"events", record.events},
+       {"results", record.results},
+       {"feed_ms", feed_ms},
+       {"delay_max_events", record.delay_max},
+       {"delay_est_ms", delay_est_ms},
+       {"sampled_batches", record.sampled_batches},
+       {"hot", hot_summary.empty() ? std::string("(unsampled)")
+                                   : hot_summary},
+       {"headroom", headroom}});
+
+  if (failed && !record.flight_json.empty()) {
+    flight_dumps_.fetch_add(1, std::memory_order_relaxed);
+    obs::LogWarn("flight dump", {{"session", record.session_id},
+                                 {"query_id", query_id},
+                                 {"reason", StatusCodeName(record.code)},
+                                 {"flight", record.flight_json}});
+  }
+}
+
+std::vector<QueryRegistry::Row> QueryRegistry::SnapshotLocked(Sort sort,
+                                                              int k) const {
+  std::vector<Row> rows;
+  rows.reserve(entries_.size());
+  int64_t total_self_ns = 0;
+  for (const auto& [text, entry] : entries_) {
+    total_self_ns += entry.sampled_self_ns;
+  }
+  for (const auto& [text, entry] : entries_) {
+    Row row;
+    row.id = entry.id;
+    row.text = text;
+    row.runs = entry.runs;
+    row.errors = entry.errors;
+    row.breaches = entry.breaches;
+    row.truncated = entry.truncated;
+    row.events = entry.events;
+    row.results = entry.results;
+    row.buffered_events_peak = entry.buffered_events_peak;
+    row.last_code = entry.last_code;
+    row.feed_us = entry.feed_us;
+    std::copy(entry.delay_buckets,
+              entry.delay_buckets + obs::Histogram::kBuckets,
+              row.delay_buckets);
+    row.delay_count = entry.delay_count;
+    row.delay_sum = entry.delay_sum;
+    row.delay_max = entry.delay_max;
+    row.sampled_batches = entry.sampled_batches;
+    row.sampled_self_ns = entry.sampled_self_ns;
+    row.time_share = total_self_ns > 0
+                         ? static_cast<double>(entry.sampled_self_ns) /
+                               static_cast<double>(total_self_ns)
+                         : 0.0;
+    std::vector<std::pair<std::string_view, const HotNodeAgg*>> ranked;
+    ranked.reserve(entry.hot.size());
+    for (const auto& [key, agg] : entry.hot) ranked.emplace_back(key, &agg);
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second->self_ns > b.second->self_ns;
+    });
+    for (size_t i = 0; i < ranked.size() && i < 3; ++i) {
+      const std::string_view key = ranked[i].first;
+      const size_t split = key.find('\0');
+      Row::Hot hot;
+      hot.name = std::string(key.substr(0, split));
+      hot.fragment = std::string(key.substr(split + 1));
+      hot.cost_class = ranked[i].second->cost_class;
+      hot.deliveries = ranked[i].second->deliveries;
+      hot.self_ns = ranked[i].second->self_ns;
+      row.hot.push_back(std::move(hot));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [sort](const Row& a, const Row& b) {
+    switch (sort) {
+      case Sort::kEvents:
+        if (a.events != b.events) return a.events > b.events;
+        break;
+      case Sort::kDelay:
+        if (a.delay_max != b.delay_max) return a.delay_max > b.delay_max;
+        if (a.delay_sum != b.delay_sum) return a.delay_sum > b.delay_sum;
+        break;
+      case Sort::kTime:
+        if (a.sampled_self_ns != b.sampled_self_ns) {
+          return a.sampled_self_ns > b.sampled_self_ns;
+        }
+        if (a.feed_us.sum() != b.feed_us.sum()) {
+          return a.feed_us.sum() > b.feed_us.sum();
+        }
+        break;
+    }
+    return a.id < b.id;  // deterministic tiebreak
+  });
+  if (k > 0 && rows.size() > static_cast<size_t>(k)) {
+    rows.resize(static_cast<size_t>(k));
+  }
+  return rows;
+}
+
+std::string QueryRegistry::ToText(Sort sort, int k) const {
+  std::vector<Row> rows;
+  size_t total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = entries_.size();
+    rows = SnapshotLocked(sort, k);
+  }
+  const char* sort_name = sort == Sort::kTime     ? "time"
+                          : sort == Sort::kEvents ? "events"
+                                                  : "delay";
+  std::string out;
+  AppendF(&out, "QUERIES (sort=%s, showing %zu of %zu)\n", sort_name,
+          rows.size(), total);
+  AppendF(&out,
+          "%4s %6s %4s %5s %10s %9s %11s %11s %10s %7s  %s\n", "id", "runs",
+          "err", "brch", "events", "results", "feed_p50_us", "feed_p99_us",
+          "delay_max", "share", "query");
+  for (const Row& row : rows) {
+    AppendF(&out,
+            "%4" PRId64 " %6" PRId64 " %4" PRId64 " %5" PRId64 " %10" PRId64
+            " %9" PRId64 " %11.0f %11.0f %10" PRId64 " %6.1f%%  %s\n",
+            row.id, row.runs, row.errors, row.breaches, row.events,
+            row.results, row.feed_us.Quantile(0.5), row.feed_us.Quantile(0.99),
+            row.delay_max, 100.0 * row.time_share, row.text.c_str());
+    for (const Row::Hot& hot : row.hot) {
+      AppendF(&out, "       hot: %-12s", hot.name.c_str());
+      if (!hot.fragment.empty()) AppendF(&out, " [%s]", hot.fragment.c_str());
+      if (!hot.cost_class.empty()) AppendF(&out, " %s", hot.cost_class.c_str());
+      if (row.sampled_self_ns > 0) {
+        AppendF(&out, " %.1f%% of query self time",
+                100.0 * static_cast<double>(hot.self_ns) /
+                    static_cast<double>(row.sampled_self_ns));
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string QueryRegistry::ToJson(Sort sort, int k) const {
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows = SnapshotLocked(sort, k);
+  }
+  std::string out = "{\"queries\": [";
+  bool first = true;
+  for (const Row& row : rows) {
+    if (!first) out += ", ";
+    first = false;
+    AppendF(&out, "{\"id\": %" PRId64 ", \"query\": ", row.id);
+    out += "\"" + obs::EscapeJson(row.text) + "\"";
+    AppendF(&out,
+            ", \"runs\": %" PRId64 ", \"errors\": %" PRId64
+            ", \"breaches\": %" PRId64 ", \"truncated\": %" PRId64
+            ", \"events\": %" PRId64 ", \"results\": %" PRId64
+            ", \"buffered_events_peak\": %" PRId64 ", \"last_code\": \"%s\"",
+            row.runs, row.errors, row.breaches, row.truncated, row.events,
+            row.results, row.buffered_events_peak,
+            StatusCodeName(row.last_code));
+    AppendF(&out,
+            ", \"feed_to_result_us\": {\"count\": %" PRId64
+            ", \"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f, \"max\": %" PRId64
+            "}",
+            row.feed_us.count(), row.feed_us.Quantile(0.5),
+            row.feed_us.Quantile(0.95), row.feed_us.Quantile(0.99),
+            row.feed_us.max());
+    AppendF(&out,
+            ", \"decision_delay_events\": {\"count\": %" PRId64
+            ", \"p50\": %.1f, \"p99\": %.1f, \"max\": %" PRId64 "}",
+            row.delay_count,
+            obs::HistogramQuantileFromBuckets(row.delay_buckets,
+                                              obs::Histogram::kBuckets,
+                                              row.delay_count, row.delay_max,
+                                              0.5),
+            obs::HistogramQuantileFromBuckets(row.delay_buckets,
+                                              obs::Histogram::kBuckets,
+                                              row.delay_count, row.delay_max,
+                                              0.99),
+            row.delay_max);
+    AppendF(&out,
+            ", \"sampling\": {\"batches\": %" PRId64 ", \"self_ns\": %" PRId64
+            ", \"time_share\": %.4f}",
+            row.sampled_batches, row.sampled_self_ns, row.time_share);
+    out += ", \"hot_nodes\": [";
+    for (size_t i = 0; i < row.hot.size(); ++i) {
+      const Row::Hot& hot = row.hot[i];
+      if (i > 0) out += ", ";
+      out += "{\"node\": \"" + obs::EscapeJson(hot.name) + "\"";
+      out += ", \"fragment\": \"" + obs::EscapeJson(hot.fragment) + "\"";
+      out += ", \"cost_class\": \"" + obs::EscapeJson(hot.cost_class) + "\"";
+      AppendF(&out, ", \"deliveries\": %" PRId64 ", \"self_ns\": %" PRId64,
+              hot.deliveries, hot.self_ns);
+      if (row.sampled_self_ns > 0) {
+        AppendF(&out, ", \"share\": %.4f",
+                static_cast<double>(hot.self_ns) /
+                    static_cast<double>(row.sampled_self_ns));
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryRegistry::PrometheusText() const {
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rows = SnapshotLocked(Sort::kTime, 0);
+  }
+  std::string out;
+  auto family = [&](const char* name, const char* type, const char* help) {
+    AppendF(&out, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, type);
+  };
+
+  family("spex_query_info", "gauge",
+         "Registered query identity (query_id -> canonical text).");
+  for (const Row& row : rows) {
+    AppendF(&out, "spex_query_info{query_id=\"%" PRId64 "\",query=\"", row.id);
+    out += EscapeLabel(row.text);
+    out += "\"} 1\n";
+  }
+
+  struct CounterFamily {
+    const char* name;
+    const char* help;
+    int64_t Row::* field;
+  };
+  const CounterFamily counters[] = {
+      {"spex_query_runs_total", "Finished runs of this query.", &Row::runs},
+      {"spex_query_errors_total",
+       "Failed runs (non-governor failure classes).", &Row::errors},
+      {"spex_query_breaches_total",
+       "Governor breaches (resource_exhausted / deadline_exceeded).",
+       &Row::breaches},
+      {"spex_query_truncated_total", "Runs sealed as partial results.",
+       &Row::truncated},
+      {"spex_query_events_total", "Document events fed across all runs.",
+       &Row::events},
+      {"spex_query_results_total", "Results emitted across all runs.",
+       &Row::results},
+      {"spex_query_sampled_batches_total",
+       "Event batches routed through the sampling profiler.",
+       &Row::sampled_batches},
+      {"spex_query_sampled_self_ns_total",
+       "Self time attributed by the sampling profiler (ns).",
+       &Row::sampled_self_ns},
+  };
+  for (const CounterFamily& fam : counters) {
+    family(fam.name, "counter", fam.help);
+    for (const Row& row : rows) {
+      AppendF(&out, "%s{query_id=\"%" PRId64 "\"} %" PRId64 "\n", fam.name,
+              row.id, row.*fam.field);
+    }
+  }
+
+  family("spex_query_feed_to_result_us", "summary",
+         "Session feed-to-result latency per query (microseconds).");
+  for (const Row& row : rows) {
+    for (double q : {0.5, 0.95, 0.99}) {
+      AppendF(&out,
+              "spex_query_feed_to_result_us{query_id=\"%" PRId64
+              "\",quantile=\"%.2g\"} %.1f\n",
+              row.id, q, row.feed_us.Quantile(q));
+    }
+    AppendF(&out,
+            "spex_query_feed_to_result_us_sum{query_id=\"%" PRId64
+            "\"} %" PRId64 "\n",
+            row.id, row.feed_us.sum());
+    AppendF(&out,
+            "spex_query_feed_to_result_us_count{query_id=\"%" PRId64
+            "\"} %" PRId64 "\n",
+            row.id, row.feed_us.count());
+  }
+
+  family("spex_query_decision_delay_events", "summary",
+         "OU decision delay per query (events between candidate creation "
+         "and determination).");
+  for (const Row& row : rows) {
+    for (double q : {0.5, 0.95, 0.99}) {
+      AppendF(&out,
+              "spex_query_decision_delay_events{query_id=\"%" PRId64
+              "\",quantile=\"%.2g\"} %.1f\n",
+              row.id, q,
+              obs::HistogramQuantileFromBuckets(row.delay_buckets,
+                                                obs::Histogram::kBuckets,
+                                                row.delay_count,
+                                                row.delay_max, q));
+    }
+    AppendF(&out,
+            "spex_query_decision_delay_events_sum{query_id=\"%" PRId64
+            "\"} %" PRId64 "\n",
+            row.id, row.delay_sum);
+    AppendF(&out,
+            "spex_query_decision_delay_events_count{query_id=\"%" PRId64
+            "\"} %" PRId64 "\n",
+            row.id, row.delay_count);
+  }
+  return out;
+}
+
+std::string QueryRegistry::FlightJson(int64_t session) const {
+  std::vector<FlightDump> dumps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dumps = flights_;
+  }
+  std::string out = "{\"flights\": [";
+  bool first = true;
+  for (auto it = dumps.rbegin(); it != dumps.rend(); ++it) {  // newest first
+    if (session >= 0 && it->session_id != session) continue;
+    if (!first) out += ", ";
+    first = false;
+    AppendF(&out, "{\"session\": %" PRId64 ", \"query_id\": %" PRId64
+            ", \"reason\": \"",
+            it->session_id, it->query_id);
+    out += obs::EscapeJson(it->reason);
+    out += "\", \"flight\": ";
+    out += it->json;
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace spex

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/sampling_profiler.h"
 #include "rpeq/parser.h"
 #include "xml/xml_parser.h"
 
@@ -106,6 +107,38 @@ void SpexEngine::OnEvent(const StreamEvent& event) {
 
 void SpexEngine::OnEventBatch(const StreamEvent* events, size_t count) {
   if (count == 0) return;
+  // One null-check per *batch* when no controller is attached; with one, a
+  // thread-local increment and a relaxed load (see obs/sampling_profiler.h).
+  // Never on the per-event OnEvent path.
+  if (sampler_ctl_ != nullptr && sampler_ctl_->ShouldSample()) [[unlikely]] {
+    SampleBatch(events, count);
+    return;
+  }
+  OnEventBatchUnsampled(events, count);
+}
+
+void SpexEngine::SampleBatch(const StreamEvent* events, size_t count) {
+  if (profiler_ != nullptr) {
+    // options.profile already instruments every delivery; sampling on top
+    // would only steal its attributions.
+    OnEventBatchUnsampled(events, count);
+    return;
+  }
+  if (sample_profiler_ == nullptr) {
+    sample_profiler_ = std::make_unique<obs::ProfileAccumulator>(
+        compiled_.network.node_count());
+  }
+  // With a profiler attached the network flags itself instrumented and
+  // DeliverBatch falls back to per-message delivery — exactly the
+  // instrumented path a full profile takes, for this one batch.
+  compiled_.network.SetProfiler(sample_profiler_.get());
+  OnEventBatchUnsampled(events, count);
+  compiled_.network.SetProfiler(nullptr);
+  ++sampled_batches_;
+}
+
+void SpexEngine::OnEventBatchUnsampled(const StreamEvent* events,
+                                       size_t count) {
   if (!batch_path_) {
     // Non-batchable network (condition variables) or observe=full: the
     // per-event path is the semantics, batching is only a feeding shape.
@@ -417,6 +450,14 @@ obs::ProfileReport SpexEngine::Profile() const {
   const obs::MetricsSnapshot snap = context_->metrics.Collect();
   return BuildProfileReport(compiled_.network, query_text_, events_processed_,
                             profiler_.get(),
+                            snap.Value("spex_formula_pool_high_water"),
+                            snap.Value("spex_formula_pool_allocs"));
+}
+
+obs::ProfileReport SpexEngine::SampledProfile() const {
+  const obs::MetricsSnapshot snap = context_->metrics.Collect();
+  return BuildProfileReport(compiled_.network, query_text_, events_processed_,
+                            sample_profiler_.get(),
                             snap.Value("spex_formula_pool_high_water"),
                             snap.Value("spex_formula_pool_allocs"));
 }

@@ -30,6 +30,10 @@
 
 namespace spex {
 
+namespace obs {
+class SamplingProfiler;
+}  // namespace obs
+
 // Aggregate resource accounting over a run (validates the §V bounds).
 struct RunStats {
   // Number of transducers in the compiled network (Def. 3 degree + IN + OU).
@@ -151,6 +155,24 @@ class SpexEngine : public EventSink {
   // offsets the spans index) may overwrite it.
   obs::ProfileReport Profile() const;
 
+  // Always-on statistical sampling (DESIGN.md §13): with a controller
+  // attached, each OnEventBatch call draws once and the ~1/period batches
+  // that win are delivered through the instrumented per-message path into a
+  // private ProfileAccumulator — continuous attribution at a fraction of
+  // options.profile's cost.  The controller is shared (typically pool-wide)
+  // and must outlive the engine; a full profiler (options.profile) takes
+  // precedence, since every batch is already instrumented then.  The
+  // per-event OnEvent path never samples: sampling is batch-granular by
+  // design (the draw must stay off the per-event hot path).
+  void SetBatchSampler(obs::SamplingProfiler* sampler) {
+    sampler_ctl_ = sampler;
+  }
+  // Batches this engine actually sampled.
+  int64_t sampled_batches() const { return sampled_batches_; }
+  // Attribution report over the sampled batches (timed iff any batch was
+  // sampled); same shape as Profile().
+  obs::ProfileReport SampledProfile() const;
+
   // The run's live metrics registry (see obs/metrics.h).  Pull collectors
   // over the network/output/formula-pool state are registered at every
   // observe level; push instruments (spex_events_total, histograms) exist
@@ -191,6 +213,10 @@ class SpexEngine : public EventSink {
   const TransducerTrace* trace(const std::string& name) const;
 
  private:
+  // OnEventBatch after the sampling draw (the whole pre-PR8 batch body).
+  void OnEventBatchUnsampled(const StreamEvent* events, size_t count);
+  // Sampled batch: instrumented delivery into sample_profiler_.
+  void SampleBatch(const StreamEvent* events, size_t count);
   // The ungoverned per-event path (the pre-governor OnEvent body).
   void ProcessEvent(const StreamEvent& event);
   // Governed per-event path: limit checks + open-path tracking around
@@ -221,6 +247,11 @@ class SpexEngine : public EventSink {
   std::vector<std::unique_ptr<TransducerTrace>> traces_;
   std::unique_ptr<EngineObservability> obs_;  // non-null iff observe != kOff
   std::unique_ptr<obs::ProfileAccumulator> profiler_;  // iff options.profile
+  // Batch sampling (SetBatchSampler): shared controller, lazily-built
+  // private accumulator for the sampled batches.
+  obs::SamplingProfiler* sampler_ctl_ = nullptr;
+  std::unique_ptr<obs::ProfileAccumulator> sample_profiler_;
+  int64_t sampled_batches_ = 0;
   std::string query_text_;  // round-trip syntax, for ProfileReport::query
   int64_t events_processed_ = 0;
   // True when OnEvent must take the governed path (limits configured or

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -108,9 +109,14 @@ int64_t SumFamily(const std::string& text, const std::string& family) {
 // the bucket reads), so this must hold on every scrape, torn or not.
 void CheckHistogramCoherence(const std::string& text, std::string* error) {
   std::map<std::string, int64_t> counts, infs;
+  std::set<std::string> summaries;  // families declared `# TYPE ... summary`
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
+    if (line.rfind("# TYPE ", 0) == 0 &&
+        line.size() > 8 && line.compare(line.size() - 8, 8, " summary") == 0) {
+      summaries.insert(line.substr(7, line.size() - 7 - 8));
+    }
     if (line.empty() || line[0] == '#') continue;
     const size_t space = line.rfind(' ');
     const std::string key = line.substr(0, space);
@@ -125,7 +131,11 @@ void CheckHistogramCoherence(const std::string& text, std::string* error) {
              name.compare(name.size() - n, n, suffix) == 0;
     };
     if (ends_with("_count")) {
-      counts[name.substr(0, name.size() - 6) + labels] = value;
+      // Summary families (quantile exposition, e.g. the per-query RED
+      // latency digests) carry _sum/_count but no buckets by design.
+      if (summaries.count(name.substr(0, name.size() - 6)) == 0) {
+        counts[name.substr(0, name.size() - 6) + labels] = value;
+      }
     } else if (ends_with("_bucket")) {
       const size_t inf = labels.find("le=\"+Inf\"");
       if (inf == std::string::npos) continue;
@@ -452,6 +462,55 @@ TEST(AdminServerTest, SamplerWindowComputesRates) {
   const std::string json = window.ToJson();
   EXPECT_NE(json.find("\"rates\""), std::string::npos);
   EXPECT_NE(json.find("spex_pool_events_processed"), std::string::npos);
+  // A full two-tick window is not partial.
+  EXPECT_FALSE(window.partial);
+  EXPECT_NE(json.find("\"partial\": false"), std::string::npos);
+}
+
+TEST(AdminServerTest, SamplerWindowEdgeCasesAnswerWellFormedPartials) {
+  PoolOptions pool_options;
+  pool_options.threads = 1;
+  EnginePool pool(pool_options);
+  obs::TelemetrySampler sampler(&pool.metrics());
+
+  // Empty ring: a well-formed empty window that says it is one.
+  obs::TelemetryWindow window = sampler.ComputeWindow(60);
+  EXPECT_TRUE(window.partial);
+  EXPECT_EQ(window.note, "no samples yet");
+  EXPECT_EQ(window.ticks, 0);
+  EXPECT_EQ(window.seconds, 0.0);
+  EXPECT_TRUE(window.rates.empty());
+  std::string json = window.ToJson();
+  EXPECT_NE(json.find("\"partial\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("no samples yet"), std::string::npos);
+
+  // Single tick: rates need two endpoints; quantiles still answer and no
+  // zero-elapsed division happens (all per_sec are exactly 0).
+  sampler.SampleOnce();
+  window = sampler.ComputeWindow(60);
+  EXPECT_TRUE(window.partial);
+  EXPECT_NE(window.note.find("single sample"), std::string::npos);
+  EXPECT_EQ(window.ticks, 1);
+  EXPECT_EQ(window.seconds, 0.0);
+  for (const obs::TelemetryRate& rate : window.rates) {
+    EXPECT_EQ(rate.delta, 0);
+    EXPECT_EQ(rate.per_sec, 0.0);
+  }
+  EXPECT_FALSE(window.quantiles.empty());
+
+  // Window wider than the retained span: answers from the full ring and
+  // flags the shortfall rather than pretending it covered an hour.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.SampleOnce();
+  window = sampler.ComputeWindow(3600);
+  EXPECT_TRUE(window.partial);
+  EXPECT_NE(window.note.find("exceeds retained history"), std::string::npos);
+  EXPECT_EQ(window.ticks, 2);
+  EXPECT_GT(window.seconds, 0.0);
+
+  // A window the ring can actually cover is not partial.
+  window = sampler.ComputeWindow(0);
+  EXPECT_FALSE(window.partial);
 }
 
 // ---------------------------------------------------------------------------

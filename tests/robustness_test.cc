@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <random>
 #include <string>
 #include <thread>
@@ -13,11 +14,13 @@
 
 #include "baseline/dom_evaluator.h"
 #include "cq/conjunctive.h"
+#include "obs/log.h"
 #include "rpeq/parser.h"
 #include "rpeq/xpath.h"
 #include "runtime/engine_pool.h"
 #include "runtime/fault_injector.h"
 #include "runtime/query_cache.h"
+#include "runtime/query_registry.h"
 #include "spex/engine.h"
 #include "xml/content_model.h"
 #include "xml/dom.h"
@@ -558,6 +561,9 @@ const char* ChaosQueryFor(size_t index) {
 }
 
 // Chaos matrix: mutated documents × limit configurations × pool concurrency.
+// A QueryRegistry rides along on every pool: each failed (quarantined)
+// session must leave exactly one slow-query record and one flight dump whose
+// query id resolves in /queries — the post-mortem contract of DESIGN.md §13.
 TEST(ChaosMatrixTest, MutatedDocsAcrossLimitsAndConcurrency) {
   const std::vector<std::string> docs = ChaosBaseDocs();
   EngineLimits none;
@@ -567,6 +573,19 @@ TEST(ChaosMatrixTest, MutatedDocsAcrossLimitsAndConcurrency) {
   low_events.max_events = 64;
   const EngineLimits configs[] = {none, tiny_buffer, low_events};
 
+  // One registry across every cell; large flight retention so no dump of
+  // this run is evicted before the final accounting.
+  QueryRegistry::Options registry_options;
+  registry_options.flight_capacity = 256;
+  QueryRegistry registry(registry_options);
+  std::mutex log_mu;
+  int64_t slow_lines = 0, flight_lines = 0;
+  obs::Logger::Global().SetSink([&](std::string_view line) {
+    std::lock_guard<std::mutex> lock(log_mu);
+    if (line.find("slow query") != std::string_view::npos) ++slow_lines;
+    if (line.find("flight dump") != std::string_view::npos) ++flight_lines;
+  });
+
   int64_t code_counts[kStatusCodeCount] = {};
   uint64_t cell = 0;
   for (const EngineLimits& config : configs) {
@@ -574,6 +593,7 @@ TEST(ChaosMatrixTest, MutatedDocsAcrossLimitsAndConcurrency) {
       PoolOptions options;
       options.threads = threads;
       EnginePool pool(options);
+      pool.SetQueryRegistry(&registry);
       CompiledQueryCache cache(8);
       FaultInjector injector(0x9E3779B9u + cell, /*fault_rate_percent=*/100);
       std::vector<ChaosSession> wave;
@@ -589,6 +609,8 @@ TEST(ChaosMatrixTest, MutatedDocsAcrossLimitsAndConcurrency) {
       ++cell;
     }
   }
+  obs::Logger::Global().SetSink(stderr);
+
   // 144 faulted sessions; the matrix must exercise every status class.
   EXPECT_GT(code_counts[static_cast<size_t>(StatusCode::kOk)], 0);
   EXPECT_GT(code_counts[static_cast<size_t>(StatusCode::kMalformedInput)], 0);
@@ -596,6 +618,38 @@ TEST(ChaosMatrixTest, MutatedDocsAcrossLimitsAndConcurrency) {
             0);
   EXPECT_EQ(code_counts[static_cast<size_t>(StatusCode::kInternal)], 0);
   EXPECT_EQ(code_counts[static_cast<size_t>(StatusCode::kCancelled)], 0);
+
+  // Every quarantined session — and only those — produced exactly one
+  // flight dump and one slow-query record (thresholds are off, so the only
+  // slow trigger is failure).
+  int64_t failed = 0;
+  for (size_t c = 0; c < kStatusCodeCount; ++c) {
+    if (c != static_cast<size_t>(StatusCode::kOk)) failed += code_counts[c];
+  }
+  ASSERT_GT(failed, 0);
+  EXPECT_EQ(registry.flight_dumps(), failed);
+  EXPECT_EQ(registry.slow_queries(), failed);
+  {
+    std::lock_guard<std::mutex> lock(log_mu);
+    EXPECT_EQ(flight_lines, failed);
+    EXPECT_EQ(slow_lines, failed);
+  }
+
+  // Every retained dump's query id resolves to a live /queries row.
+  const std::string flights = registry.FlightJson();
+  const std::string queries = registry.ToJson();
+  size_t pos = 0;
+  int resolved = 0;
+  const std::string key = "\"query_id\": ";
+  while ((pos = flights.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    const size_t end = flights.find_first_not_of("0123456789", pos);
+    const std::string id = flights.substr(pos, end - pos);
+    EXPECT_NE(queries.find("{\"id\": " + id + ","), std::string::npos)
+        << "flight dump query id " << id << " not in /queries";
+    ++resolved;
+  }
+  EXPECT_EQ(resolved, std::min<int64_t>(failed, 256));
 }
 
 // Chaos soak: 512 injected-fault sessions through one pool, with worker

@@ -132,6 +132,29 @@ echo "$healthz_scrape" | grep -q '"status": "ok"' || {
   rm -rf "$serve_dir"
   exit 1
 }
+echo "$healthz_scrape" | grep -q '"simd_backend"' || {
+  echo "tier1: admin smoke: /healthz missing simd_backend" >&2
+  echo "$healthz_scrape" >&2
+  kill "$admin_pid" 2>/dev/null || true
+  rm -rf "$serve_dir"
+  exit 1
+}
+queries_scrape="$(scrape '/queries?sort=events&k=5')"
+echo "$queries_scrape" | grep -q 'QUERIES (sort=events' || {
+  echo "tier1: admin smoke: /queries scrape missing table" >&2
+  echo "$queries_scrape" | head -20 >&2
+  kill "$admin_pid" 2>/dev/null || true
+  rm -rf "$serve_dir"
+  exit 1
+}
+flight_scrape="$(scrape /flight)"
+echo "$flight_scrape" | grep -q '"flights"' || {
+  echo "tier1: admin smoke: /flight scrape missing flights array" >&2
+  echo "$flight_scrape" | head -20 >&2
+  kill "$admin_pid" 2>/dev/null || true
+  rm -rf "$serve_dir"
+  exit 1
+}
 kill -TERM "$admin_pid"
 admin_rc=0
 wait "$admin_pid" || admin_rc=$?
@@ -166,8 +189,34 @@ echo "$chaos_out" | grep -q 'msg="chaos injection on" seed=7' || {
   rm -rf "$serve_dir"
   exit 1
 }
-rm -rf "$serve_dir"
 echo "tier1: spexserve chaos smoke OK"
+
+# Slow-query / flight-dump smoke: throttle every session into a governor
+# breach (--max-events=1) and require the structured post-mortem trail —
+# one msg="slow query" and one msg="flight dump" record per failed session
+# (failed runs always log, regardless of thresholds).
+throttled_out="$("$binary_dir/tools/spexserve" \
+  --queries="$serve_dir/queries.txt" --threads=2 --max-events=1 \
+  "$serve_dir/docs" 2>&1)" || {
+  echo "tier1: spexserve throttled smoke failed:" >&2
+  echo "$throttled_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+echo "$throttled_out" | grep -q 'msg="slow query"' || {
+  echo "tier1: throttled smoke missing slow-query record:" >&2
+  echo "$throttled_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+echo "$throttled_out" | grep -q 'msg="flight dump"' || {
+  echo "tier1: throttled smoke missing flight dump:" >&2
+  echo "$throttled_out" >&2
+  rm -rf "$serve_dir"
+  exit 1
+}
+rm -rf "$serve_dir"
+echo "tier1: slow-query/flight smoke OK"
 
 # Perf-regression report (informational here — tier-1 machines are too
 # noisy to gate on; the CI bench-smoke job gates for real with

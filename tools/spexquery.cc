@@ -17,6 +17,11 @@
 //                                     report (dot = heat-annotated network;
 //                                     result fragments are suppressed, use
 //                                     --count for the match count)
+//   spexquery --sampling=N ...        statistical sampling profiler: ~1/N
+//                                     delivery batches take the instrumented
+//                                     path; prints the sampled attribution
+//                                     report after the run (cheap alternative
+//                                     to --profile for long streams)
 //   spexquery --observe=LEVEL ...     off|counters|full (default: the
 //                                     weakest level the other flags need)
 //   spexquery --metrics=json|prom ... dump the metrics registry to stderr
@@ -47,6 +52,7 @@
 #include <string>
 
 #include "obs/log.h"
+#include "obs/sampling_profiler.h"
 #include "spex/spex.h"
 
 namespace {
@@ -77,6 +83,8 @@ struct Options {
   // Events per delivery batch through parser and engine (DESIGN.md §11);
   // 1 = legacy per-event delivery.
   int batch_size = 64;
+  // Sampling-profiler period: ~1/N batches instrumented (0 = off).
+  int sampling_period = 0;
 };
 
 int Usage() {
@@ -90,7 +98,7 @@ int Usage() {
                "[--progress[=N]]\n"
                "                 [--max-depth=N] [--max-text=BYTES] "
                "[--batch-size=N]\n"
-               "                 QUERY [FILE]\n");
+               "                 [--sampling=N] QUERY [FILE]\n");
   return 2;
 }
 
@@ -181,6 +189,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--batch-size=", 0) == 0) {
       opts.batch_size = std::atoi(arg.c_str() + 13);
       if (opts.batch_size < 1) return Usage();
+    } else if (arg.rfind("--sampling=", 0) == 0) {
+      opts.sampling_period = std::atoi(arg.c_str() + 11);
+      if (opts.sampling_period < 0) return Usage();
     } else if (arg.rfind("--", 0) == 0) {
       LogError("unknown option", {{"arg", arg}});
       return Usage();
@@ -270,6 +281,9 @@ int main(int argc, char** argv) {
           ? static_cast<spex::ResultSink*>(&counter)
           : static_cast<spex::ResultSink*>(&printer);
   spex::SpexEngine engine(*parsed.expr, sink, engine_options);
+  spex::obs::SamplingProfiler sampler(
+      spex::obs::SamplingProfiler::Options{opts.sampling_period});
+  if (opts.sampling_period > 0) engine.SetBatchSampler(&sampler);
   spex::XmlParserOptions parser_options;
   parser_options.symbols = engine.symbol_table();
   parser_options.metrics = &engine.metrics();
@@ -327,6 +341,15 @@ int main(int argc, char** argv) {
     } else {
       std::fputs(report.ToTable().c_str(), stdout);
     }
+  }
+  if (opts.sampling_period > 0) {
+    // Sampled attribution: same report shape as --profile, estimated from
+    // the ~1/N instrumented batches.
+    spex::obs::ProfileReport report = engine.SampledProfile();
+    report.query = opts.query;
+    std::fprintf(stdout, "sampled batches: %lld (period %d)\n%s",
+                 static_cast<long long>(engine.sampled_batches()),
+                 opts.sampling_period, report.ToTable().c_str());
   }
   if (opts.stats) {
     std::fprintf(stderr, "%s\n", engine.ComputeStats().ToString().c_str());

@@ -34,6 +34,15 @@
 //   --log=text|json     structured log format on stderr (default text:
 //                       logfmt `ts=... level=... msg="..." k=v`)
 //   --log-level=LVL     debug|info|warn|error (default info)
+//   --slow-ms=N         slow-query log: sessions whose feed-to-result time
+//                       crosses N ms emit one structured msg="slow query"
+//                       record (0 = off; runtime-mutable via
+//                       /queries?slow_ms=N on the admin plane)
+//   --slow-delay-ms=N   same, keyed on the estimated output-decision delay
+//   --sampling=N        sampling profiler period: ~1/N delivery batches per
+//                       session take the instrumented path and fold node
+//                       self-times into /queries attribution (default 256,
+//                       0 = off)
 //
 // Robustness (DESIGN.md §10):
 //   --max-depth=N       parser element-depth bound (default 10000, 0 = off)
@@ -108,6 +117,10 @@ struct Options {
   // Admin plane: serve HTTP telemetry on this port (-1 = disabled, 0 =
   // ephemeral) and linger after the input drains until SIGTERM/SIGINT.
   int admin_port = -1;
+  // Slow-query thresholds (0 = off) and sampling-profiler period (0 = off).
+  int64_t slow_ms = 0;
+  int64_t slow_delay_ms = 0;
+  int sampling_period = 256;
   // Parser bounds (0 = unlimited).  The defaults keep an adversarial
   // document from exhausting the parser while far exceeding anything a
   // legitimate stream carries.
@@ -128,6 +141,8 @@ int Usage() {
                "[--print]\n"
                "                 [--metrics=json|prom] [--admin-port=P]\n"
                "                 [--log=text|json] [--log-level=LVL]\n"
+               "                 [--slow-ms=N] [--slow-delay-ms=N] "
+               "[--sampling=N]\n"
                "                 [--max-depth=N] [--max-text=BYTES]\n"
                "                 [--max-buffered-bytes=N] [--max-formula-bytes=N]\n"
                "                 [--max-events=N] [--deadline-ms=N]\n"
@@ -215,6 +230,7 @@ class Server {
           pool_options.queue_capacity = options.queue_capacity;
           pool_options.engine.limits = options.limits;
           pool_options.engine.batch_size = options.engine_batch;
+          pool_options.sampling_period = options.sampling_period;
           if (options.chaos) {
             // Seeded worker stalls: one deterministic draw per batch (the
             // corruption/truncation/limit faults are planned per session in
@@ -230,6 +246,13 @@ class Server {
         }()) {
     cache_.RegisterCollectors(&pool_.metrics());
     spex::obs::Logger::Global().RegisterCollectors(&pool_.metrics());
+    // Per-query observability is on regardless of the admin plane: the
+    // slow-query log and flight dumps are structured log output, and the
+    // registry is handed to the admin server (StartAdmin) so /queries and
+    // /flight read the same aggregates.
+    registry_.set_slow_ms(options.slow_ms);
+    registry_.set_slow_delay_ms(options.slow_delay_ms);
+    pool_.SetQueryRegistry(&registry_);
     if (options.chaos) {
       LogInfo("chaos injection on",
               {{"seed", static_cast<long long>(options.chaos_seed)},
@@ -265,6 +288,7 @@ class Server {
   bool StartAdmin(uint16_t port) {
     spex::AdminOptions admin_options;
     admin_options.http.port = port;
+    admin_options.queries = &registry_;
     admin_ = std::make_unique<spex::AdminServer>(&pool_, admin_options);
     std::string error;
     if (!admin_->Start(&error)) {
@@ -429,6 +453,9 @@ class Server {
   spex::FaultInjector injector_;
   std::atomic<uint64_t> chaos_batches_{0};  // worker-stall schedule cursor
   uint64_t chaos_sessions_ = 0;             // document fault schedule cursor
+  // Declared before pool_ so workers (which record runs into it during
+  // teardown) are joined before the registry goes away.
+  spex::QueryRegistry registry_;
   spex::EnginePool pool_;
   std::unique_ptr<spex::AdminServer> admin_;
   std::vector<std::string> queries_;
@@ -464,6 +491,13 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (const char* v = value("--admin-port=")) {
       options->admin_port = std::atoi(v);
       if (options->admin_port < 0 || options->admin_port > 65535) return false;
+    } else if (const char* v = value("--slow-ms=")) {
+      options->slow_ms = std::atoll(v);
+    } else if (const char* v = value("--slow-delay-ms=")) {
+      options->slow_delay_ms = std::atoll(v);
+    } else if (const char* v = value("--sampling=")) {
+      options->sampling_period = std::atoi(v);
+      if (options->sampling_period < 0) return false;
     } else if (const char* v = value("--log=")) {
       spex::obs::LogFormat format;
       if (!spex::obs::ParseLogFormat(v, &format)) return false;
